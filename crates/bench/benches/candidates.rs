@@ -1,0 +1,46 @@
+//! B4 — candidate construction and the recommendation API.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmmm::prelude::*;
+use hetmmm::shapes::candidates::all_feasible;
+use std::hint::black_box;
+
+fn bench_construct_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_all_candidates");
+    for n in [100usize, 500, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(all_feasible(n, Ratio::new(5, 2, 1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_candidate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_one");
+    for ty in CandidateType::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ty.paper_name()),
+            &ty,
+            |b, &ty| {
+                b.iter(|| black_box(ty.construct(500, Ratio::new(10, 2, 1))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_recommend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recommend");
+    group.sample_size(20);
+    let ratio = Ratio::new(5, 2, 1);
+    let platform = Platform::new(ratio, 1e9, 10.0 / 1e9);
+    for n in [100usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(hetmmm::recommend(n, ratio, &platform, Algorithm::Scb)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construct_all, bench_single_candidate, bench_recommend);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! B3 — shape analysis: corner counting and archetype classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmmm::prelude::*;
+use hetmmm::shapes::corner_count;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn condensed(n: usize, seed: u64) -> Partition {
+    let runner = DfaRunner::new(DfaConfig::new(n, Ratio::new(2, 1, 1)));
+    let mut part = runner.run_seed(seed).partition;
+    beautify(&mut part);
+    part
+}
+
+fn bench_corner_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corner_count");
+    for n in [60usize, 120, 240] {
+        let part = condensed(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(corner_count(&part, Proc::R)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_classify_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_exact");
+    for n in [60usize, 120] {
+        let part = condensed(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(classify(&part)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_classify_coarse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_coarse");
+    for n in [60usize, 120, 240] {
+        let part = condensed(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(classify_coarse(&part, 10)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce_to_a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_to_archetype_a");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(9);
+    let part = random_partition(60, Ratio::new(2, 2, 1), &mut rng);
+    group.bench_function("n60_from_scatter", |b| {
+        b.iter(|| black_box(reduce_to_archetype_a(&part)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_corner_count,
+    bench_classify_exact,
+    bench_classify_coarse,
+    bench_reduce_to_a
+);
+criterion_main!(benches);

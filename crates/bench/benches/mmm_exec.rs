@@ -1,0 +1,70 @@
+//! B6 — kij execution: serial reference vs partitioned threaded executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmmm::mmm::{kij_serial, multiply_partitioned, Matrix};
+use hetmmm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_serial_kij(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kij_serial");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::random(n, &mut rng);
+        let b = Matrix::random(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(kij_serial(&a, &b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kij_partitioned");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::random(n, &mut rng);
+        let b = Matrix::random(n, &mut rng);
+        let part = CandidateType::SquareCorner
+            .construct(n, Ratio::new(10, 1, 1))
+            .unwrap()
+            .partition;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(multiply_partitioned(&a, &b, &part)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shapes_traffic(c: &mut Criterion) {
+    // Compares executor wall time across shapes at fixed n — the traffic
+    // difference is visible in the stats even when compute dominates.
+    let mut group = c.benchmark_group("kij_by_shape");
+    group.sample_size(10);
+    let n = 96;
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    for ty in [
+        CandidateType::SquareCorner,
+        CandidateType::BlockRectangle,
+        CandidateType::TraditionalRectangle,
+    ] {
+        if let Some(cand) = ty.construct(n, Ratio::new(10, 1, 1)) {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(ty.paper_name()),
+                &cand.partition,
+                |bch, part| {
+                    bch.iter(|| black_box(multiply_partitioned(&a, &b, part)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial_kij, bench_partitioned, bench_shapes_traffic);
+criterion_main!(benches);

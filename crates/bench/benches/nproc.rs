@@ -1,0 +1,53 @@
+//! B7 — the k-processor generalization: grid updates and search runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmmm_nproc::{NDfaConfig, NDfaRunner, NPartition};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_npartition_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npartition_set");
+    for k in [3usize, 4, 8] {
+        let weights: Vec<u32> = (0..k).map(|i| (k - i) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut part = NPartition::random(100, &weights, &mut rng);
+        let moves: Vec<(usize, usize, u8)> = (0..1000)
+            .map(|_| {
+                (
+                    rng.random_range(0..100),
+                    rng.random_range(0..100),
+                    rng.random_range(0..k) as u8,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                for &(i, j, p) in &moves {
+                    part.set(i, j, p);
+                }
+                black_box(part.voc())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nproc_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nproc_search_run");
+    group.sample_size(10);
+    for (label, weights) in [("k3", vec![2u32, 1, 1]), ("k4", vec![6, 3, 2, 1]), ("k5", vec![8, 4, 2, 1, 1])] {
+        let runner = NDfaRunner::new(NDfaConfig::new(40, weights));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(runner.run_seed(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_npartition_set, bench_nproc_search);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! B1 — Push operation and DFA throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmmm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_single_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_push");
+    for n in [50usize, 100, 200] {
+        let ratio = Ratio::new(2, 1, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = random_partition(n, ratio, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || start.clone(),
+                |mut part| {
+                    black_box(try_push_any_type(&mut part, Proc::R, Direction::Down));
+                    part
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_dfa_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfa_full_run");
+    group.sample_size(10);
+    for n in [30usize, 60, 100] {
+        let runner = DfaRunner::new(DfaConfig::new(n, Ratio::new(2, 1, 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(runner.run_seed(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_beautify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beautify");
+    group.sample_size(10);
+    let n = 60;
+    let ratio = Ratio::new(3, 2, 1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let start = random_partition(n, ratio, &mut rng);
+    group.bench_function("n60", |b| {
+        b.iter_batched(
+            || start.clone(),
+            |mut part| {
+                black_box(beautify(&mut part));
+                part
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_push, bench_dfa_convergence, bench_beautify);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! B5 — simulator and cost-model evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmmm::prelude::*;
+use std::hint::black_box;
+
+fn platform() -> Platform {
+    Platform::new(Ratio::new(5, 2, 1), 1e9, 8.0 / 1e9)
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model_eval");
+    let part = CandidateType::BlockRectangle
+        .construct(500, Ratio::new(5, 2, 1))
+        .unwrap()
+        .partition;
+    let plat = platform();
+    for algo in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+            b.iter(|| black_box(evaluate(a, &part, &plat)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate_scb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_scb");
+    for n in [500usize, 2000, 5000] {
+        let part = CandidateType::BlockRectangle
+            .construct(n, Ratio::new(5, 2, 1))
+            .unwrap()
+            .partition;
+        let cfg = SimConfig::new(platform(), Algorithm::Scb);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(simulate(&part, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate_pio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_pio");
+    group.sample_size(20);
+    for n in [500usize, 2000] {
+        let part = CandidateType::LRectangle
+            .construct(n, Ratio::new(5, 2, 1))
+            .unwrap()
+            .partition;
+        let cfg = SimConfig::new(platform(), Algorithm::Pio);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(simulate(&part, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_models, bench_simulate_scb, bench_simulate_pio);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! B2 — VoC accounting: incremental maintenance vs full recomputation,
+//! pairwise volumes, and the bitset local-updates sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmmm::partition::{local_updates, pairwise_volumes};
+use hetmmm::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_incremental_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voc_incremental_set");
+    for n in [100usize, 500, 1000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut part = random_partition(n, Ratio::new(2, 1, 1), &mut rng);
+        let moves: Vec<(usize, usize, Proc)> = (0..1000)
+            .map(|_| {
+                (
+                    rng.random_range(0..n),
+                    rng.random_range(0..n),
+                    Proc::ALL[rng.random_range(0..3)],
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                for &(i, j, p) in &moves {
+                    part.set(i, j, p);
+                }
+                black_box(part.voc())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_invariant_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voc_full_recompute");
+    group.sample_size(10);
+    for n in [100usize, 500] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let part = random_partition(n, Ratio::new(2, 1, 1), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| part.assert_invariants());
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairwise_volumes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_volumes");
+    for n in [100usize, 1000, 5000] {
+        let candidate = CandidateType::BlockRectangle
+            .construct(n, Ratio::new(5, 2, 1))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(pairwise_volumes(&candidate.partition)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_updates_bitset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_updates_bitset");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let part = random_partition(n, Ratio::new(3, 2, 1), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(local_updates(&part)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_updates,
+    bench_full_invariant_recompute,
+    bench_pairwise_volumes,
+    bench_local_updates_bitset
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! **E11 (ablations) — the modeling factors Section XI lists as future
+//! influences: network latency, communication/computation balance, block
+//! granularity, topology.**
+//!
+//! Three sweeps:
+//! 1. PIO block size (the paper's "k rows and columns at a time"): how
+//!    latency amortization trades against lost overlap;
+//! 2. per-message latency α: where the recommended shape flips;
+//! 3. communication weight (β relative to compute): when shape stops
+//!    mattering.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin ablation_sweeps -- [--n 120]
+//! ```
+
+use hetmmm::cost::evaluate_pio_blocked;
+use hetmmm::prelude::*;
+use hetmmm_bench::{print_row, Args};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 120usize);
+    let base_speed = 1e9;
+
+    // --- 1. PIO block-size sweep -----------------------------------
+    println!("== ablation 1: PIO block size (ratio 5:2:1, latency 10 µs/message) ==");
+    let ratio = Ratio::new(5, 2, 1);
+    let mut platform = Platform::new(ratio, base_speed, 8.0 / base_speed);
+    platform.network = platform.network.with_latency(1e-5);
+    let part = CandidateType::BlockRectangle
+        .construct(n, ratio)
+        .unwrap()
+        .partition;
+    let widths = [8, 14, 14, 14];
+    print_row(&["block", "comm (s)", "comp (s)", "total (s)"].map(String::from), &widths);
+    let mut best = (1usize, f64::MAX);
+    for block in [1usize, 2, 4, 8, 16, 32, n] {
+        let t = evaluate_pio_blocked(&part, &platform, block);
+        if t.total < best.1 {
+            best = (block, t.total);
+        }
+        print_row(
+            &[
+                block.to_string(),
+                format!("{:.6}", t.comm),
+                format!("{:.6}", t.comp),
+                format!("{:.6}", t.total),
+            ],
+            &widths,
+        );
+    }
+    println!("best block size: {} (latency amortization vs interleaving loss)\n", best.0);
+
+    // --- 2. latency sweep: does the recommended shape flip? ---------
+    println!("== ablation 2: per-message latency vs recommended shape (SCB, ratio 12:1:1) ==");
+    let ratio = Ratio::new(12, 1, 1);
+    let widths = [12, 24, 14];
+    print_row(&["alpha (s)", "recommended", "predicted (s)"].map(String::from), &widths);
+    for alpha in [0.0, 1e-6, 1e-4, 1e-2] {
+        let mut plat = Platform::new(ratio, base_speed, 8.0 / base_speed);
+        plat.network = plat.network.with_latency(alpha);
+        let rec = hetmmm::recommend(n, ratio, &plat, Algorithm::Scb);
+        print_row(
+            &[
+                format!("{alpha:.0e}"),
+                rec.candidate.ty.paper_name().to_string(),
+                format!("{:.6}", rec.predicted_total),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "(Square-Corner minimizes volume but needs only P↔R and P↔S links, \
+         so it also minimizes message count — latency does not flip it.)\n"
+    );
+
+    // --- 3. communication-weight sweep ------------------------------
+    println!("== ablation 3: comm/comp weight vs best-vs-worst spread (SCB, ratio 12:1:1) ==");
+    let widths = [12, 24, 12];
+    print_row(&["weight", "recommended", "spread (%)"].map(String::from), &widths);
+    for weight in [0.01f64, 0.1, 1.0, 10.0, 100.0] {
+        let plat = Platform::new(ratio, base_speed, weight / base_speed);
+        let rec = hetmmm::recommend(n, ratio, &plat, Algorithm::Scb);
+        let worst = rec.ranking.last().unwrap().1;
+        print_row(
+            &[
+                format!("{weight}"),
+                rec.candidate.ty.paper_name().to_string(),
+                format!("{:.1}", (worst - rec.predicted_total) / worst * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "(shape choice is a communication optimization: its payoff scales \
+         directly with the comm/comp weight.)"
+    );
+}

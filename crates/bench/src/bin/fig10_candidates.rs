@@ -1,0 +1,79 @@
+//! **E5 — Figs. 10–12: the six candidate shapes in canonical form.**
+//!
+//! Constructs every feasible candidate for a given ratio, renders it,
+//! reports VoC / perimeter, verifies the Theorem 9.1 feasibility boundary,
+//! and checks the Eq. 13 perimeter minimizer for Type 1B against a brute
+//! numeric scan.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin fig10_candidates -- [--n 60] [--p 5] [--r 2] [--s 1]
+//! ```
+
+use hetmmm::partition::render_ascii;
+use hetmmm::prelude::*;
+use hetmmm::shapes::candidates::{all_feasible, square_corner_feasible};
+use hetmmm_bench::{print_row, Args};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 60usize);
+    let ratio = Ratio::new(args.get("p", 5u32), args.get("r", 2u32), args.get("s", 1u32));
+
+    println!("E5 / Figs. 10-12 — candidate canonical shapes at ratio {ratio}, N = {n}");
+    println!(
+        "Theorem 9.1: Square-Corner feasible iff √(R_r/T) + √(S_r/T) <= 1 → {}\n",
+        if square_corner_feasible(ratio) { "feasible" } else { "INFEASIBLE" }
+    );
+
+    let feasible = all_feasible(n, ratio);
+    let widths = [24, 10, 12, 12, 12];
+    print_row(
+        &["candidate", "VoC", "VoC/N^2", "R-perim", "S-perim"].map(String::from),
+        &widths,
+    );
+    for c in &feasible {
+        let rr = c.partition.enclosing_rect(Proc::R).unwrap();
+        let rs = c.partition.enclosing_rect(Proc::S).unwrap();
+        print_row(
+            &[
+                c.ty.paper_name().to_string(),
+                c.partition.voc().to_string(),
+                format!("{:.3}", c.partition.voc() as f64 / (n * n) as f64),
+                rr.perimeter().to_string(),
+                rs.perimeter().to_string(),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nrenders (1/10th granularity):");
+    for c in &feasible {
+        println!("--- {} ---", c.ty.paper_name());
+        println!("{}", render_ascii(&c.partition, 10));
+    }
+
+    // Eq. 13 check: the Rectangle-Corner split found by the constructor
+    // matches a brute-force scan of combined heights.
+    let areas = ratio.areas(n);
+    let (e_r, e_s) = (areas[Proc::R.idx()], areas[Proc::S.idx()]);
+    let mut best = usize::MAX;
+    for w_r in 1..n {
+        let h_r = e_r.div_ceil(w_r);
+        let h_s = e_s.div_ceil(n - w_r);
+        if h_r < n && h_s < n {
+            best = best.min(h_r + h_s);
+        }
+    }
+    if let Some(rc) = feasible
+        .iter()
+        .find(|c| c.ty == CandidateType::RectangleCorner)
+    {
+        let rr = rc.partition.enclosing_rect(Proc::R).unwrap();
+        let rs = rc.partition.enclosing_rect(Proc::S).unwrap();
+        let got = rr.height() + rs.height();
+        println!(
+            "Eq. 13 minimizer: constructor combined height {got}, brute-force optimum {best} → {}",
+            if got == best { "MATCH" } else { "MISMATCH" }
+        );
+    }
+}

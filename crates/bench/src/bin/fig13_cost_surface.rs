@@ -1,0 +1,86 @@
+//! **E3 — Fig. 13: SCB cost surfaces, Square-Corner vs Block-Rectangle.**
+//!
+//! Evaluates the two normalized closed-form cost functions over the
+//! paper's axes (`R_r ∈ [1, 10]`, `P_r ∈ [1, 20]`, `S_r = 1`), marks the
+//! Theorem 9.1 feasibility wall `P_r ≥ 2√R_r`, and prints the crossover
+//! front. Full surface goes to `results/fig13_surface.csv`.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin fig13_cost_surface
+//! ```
+
+use hetmmm::cost::closed::ShapeCost;
+use hetmmm::cost::scb_comm_norm;
+use hetmmm::prelude::*;
+use hetmmm_bench::results_dir;
+use std::fmt::Write as _;
+
+fn main() {
+    println!("E3 / Fig. 13 — normalized SCB communication cost surfaces");
+    println!("(cells: SC = Square-Corner wins, br = Block-Rectangle wins, ·· = SC infeasible)\n");
+
+    let mut csv = String::from("p_r,r_r,sc_feasible,sc_cost,br_cost,winner\n");
+
+    // Header row of R_r values.
+    print!("P_r \\ R_r |");
+    for r in 1..=10u32 {
+        print!(" {r:>3}");
+    }
+    println!();
+    println!("{}", "-".repeat(11 + 4 * 10));
+
+    let mut crossovers = Vec::new();
+    for p in (1..=20u32).rev() {
+        print!("{p:>9} |");
+        for r in 1..=10u32 {
+            // The naming convention requires P_r >= R_r >= S_r; cells where
+            // R_r > P_r are relabelings of cells we already cover.
+            if r > p {
+                print!("   -");
+                continue;
+            }
+            let ratio = Ratio::new(p, r, 1);
+            let br = scb_comm_norm(ShapeCost::BlockRectangle, ratio).unwrap();
+            match scb_comm_norm(ShapeCost::SquareCorner, ratio) {
+                None => {
+                    print!("  ··");
+                    writeln!(csv, "{p},{r},false,,{br:.4},block-rectangle").unwrap();
+                }
+                Some(sc) => {
+                    let winner = if sc < br { "SC" } else { "br" };
+                    print!("  {winner}");
+                    writeln!(
+                        csv,
+                        "{p},{r},true,{sc:.4},{br:.4},{}",
+                        if sc < br { "square-corner" } else { "block-rectangle" }
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        println!();
+    }
+
+    // Crossover front along R_r = S_r = 1 (the Fig. 14 axis).
+    for p in 2..=20u32 {
+        let ratio = Ratio::new(p, 1, 1);
+        if let (Some(sc), Some(br)) = (
+            scb_comm_norm(ShapeCost::SquareCorner, ratio),
+            scb_comm_norm(ShapeCost::BlockRectangle, ratio),
+        ) {
+            if sc < br {
+                crossovers.push(p);
+            }
+        }
+    }
+    let first = crossovers.first().copied();
+    println!(
+        "\nalong R_r = 1: Square-Corner first wins at P_r = {} \
+         (paper: 'for highly heterogeneous ratios the Square-Corner has lower cost')",
+        first.map_or("never".to_string(), |p| p.to_string())
+    );
+
+    let path = results_dir().join("fig13_surface.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("full surface written to {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! **E4 — Fig. 14: communication time vs heterogeneity.**
+//!
+//! The paper's experimental validation: SCB algorithm, fully connected
+//! topology, N = 5000, 1000 MB/s network, `R_r = S_r = 1`, sweeping the
+//! fast processor's speed `P_r`. The paper measured three CPU-throttled
+//! Open-MPI nodes; we run the message-level simulator on the same Hockney
+//! parameters (DESIGN.md §2 documents the substitution). Expected shape:
+//! Block-Rectangle flat-ish, Square-Corner falling with heterogeneity and
+//! overtaking it at high ratios.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin fig14_comm_time -- [--n 5000]
+//! ```
+
+use hetmmm::prelude::*;
+use hetmmm_bench::{print_row, results_dir, Args};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 5000usize);
+
+    // Fig. 14 setup: 1000 MB/s, 8-byte elements.
+    let network = HockneyModel::from_bandwidth(1000e6, 8.0);
+
+    println!("E4 / Fig. 14 — SCB communication time, fully connected, N = {n}, 1000 MB/s");
+    println!("ratios P:1:1 as in the paper (R_r = S_r)\n");
+
+    let widths = [8, 16, 16, 12];
+    print_row(
+        &["P_r", "SquareCorner(s)", "BlockRect(s)", "winner"].map(String::from),
+        &widths,
+    );
+
+    let mut csv = String::from("p_r,square_corner_s,block_rectangle_s\n");
+    let mut crossover = None;
+    let mut prev_sc_wins = false;
+    for p in [1u32, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25] {
+        let ratio = Ratio::new(p.max(1), 1, 1);
+        let platform = Platform {
+            ratio,
+            base_speed: 1e9,
+            network,
+            topology: Topology::FullyConnected,
+        };
+        let br = CandidateType::BlockRectangle
+            .construct(n, ratio)
+            .expect("block-rectangle always feasible")
+            .partition;
+        let br_time = simulate(&br, &SimConfig::new(platform, Algorithm::Scb)).comm_time;
+
+        let sc_time = CandidateType::SquareCorner
+            .construct(n, ratio)
+            .map(|c| simulate(&c.partition, &SimConfig::new(platform, Algorithm::Scb)).comm_time);
+
+        let (sc_cell, winner) = match sc_time {
+            None => ("infeasible".to_string(), "block-rect"),
+            Some(t) if t < br_time => (format!("{t:.4}"), "SQ-CORNER"),
+            Some(t) => (format!("{t:.4}"), "block-rect"),
+        };
+        if let Some(t) = sc_time {
+            let sc_wins = t < br_time;
+            if sc_wins && !prev_sc_wins {
+                crossover = Some(p);
+            }
+            prev_sc_wins = sc_wins;
+            writeln!(csv, "{p},{t:.6},{br_time:.6}").unwrap();
+        } else {
+            writeln!(csv, "{p},,{br_time:.6}").unwrap();
+        }
+        print_row(
+            &[
+                p.to_string(),
+                sc_cell,
+                format!("{br_time:.4}"),
+                winner.to_string(),
+            ],
+            &widths,
+        );
+    }
+
+    println!(
+        "\nSquare-Corner overtakes Block-Rectangle at P_r ≈ {} \
+         (paper: 'as heterogeneity increases ... eventually overtaking')",
+        crossover.map_or("-".to_string(), |p| p.to_string())
+    );
+    let path = results_dir().join("fig14_comm_time.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! **E10 (extension) — the full candidate analysis the paper defers.**
+//!
+//! Section X: "Of the six potentially optimal partition shapes, at least
+//! one will be the optimum for a given set of factors. ... This full
+//! analysis is beyond the scope of this paper." This binary performs that
+//! analysis with the implemented models: for every ratio in a `(P_r, R_r)`
+//! grid (with `S_r = 1`), every algorithm, and both topologies, it finds
+//! the candidate with the lowest predicted execution time.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin table_optimal_shapes -- \
+//!     [--n 120] [--comm 50] [--pmax 20] [--rmax 6]
+//! ```
+
+use hetmmm::prelude::*;
+use hetmmm_bench::{results_dir, Args};
+use std::fmt::Write as _;
+
+fn code(ty: CandidateType) -> &'static str {
+    match ty {
+        CandidateType::SquareCorner => "SC",
+        CandidateType::RectangleCorner => "RC",
+        CandidateType::SquareRectangle => "SR",
+        CandidateType::BlockRectangle => "BR",
+        CandidateType::LRectangle => "LR",
+        CandidateType::TraditionalRectangle => "TR",
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 120usize);
+    let comm = args.get("comm", 50.0f64);
+    let pmax = args.get("pmax", 20u32);
+    let rmax = args.get("rmax", 6u32);
+    let base_speed = 1e9;
+
+    println!(
+        "E10 — optimal candidate per (P_r, R_r, S_r=1), N = {n}, \
+         comm/comp weight {comm}\n"
+    );
+    println!(
+        "legend: SC Square-Corner, RC Rectangle-Corner, SR Square-Rectangle, \
+         BR Block-Rectangle, LR L-Rectangle, TR Traditional-Rectangle\n"
+    );
+
+    let mut csv = String::from("topology,algorithm,p_r,r_r,winner,predicted_s\n");
+    for star in [false, true] {
+        let topo_name = if star { "star (hub = P)" } else { "fully connected" };
+        for algo in Algorithm::ALL {
+            println!("--- {algo} on {topo_name} ---");
+            print!("P_r \\ R_r |");
+            for r in 1..=rmax {
+                print!(" {r:>3}");
+            }
+            println!();
+            for p in (1..=pmax).rev() {
+                print!("{p:>9} |");
+                for r in 1..=rmax {
+                    if r > p {
+                        print!("   -");
+                        continue;
+                    }
+                    let ratio = Ratio::new(p, r, 1);
+                    let mut platform = Platform::new(ratio, base_speed, comm / base_speed);
+                    if star {
+                        platform = platform.with_star(Proc::P);
+                    }
+                    let rec = hetmmm::recommend(n, ratio, &platform, algo);
+                    print!("  {}", code(rec.candidate.ty));
+                    writeln!(
+                        csv,
+                        "{},{},{p},{r},{},{:.6}",
+                        if star { "star" } else { "full" },
+                        algo.name(),
+                        code(rec.candidate.ty),
+                        rec.predicted_total
+                    )
+                    .unwrap();
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+
+    let path = results_dir().join("optimal_shape_map.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("full map written to {}", path.display());
+}

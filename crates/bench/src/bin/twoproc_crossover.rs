@@ -1,0 +1,60 @@
+//! **E7 — two-processor baseline: the prior-work crossover.**
+//!
+//! Sweeps the fast:1 speed ratio for the two-processor substrate and
+//! reports, per algorithm, whether the Square-Corner beats the
+//! Straight-Line — reproducing the motivation of Section I: Square-Corner
+//! optimal above 3:1 under SCB (and under the Eq. 6 parallel models the
+//! accounting caveat documented in `hetmmm-twoproc`).
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin twoproc_crossover -- [--n 240] [--max 15]
+//! ```
+
+use hetmmm::prelude::*;
+use hetmmm::twoproc::{crossover_ratio, sc_vs_sl};
+use hetmmm_bench::{print_row, Args};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 240usize);
+    let max_ratio = args.get("max", 15u32);
+    let comm = args.get("comm", 50.0f64);
+
+    println!("E7 — two-processor Square-Corner vs Straight-Line (N = {n}, comm weight {comm})\n");
+
+    let algos = Algorithm::ALL;
+    let mut widths = vec![8usize];
+    widths.extend(std::iter::repeat_n(12, algos.len()));
+    let mut header = vec!["ratio".to_string()];
+    header.extend(algos.iter().map(|a| a.name().to_string()));
+    print_row(&header, &widths);
+
+    for fast in 2..=max_ratio {
+        let mut cells = vec![format!("{fast}:1")];
+        for algo in algos {
+            let c = sc_vs_sl(algo, n, fast, comm);
+            let rel = (c.sl_total - c.sc_total) / c.sl_total * 100.0;
+            cells.push(if c.sc_wins() {
+                format!("SC +{rel:.1}%")
+            } else {
+                format!("SL {:.1}%", -rel)
+            });
+        }
+        print_row(&cells, &widths);
+    }
+
+    println!();
+    for algo in algos {
+        match crossover_ratio(algo, n, max_ratio, comm) {
+            Some(c) => println!("{algo}: Square-Corner first wins at {c}:1"),
+            None => println!(
+                "{algo}: Square-Corner never wins up to {max_ratio}:1 \
+                 (Eq. 6 broadcast accounting — see hetmmm-twoproc docs)"
+            ),
+        }
+    }
+    println!(
+        "\nprior work [8]: SC optimal above 3:1 for barrier/interleaved \
+         algorithms, always optimal with bulk overlap."
+    );
+}

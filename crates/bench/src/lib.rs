@@ -1,0 +1,98 @@
+//! Shared plumbing for the experiment binaries: minimal CLI parsing and
+//! table/CSV emission.
+//!
+//! Every figure and table of the paper's evaluation has a regenerating
+//! binary in `src/bin/` (see DESIGN.md's experiment index); Criterion
+//! micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Tiny `--key value` argument parser (all experiment binaries share the
+/// same conventions; no external CLI dependency needed).
+#[derive(Debug, Clone)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit iterator (testable).
+    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
+        let mut flags = HashMap::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                flags.insert(key.to_string(), value);
+            }
+        }
+        Args { flags }
+    }
+
+    /// Fetch a value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Fetch an optional string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+}
+
+/// Directory where experiment binaries drop CSV/PGM artifacts
+/// (`results/` at the workspace root; created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HETMMM_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Print a row of fixed-width columns.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_key_values() {
+        let args = Args::from_iter(
+            ["--n", "100", "--runs", "50", "--verbose"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get("n", 0usize), 100);
+        assert_eq!(args.get("runs", 0u64), 50);
+        assert_eq!(args.get_str("verbose"), Some("true"));
+        assert_eq!(args.get("missing", 7i32), 7);
+    }
+
+    #[test]
+    fn args_bad_value_falls_back() {
+        let args = Args::from_iter(["--n", "abc"].iter().map(|s| s.to_string()));
+        assert_eq!(args.get("n", 42usize), 42);
+    }
+}

@@ -1,0 +1,18 @@
+//! One-stop imports for the common types.
+
+pub use hetmmm_cost::{evaluate, evaluate_all, AlgoTime, Algorithm, HockneyModel, Platform, Topology};
+pub use hetmmm_mmm::{kij_serial, multiply_partitioned, Matrix};
+pub use hetmmm_partition::{
+    random_partition, CommMetrics, Partition, PartitionBuilder, Proc, Ratio, Rect,
+};
+pub use hetmmm_push::{
+    beautify, is_condensed, try_push, try_push_any_type, DfaConfig, DfaOutcome, DfaRunner,
+    Direction, PushPlan, PushType,
+};
+pub use hetmmm_shapes::{
+    classify, classify_coarse, reduce_to_archetype_a, Archetype, Candidate, CandidateType,
+};
+pub use hetmmm_sim::{simulate, simulate_all, SimConfig, SimResult};
+pub use hetmmm_twoproc::TwoProcShape;
+
+pub use crate::{census, recommend, CensusConfig, CensusReport, Recommendation};

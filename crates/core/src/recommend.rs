@@ -1,0 +1,99 @@
+//! The downstream-user API: pick the best candidate shape for a platform.
+//!
+//! The paper's end product is the insight that only six canonical shapes
+//! can be optimal; a user with a concrete platform wants the *one* of them
+//! to deploy. [`recommend`] constructs every feasible candidate, evaluates
+//! the requested algorithm's performance model, and returns the winner with
+//! the full ranking.
+
+use hetmmm_cost::{evaluate, Algorithm, Platform};
+use hetmmm_partition::Ratio;
+use hetmmm_shapes::{candidates, Candidate, CandidateType};
+
+/// Result of [`recommend`].
+#[derive(Debug)]
+pub struct Recommendation {
+    /// The winning candidate (lowest predicted total execution time).
+    pub candidate: Candidate,
+    /// Predicted execution time of the winner, in seconds.
+    pub predicted_total: f64,
+    /// Every feasible candidate with its predicted total, best first.
+    pub ranking: Vec<(CandidateType, f64)>,
+}
+
+/// Construct all feasible candidate shapes for `(n, ratio)` and rank them
+/// under `algo` on `platform`.
+///
+/// Panics if no candidate is feasible (cannot happen for `n ≥ 4` and valid
+/// ratios: the Traditional-Rectangle always exists).
+pub fn recommend(
+    n: usize,
+    ratio: Ratio,
+    platform: &Platform,
+    algo: Algorithm,
+) -> Recommendation {
+    let mut scored: Vec<(Candidate, f64)> = candidates::all_feasible(n, ratio)
+        .into_iter()
+        .map(|c| {
+            let t = evaluate(algo, &c.partition, platform).total;
+            (c, t)
+        })
+        .collect();
+    assert!(!scored.is_empty(), "no feasible candidate shape for n={n}, ratio={ratio}");
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+    let ranking = scored.iter().map(|(c, t)| (c.ty, *t)).collect();
+    let (candidate, predicted_total) = scored.swap_remove(0);
+    Recommendation { candidate, predicted_total, ranking }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plat(ratio: Ratio, comm_heavy: bool) -> Platform {
+        let t_send = if comm_heavy { 50.0 / 1e9 } else { 0.01 / 1e9 };
+        Platform::new(ratio, 1e9, t_send)
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let ratio = Ratio::new(5, 2, 1);
+        let rec = recommend(60, ratio, &plat(ratio, true), Algorithm::Scb);
+        assert!(rec.ranking.len() >= 4);
+        for pair in rec.ranking.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(rec.ranking[0].0, rec.candidate.ty);
+        assert_eq!(rec.ranking[0].1, rec.predicted_total);
+    }
+
+    #[test]
+    fn high_heterogeneity_prefers_square_corner_under_scb() {
+        // Fig. 13/14: at strongly heterogeneous ratios the Square-Corner
+        // wins the communication-bound SCB comparison.
+        let ratio = Ratio::new(25, 1, 1);
+        let rec = recommend(120, ratio, &plat(ratio, true), Algorithm::Scb);
+        assert_eq!(rec.candidate.ty, CandidateType::SquareCorner);
+    }
+
+    #[test]
+    fn low_heterogeneity_rejects_square_corner() {
+        // 2:2:1 cannot even form a Square-Corner (Theorem 9.1).
+        let ratio = Ratio::new(2, 2, 1);
+        let rec = recommend(120, ratio, &plat(ratio, true), Algorithm::Scb);
+        assert_ne!(rec.candidate.ty, CandidateType::SquareCorner);
+        assert!(rec
+            .ranking
+            .iter()
+            .all(|(ty, _)| *ty != CandidateType::SquareCorner));
+    }
+
+    #[test]
+    fn compute_bound_platform_is_shape_insensitive() {
+        let ratio = Ratio::new(5, 2, 1);
+        let rec = recommend(60, ratio, &plat(ratio, false), Algorithm::Scb);
+        let best = rec.ranking.first().unwrap().1;
+        let worst = rec.ranking.last().unwrap().1;
+        assert!((worst - best) / best < 0.05, "shapes should be near-tied");
+    }
+}

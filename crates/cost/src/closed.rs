@@ -1,0 +1,280 @@
+//! Normalized closed-form costs (Section X-A, Fig. 13).
+//!
+//! With the matrix normalized to `N = 1` and `T = P_r + R_r + S_r`
+//! (Eq. 12), the SCB communication costs of the two headline shapes are:
+//!
+//! - **Square-Corner**: `2 (R_width + S_width) = 2 (√(R_r/T) + √(S_r/T))` —
+//!   each corner square of side `√(X_r/T)` communicates along its two
+//!   exposed dimensions;
+//! - **Block-Rectangle**: `R_length + 1 = (R_r + S_r)/T + 1` — every matrix
+//!   column plus every strip row is shared.
+//!
+//! Multiplying by `N²·T_send` recovers absolute communication seconds. The
+//! Fig. 13 surface plots these two functions over `R_r ∈ [1, 10]`,
+//! `P_r ∈ [1, 20]` with the feasibility wall `P_r = 2√R_r` (Theorem 9.1
+//! with `S_r = 1`).
+
+use hetmmm_partition::Ratio;
+use serde::{Deserialize, Serialize};
+
+/// Normalized SCB communication cost of each canonical shape the Section X
+/// analysis compares (fraction of `N²` elements crossing the network).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ShapeCost {
+    /// Square-Corner: `2(√(R_r/T) + √(S_r/T))`.
+    SquareCorner,
+    /// Block-Rectangle: `(R_r + S_r)/T + 1`.
+    BlockRectangle,
+}
+
+/// Normalized SCB communication volume (fraction of `N²`) of a shape.
+///
+/// Returns `None` for the Square-Corner when Theorem 9.1 makes it
+/// infeasible (`√(R_r/T) + √(S_r/T) > 1`).
+pub fn scb_comm_norm(shape: ShapeCost, ratio: Ratio) -> Option<f64> {
+    let t = f64::from(ratio.total());
+    let r = f64::from(ratio.r) / t;
+    let s = f64::from(ratio.s) / t;
+    match shape {
+        ShapeCost::SquareCorner => {
+            let width_sum = r.sqrt() + s.sqrt();
+            if width_sum > 1.0 {
+                None
+            } else {
+                Some(2.0 * width_sum)
+            }
+        }
+        ShapeCost::BlockRectangle => Some(r + s + 1.0),
+    }
+}
+
+/// Does the Square-Corner partition beat the Block-Rectangle under SCB on a
+/// fully connected network at this ratio? (`None` when Square-Corner is
+/// infeasible.)
+pub fn sc_beats_br(ratio: Ratio) -> Option<bool> {
+    let sc = scb_comm_norm(ShapeCost::SquareCorner, ratio)?;
+    let br = scb_comm_norm(ShapeCost::BlockRectangle, ratio)
+        .expect("block-rectangle is always feasible");
+    Some(sc < br)
+}
+
+
+/// Normalized SCB communication volume for *any* of the six candidates
+/// (extending the Section X-A analysis beyond the two shapes the paper
+/// works out). Eq. 1 weights each line by `c − 1` (distinct owners minus
+/// one); with the matrix normalized to 1 and `a = R_r/T`, `b = S_r/T`:
+///
+/// | shape | row units | col units | VoC/N² |
+/// |-------|-----------|-----------|--------|
+/// | Square-Corner | `√a + √b` | `√a + √b` | `2(√a + √b)` |
+/// | Rectangle-Corner | `max(a/x*, b/(1−x*))` | `1` | `1 + max(h_r, h_s)` |
+/// | Square-Rectangle | `1 + √b` (S rows host R, S and P) | `√b` | `1 + 2√b` |
+/// | Block-Rectangle | `a + b` (strip rows host R and S) | `1` | `1 + a + b` |
+/// | L-Rectangle | `1` (every row hosts two owners) | `1 − a` | `2 − a` |
+/// | Traditional-Rectangle | `1` | `a + b` | `1 + a + b` |
+///
+/// Each formula is cross-validated against the grid constructors at
+/// N = 400 in the tests (agreement to O(1/N)).
+pub fn scb_comm_norm_candidate(ty: CandidateKind, ratio: Ratio) -> Option<f64> {
+    let t = f64::from(ratio.total());
+    let a = f64::from(ratio.r) / t;
+    let b = f64::from(ratio.s) / t;
+    match ty {
+        CandidateKind::SquareCorner => {
+            let w = a.sqrt() + b.sqrt();
+            if w > 1.0 {
+                None
+            } else {
+                Some(2.0 * w)
+            }
+        }
+        CandidateKind::RectangleCorner => {
+            // Corner rectangles of combined width 1 at the Eq. 13 optimum:
+            // every column shared (R|S below, P above) -> 1; shared rows =
+            // max(h_r, h_s) rows host two+ processors... with both
+            // rectangles bottom-anchored, rows up to max height are
+            // shared: rows [0, min) host R,S,P; rows [min, max) host one
+            // rect + P.
+            let x = a.sqrt() / (a.sqrt() + b.sqrt());
+            let x = x.clamp(a + 1e-9, 1.0 - b - 1e-9);
+            let h_r = a / x;
+            let h_s = b / (1.0 - x);
+            Some(1.0 + h_r.max(h_s))
+        }
+        CandidateKind::SquareRectangle => {
+            // R full-height band of width a: its columns host only R, but
+            // every row hosts R and P (+1 each), and the √b rows of the S
+            // square host R, S and P (c = 3, +2): rows = 1 + √b. The S
+            // square adds √b shared columns.
+            Some(1.0 + 2.0 * b.sqrt())
+        }
+        CandidateKind::BlockRectangle => Some(a + b + 1.0),
+        CandidateKind::LRectangle => {
+            // R full-height band (width a, clean columns); every row hosts
+            // exactly two owners (R+P above the strip, R+S inside it):
+            // rows = 1. The strip's columns host S and P: cols = 1 − a.
+            Some(2.0 - a)
+        }
+        CandidateKind::TraditionalRectangle => Some(1.0 + a + b),
+    }
+}
+
+/// The six candidate kinds, mirrored here so the cost crate's closed
+/// forms do not depend on grid constructors (the shapes crate's
+/// `CandidateType` maps 1:1; cross-validated in tests).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CandidateKind {
+    /// Type 1A.
+    SquareCorner,
+    /// Type 1B.
+    RectangleCorner,
+    /// Type 3.
+    SquareRectangle,
+    /// Type 4.
+    BlockRectangle,
+    /// Type 5.
+    LRectangle,
+    /// Type 6.
+    TraditionalRectangle,
+}
+
+impl CandidateKind {
+    /// All six kinds.
+    pub const ALL: [CandidateKind; 6] = [
+        CandidateKind::SquareCorner,
+        CandidateKind::RectangleCorner,
+        CandidateKind::SquareRectangle,
+        CandidateKind::BlockRectangle,
+        CandidateKind::LRectangle,
+        CandidateKind::TraditionalRectangle,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_corner_infeasible_at_low_heterogeneity() {
+        // 2:2:1 → √(2/5) + √(1/5) ≈ 1.08 > 1.
+        assert_eq!(
+            scb_comm_norm(ShapeCost::SquareCorner, Ratio::new(2, 2, 1)),
+            None
+        );
+    }
+
+    #[test]
+    fn block_rectangle_always_feasible() {
+        for ratio in Ratio::paper_ratios() {
+            let br = scb_comm_norm(ShapeCost::BlockRectangle, ratio).unwrap();
+            assert!(br > 1.0 && br < 2.0);
+        }
+    }
+
+    #[test]
+    fn square_corner_wins_at_high_heterogeneity() {
+        // 10:1:1 → SC = 2·2·√(1/12) ≈ 1.155, BR = 2/12 + 1 ≈ 1.167.
+        assert_eq!(sc_beats_br(Ratio::new(10, 1, 1)), Some(true));
+        // Far out the trend only strengthens.
+        assert_eq!(sc_beats_br(Ratio::new(50, 1, 1)), Some(true));
+    }
+
+    #[test]
+    fn block_rectangle_wins_near_homogeneity() {
+        // 3:1:1 → SC = 4√(1/5) ≈ 1.789, BR = 1.4.
+        assert_eq!(sc_beats_br(Ratio::new(3, 1, 1)), Some(false));
+    }
+
+    #[test]
+    fn crossover_exists_along_p_axis() {
+        // With R_r = S_r = 1, sweep P_r: BR must win early, SC late.
+        let mut saw_br_win = false;
+        let mut saw_sc_win = false;
+        let mut crossover = None;
+        let mut prev_sc_wins = None;
+        for p in 2..=60u32 {
+            if let Some(sc_wins) = sc_beats_br(Ratio::new(p, 1, 1)) {
+                if sc_wins {
+                    saw_sc_win = true;
+                } else {
+                    saw_br_win = true;
+                }
+                if prev_sc_wins == Some(false) && sc_wins {
+                    crossover = Some(p);
+                }
+                prev_sc_wins = Some(sc_wins);
+            }
+        }
+        assert!(saw_br_win && saw_sc_win, "both regimes must appear");
+        let crossover = crossover.expect("a crossover P_r must exist");
+        // SC = 4√(1/T), BR = 2/T + 1 with T = P+2; equality near T ≈ 12.6.
+        assert!(
+            (9..=13).contains(&crossover),
+            "crossover at unexpected P_r = {crossover}"
+        );
+    }
+
+    #[test]
+    fn normalized_cost_matches_grid_voc() {
+        // The closed forms should agree with grid-measured VoC of the
+        // constructed candidates to O(1/N).
+        use hetmmm_shapes::CandidateType;
+        let n = 200;
+        for &(p, r, s) in &[(10u32, 1u32, 1u32), (5, 1, 1), (20, 3, 1)] {
+            let ratio = Ratio::new(p, r, s);
+            if let Some(c) = CandidateType::SquareCorner.construct(n, ratio) {
+                let grid = c.partition.voc() as f64 / (n * n) as f64;
+                let closed = scb_comm_norm(ShapeCost::SquareCorner, ratio).unwrap();
+                assert!(
+                    (grid - closed).abs() < 0.06,
+                    "SC ratio {ratio}: grid {grid} vs closed {closed}"
+                );
+            }
+            let c = CandidateType::BlockRectangle.construct(n, ratio).unwrap();
+            let grid = c.partition.voc() as f64 / (n * n) as f64;
+            let closed = scb_comm_norm(ShapeCost::BlockRectangle, ratio).unwrap();
+            assert!(
+                (grid - closed).abs() < 0.06,
+                "BR ratio {ratio}: grid {grid} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_candidate_closed_forms_match_grid_voc() {
+        use hetmmm_shapes::CandidateType;
+        let n = 400;
+        let map = [
+            (CandidateKind::SquareCorner, CandidateType::SquareCorner),
+            (CandidateKind::RectangleCorner, CandidateType::RectangleCorner),
+            (CandidateKind::SquareRectangle, CandidateType::SquareRectangle),
+            (CandidateKind::BlockRectangle, CandidateType::BlockRectangle),
+            (CandidateKind::LRectangle, CandidateType::LRectangle),
+            (CandidateKind::TraditionalRectangle, CandidateType::TraditionalRectangle),
+        ];
+        for &(p, r, s) in &[(10u32, 1u32, 1u32), (5, 2, 1), (20, 3, 1), (3, 2, 1)] {
+            let ratio = Ratio::new(p, r, s);
+            for (kind, ty) in map {
+                let Some(closed) = scb_comm_norm_candidate(kind, ratio) else {
+                    continue;
+                };
+                let Some(c) = ty.construct(n, ratio) else { continue };
+                let grid = c.partition.voc() as f64 / (n * n) as f64;
+                assert!(
+                    (grid - closed).abs() < 0.05,
+                    "{kind:?} at {ratio}: grid {grid:.4} vs closed {closed:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_closed_forms_are_consistent_with_pairwise() {
+        // Block-Rectangle and Traditional-Rectangle have identical closed
+        // forms (both are 1 + a + b) — the grid should agree to O(1/N).
+        let ratio = Ratio::new(5, 2, 1);
+        let br = scb_comm_norm_candidate(CandidateKind::BlockRectangle, ratio).unwrap();
+        let tr = scb_comm_norm_candidate(CandidateKind::TraditionalRectangle, ratio).unwrap();
+        assert!((br - tr).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,479 @@
+//! Execution-time models of the five parallel MMM algorithms (Eqs. 2–9).
+//!
+//! Each model decomposes the total execution time into communication,
+//! overlapped computation, and (remaining) computation, following Section
+//! IV-B. The Push legality argument rests on these models: every one of
+//! them is monotone non-decreasing in the communication quantities the Push
+//! operation reduces, so decreasing VoC can never hurt — the property the
+//! integration tests verify empirically.
+//!
+//! Faithfulness notes:
+//! - PCB's per-processor send time `d_X` uses the paper's Eq. 6 formula
+//!   (`N·i_X + N·j_X − ∈X`) under the fully connected topology; under the
+//!   star topology (Section X) it uses the exact pairwise volumes routed
+//!   through the hub, since Eq. 6 does not model relaying.
+//! - The bulk-overlap terms `o_X`/`c_X` (Eqs. 7–8) are expressed in scalar
+//!   updates: `o_X` counts updates whose three operands are all local.
+
+use crate::platform::{Platform, Topology};
+use hetmmm_partition::{pairwise_volumes, CommMetrics, Partition, Proc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five parallel MMM algorithms of Section II.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Serial Communication with Barrier (Eqs. 2–3).
+    Scb,
+    /// Parallel Communication with Barrier (Eqs. 4–6).
+    Pcb,
+    /// Serial Communication with Bulk Overlap (Eq. 7).
+    Sco,
+    /// Parallel Communication with Bulk Overlap (Eq. 8).
+    Pco,
+    /// Parallel Interleaving Overlap (Eq. 9).
+    Pio,
+}
+
+impl Algorithm {
+    /// All five algorithms.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Scb,
+        Algorithm::Pcb,
+        Algorithm::Sco,
+        Algorithm::Pco,
+        Algorithm::Pio,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Scb => "SCB",
+            Algorithm::Pcb => "PCB",
+            Algorithm::Sco => "SCO",
+            Algorithm::Pco => "PCO",
+            Algorithm::Pio => "PIO",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Execution-time breakdown, all in seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlgoTime {
+    /// Communication-phase time (serial sum or parallel max, per algorithm).
+    pub comm: f64,
+    /// Bulk-overlapped computation time (`max o_X`; 0 for barrier
+    /// algorithms).
+    pub overlap: f64,
+    /// Computation time after communication completes (`max c_X`, or the
+    /// full `max comp_X` for barrier algorithms).
+    pub comp: f64,
+    /// Total execution time per the algorithm's composition rule.
+    pub total: f64,
+}
+
+/// Total elements crossing the network (hop-weighted), plus the number of
+/// distinct directed messages — inputs to the serial-communication models.
+fn traffic(part: &Partition, topology: Topology) -> (u64, u64) {
+    let vol = pairwise_volumes(part);
+    let mut elems = 0u64;
+    let mut messages = 0u64;
+    for x in Proc::ALL {
+        for y in Proc::ALL {
+            if x == y || vol[x.idx()][y.idx()] == 0 {
+                continue;
+            }
+            let hops = u64::from(topology.hops(x, y));
+            elems += vol[x.idx()][y.idx()] * hops;
+            messages += hops;
+        }
+    }
+    (elems, messages)
+}
+
+/// Per-processor outgoing volume under the parallel-communication models.
+fn out_volumes(part: &Partition, topology: Topology) -> [u64; 3] {
+    let vol = pairwise_volumes(part);
+    let mut out = [0u64; 3];
+    match topology {
+        Topology::FullyConnected => {
+            for x in Proc::ALL {
+                for y in Proc::ALL {
+                    if x != y {
+                        out[x.idx()] += vol[x.idx()][y.idx()];
+                    }
+                }
+            }
+        }
+        Topology::Star { center } => {
+            for x in Proc::ALL {
+                for y in Proc::ALL {
+                    if x != y {
+                        out[x.idx()] += vol[x.idx()][y.idx()];
+                        // Rim-to-rim traffic is re-sent by the hub.
+                        if x != center && y != center {
+                            out[center.idx()] += vol[x.idx()][y.idx()];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// PCB send time per processor: the paper's Eq. 6 under a fully connected
+/// network, exact routed volumes under a star.
+fn d_times(part: &Partition, metrics: &CommMetrics, plat: &Platform) -> [f64; 3] {
+    match plat.topology {
+        Topology::FullyConnected => {
+            // Eq. 6 presumes the data is needed by someone; a processor with
+            // no actual outgoing traffic (degenerate partitions) sends
+            // nothing.
+            let out = out_volumes(part, plat.topology);
+            Proc::ALL.map(|x| {
+                if out[x.idx()] == 0 {
+                    return 0.0;
+                }
+                let elems = metrics.proc(x).send_elems(metrics.n);
+                plat.network.message_time(elems)
+            })
+        }
+        Topology::Star { .. } => {
+            let out = out_volumes(part, plat.topology);
+            Proc::ALL.map(|x| {
+                let elems = out[x.idx()];
+                if elems == 0 {
+                    0.0
+                } else {
+                    plat.network.message_time(elems)
+                }
+            })
+        }
+    }
+}
+
+fn max3(values: [f64; 3]) -> f64 {
+    values.into_iter().fold(0.0f64, f64::max)
+}
+
+/// Full-kij computation time per processor: `N · ∈X` updates.
+fn comp_times(metrics: &CommMetrics, plat: &Platform) -> [f64; 3] {
+    Proc::ALL.map(|x| plat.compute_time(x, metrics.n as u64 * metrics.proc(x).elems as u64))
+}
+
+/// Evaluate one algorithm's execution time for a partition on a platform.
+///
+/// ```
+/// use hetmmm_cost::{evaluate, Algorithm, Platform};
+/// use hetmmm_partition::{Partition, Proc, Ratio};
+///
+/// // Three equal strips on a 2:1:1 platform.
+/// let part = Partition::from_fn(9, |i, _| {
+///     if i < 3 { Proc::P } else if i < 6 { Proc::R } else { Proc::S }
+/// });
+/// let platform = Platform::new(Ratio::new(2, 1, 1), 1e9, 1e-9);
+/// let t = evaluate(Algorithm::Scb, &part, &platform);
+/// assert!(t.comm > 0.0 && t.total == t.comm + t.comp);
+/// ```
+pub fn evaluate(algo: Algorithm, part: &Partition, plat: &Platform) -> AlgoTime {
+    match algo {
+        Algorithm::Scb => {
+            let metrics = CommMetrics::from_partition_comm_only(part);
+            let (elems, messages) = traffic(part, plat.topology);
+            let comm = plat.network.beta * elems as f64 + plat.network.alpha * messages as f64;
+            let comp = max3(comp_times(&metrics, plat));
+            AlgoTime { comm, overlap: 0.0, comp, total: comm + comp }
+        }
+        Algorithm::Pcb => {
+            let metrics = CommMetrics::from_partition_comm_only(part);
+            let comm = max3(d_times(part, &metrics, plat));
+            let comp = max3(comp_times(&metrics, plat));
+            AlgoTime { comm, overlap: 0.0, comp, total: comm + comp }
+        }
+        Algorithm::Sco | Algorithm::Pco => {
+            let metrics = CommMetrics::from_partition(part);
+            let comm = if algo == Algorithm::Sco {
+                let (elems, messages) = traffic(part, plat.topology);
+                plat.network.beta * elems as f64 + plat.network.alpha * messages as f64
+            } else {
+                max3(d_times(part, &metrics, plat))
+            };
+            let overlap = max3(
+                Proc::ALL.map(|x| plat.compute_time(x, metrics.proc(x).local_updates)),
+            );
+            let comp = max3(Proc::ALL.map(|x| {
+                plat.compute_time(x, metrics.proc(x).remote_updates(metrics.n))
+            }));
+            AlgoTime { comm, overlap, comp, total: comm.max(overlap) + comp }
+        }
+        Algorithm::Pio => {
+            let metrics = CommMetrics::from_partition_comm_only(part);
+            let n = part.n();
+            // Per-step computation: each pivot step applies one update to
+            // every owned element.
+            let kcomp = max3(Proc::ALL.map(|x| {
+                plat.compute_time(x, metrics.proc(x).elems as u64)
+            }));
+            let step_comm = |k: usize| -> f64 {
+                let units =
+                    u64::from(part.procs_in_row(k) - 1) + u64::from(part.procs_in_col(k) - 1);
+                if units == 0 {
+                    0.0
+                } else {
+                    plat.network.alpha + plat.network.beta * (n as u64 * units) as f64
+                }
+            };
+            let mut total = step_comm(0); // pipeline fill: send step 0
+            let mut comm_sum = step_comm(0);
+            for k in 1..n {
+                let c = step_comm(k);
+                comm_sum += c;
+                total += c.max(kcomp);
+            }
+            total += kcomp; // pipeline drain: compute the final step
+            AlgoTime { comm: comm_sum, overlap: 0.0, comp: kcomp * n as f64, total }
+        }
+    }
+}
+
+
+/// PIO with block interleaving: the paper's "(or k rows and columns) at a
+/// time" variant of Eq. 9. Pivot steps are grouped `block` at a time: each
+/// super-step sends the fragments of `block` consecutive pivot lines (one
+/// message per sender per super-step, so per-message latency is amortized)
+/// while the previous super-step's computation runs.
+///
+/// `block = 1` is exactly [`Algorithm::Pio`].
+pub fn evaluate_pio_blocked(part: &Partition, plat: &Platform, block: usize) -> AlgoTime {
+    assert!(block >= 1, "block size must be at least 1");
+    let metrics = CommMetrics::from_partition_comm_only(part);
+    let n = part.n();
+    // Per-super-step computation: `block` updates per owned element.
+    let kcomp = max3(Proc::ALL.map(|x| {
+        plat.compute_time(x, (block * metrics.proc(x).elems) as u64)
+    }));
+    let super_comm = |s: usize| -> f64 {
+        let mut units = 0u64;
+        for k in (s * block)..((s + 1) * block).min(n) {
+            units += u64::from(part.procs_in_row(k) - 1)
+                + u64::from(part.procs_in_col(k) - 1);
+        }
+        if units == 0 {
+            0.0
+        } else {
+            plat.network.alpha + plat.network.beta * (n as u64 * units) as f64
+        }
+    };
+    let steps = n.div_ceil(block);
+    let mut total = super_comm(0);
+    let mut comm_sum = super_comm(0);
+    for s in 1..steps {
+        let c = super_comm(s);
+        comm_sum += c;
+        total += c.max(kcomp);
+    }
+    total += kcomp;
+    AlgoTime { comm: comm_sum, overlap: 0.0, comp: kcomp * steps as f64, total }
+}
+
+/// Evaluate all five algorithms.
+pub fn evaluate_all(part: &Partition, plat: &Platform) -> [(Algorithm, AlgoTime); 5] {
+    Algorithm::ALL.map(|a| (a, evaluate(a, part, plat)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_partition::{Partition, Ratio};
+
+    fn strips(n: usize) -> Partition {
+        Partition::from_fn(n, |i, _| {
+            if i < n / 3 {
+                Proc::P
+            } else if i < 2 * n / 3 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        })
+    }
+
+    fn plat(ratio: Ratio) -> Platform {
+        Platform::new(ratio, 1e9, 1e-9)
+    }
+
+    #[test]
+    fn scb_comm_equals_voc_times_tsend() {
+        let part = strips(9);
+        let p = plat(Ratio::new(1, 1, 1));
+        let t = evaluate(Algorithm::Scb, &part, &p);
+        // Latency-free, fully connected: comm = VoC * beta.
+        assert!((t.comm - part.voc() as f64 * 1e-9).abs() < 1e-15);
+        assert_eq!(t.total, t.comm + t.comp);
+    }
+
+    #[test]
+    fn uniform_partition_has_zero_comm() {
+        let part = Partition::new(8, Proc::P);
+        let p = plat(Ratio::new(2, 1, 1));
+        for algo in Algorithm::ALL {
+            let t = evaluate(algo, &part, &p);
+            assert_eq!(t.comm, 0.0, "{algo}");
+            assert!(t.total > 0.0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn pcb_comm_is_max_of_eq6() {
+        let part = strips(9);
+        let p = plat(Ratio::new(1, 1, 1));
+        let metrics = CommMetrics::from_partition_comm_only(&part);
+        let expect = Proc::ALL
+            .iter()
+            .map(|&x| metrics.proc(x).send_elems(9) as f64 * 1e-9)
+            .fold(0.0f64, f64::max);
+        let t = evaluate(Algorithm::Pcb, &part, &p);
+        assert!((t.comm - expect).abs() < 1e-15);
+        // Parallel communication can not be slower than serial.
+        let serial = evaluate(Algorithm::Scb, &part, &p);
+        assert!(t.comm <= serial.comm + 1e-15);
+    }
+
+    #[test]
+    fn overlap_never_hurts() {
+        let part = strips(12);
+        let p = plat(Ratio::new(2, 1, 1));
+        let scb = evaluate(Algorithm::Scb, &part, &p);
+        let sco = evaluate(Algorithm::Sco, &part, &p);
+        let pcb = evaluate(Algorithm::Pcb, &part, &p);
+        let pco = evaluate(Algorithm::Pco, &part, &p);
+        assert!(sco.total <= scb.total + 1e-12);
+        assert!(pco.total <= pcb.total + 1e-12);
+        assert!(sco.overlap > 0.0);
+    }
+
+    #[test]
+    fn star_topology_increases_serial_comm() {
+        let part = strips(9);
+        let ratio = Ratio::new(1, 1, 1);
+        let full = evaluate(Algorithm::Scb, &part, &plat(ratio));
+        let star = evaluate(
+            Algorithm::Scb,
+            &part,
+            &plat(ratio).with_star(Proc::P),
+        );
+        assert!(star.comm > full.comm, "relayed traffic must cost more");
+    }
+
+    #[test]
+    fn star_hub_bears_relay_load_in_pcb() {
+        let part = strips(9);
+        let ratio = Ratio::new(1, 1, 1);
+        let p = plat(ratio).with_star(Proc::P);
+        let out = out_volumes(&part, p.topology);
+        let vol = pairwise_volumes(&part);
+        let relay =
+            vol[Proc::R.idx()][Proc::S.idx()] + vol[Proc::S.idx()][Proc::R.idx()];
+        let direct: u64 = Proc::ALL
+            .iter()
+            .filter(|&&y| y != Proc::P)
+            .map(|&y| vol[Proc::P.idx()][y.idx()])
+            .sum();
+        assert_eq!(out[Proc::P.idx()], direct + relay);
+    }
+
+    #[test]
+    fn pio_total_bounded_by_serial_phases() {
+        let part = strips(12);
+        let p = plat(Ratio::new(2, 1, 1));
+        let t = evaluate(Algorithm::Pio, &part, &p);
+        // Interleaving can never be slower than doing all communication and
+        // all computation serially, nor faster than either phase alone.
+        assert!(t.total <= t.comm + t.comp + 1e-12);
+        assert!(t.total >= t.comp - 1e-12);
+        assert!(t.total >= t.comm - 1e-12);
+    }
+
+    #[test]
+    fn faster_processors_lower_compute_time() {
+        let part = strips(12);
+        let slow = evaluate(Algorithm::Scb, &part, &plat(Ratio::new(1, 1, 1)));
+        let fast = evaluate(Algorithm::Scb, &part, &plat(Ratio::new(4, 2, 1)));
+        // Same partition, faster P and R: the max comp time cannot grow.
+        assert!(fast.comp <= slow.comp + 1e-12);
+    }
+
+    #[test]
+    fn voc_reduction_reduces_every_model() {
+        // The central monotonicity claim of Section IV-B: at high
+        // heterogeneity (well past the P_r ~ 10.6 crossover, where discretization
+        // cannot flip the ordering) the Square-Corner candidate has strictly lower VoC
+        // than the Traditional-Rectangle; every model must rank the shapes
+        // consistently with their communication volumes, computation being
+        // equal (identical element counts).
+        use hetmmm_shapes::CandidateType;
+        let ratio = Ratio::new(25, 1, 1);
+        let n = 60;
+        let sc = CandidateType::SquareCorner.construct(n, ratio).unwrap().partition;
+        let tr = CandidateType::TraditionalRectangle
+            .construct(n, ratio)
+            .unwrap()
+            .partition;
+        assert!(sc.voc() < tr.voc(), "SC must beat TR at 25:1:1");
+        let p = plat(ratio);
+        let a = evaluate(Algorithm::Scb, &sc, &p);
+        let b = evaluate(Algorithm::Scb, &tr, &p);
+        assert!(a.comm < b.comm, "SCB comm follows VoC exactly");
+        assert!(a.total < b.total, "equal computation, so totals follow too");
+        assert!((a.comp - b.comp).abs() < 1e-12, "identical element counts");
+    }
+
+    #[test]
+    fn pio_blocked_with_block_one_matches_pio() {
+        let part = strips(12);
+        let p = plat(Ratio::new(2, 1, 1));
+        let a = evaluate(Algorithm::Pio, &part, &p);
+        let b = evaluate_pio_blocked(&part, &p, 1);
+        assert!((a.total - b.total).abs() < 1e-15);
+        assert!((a.comm - b.comm).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blocking_amortizes_latency() {
+        // With a per-message latency, grouping pivot lines strictly reduces
+        // the total number of latency payments.
+        let part = strips(24);
+        let mut p = plat(Ratio::new(2, 1, 1));
+        p.network = p.network.with_latency(1e-5);
+        let b1 = evaluate_pio_blocked(&part, &p, 1);
+        let b4 = evaluate_pio_blocked(&part, &p, 4);
+        let b8 = evaluate_pio_blocked(&part, &p, 8);
+        assert!(b4.comm < b1.comm);
+        assert!(b8.comm < b4.comm);
+    }
+
+    #[test]
+    fn huge_block_degenerates_to_barrier_shape() {
+        // block >= n: one send super-step then one compute block — the
+        // total approaches comm + comp with no interleaving benefit.
+        let part = strips(12);
+        let p = plat(Ratio::new(2, 1, 1));
+        let b = evaluate_pio_blocked(&part, &p, 12);
+        assert!((b.total - (b.comm + b.comp)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_block_rejected() {
+        let part = strips(6);
+        let p = plat(Ratio::new(2, 1, 1));
+        let _ = evaluate_pio_blocked(&part, &p, 0);
+    }
+}

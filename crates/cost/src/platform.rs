@@ -1,0 +1,133 @@
+//! The heterogeneous platform description: relative speeds + network.
+//!
+//! Section IV assumes heterogeneity in processing speed only
+//! (`P_r : R_r : S_r`, Assumption 2) and a fully connected network
+//! (Assumption 3); Section X adds the star topology as the second case to
+//! consider for three processors.
+
+use crate::hockney::HockneyModel;
+use hetmmm_partition::{Proc, Ratio};
+use serde::{Deserialize, Serialize};
+
+/// Network topology (Section X).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every processor exchanges data directly with every other.
+    FullyConnected,
+    /// One central processor relays traffic between the other two.
+    Star {
+        /// The hub processor.
+        center: Proc,
+    },
+}
+
+impl Topology {
+    /// The number of link traversals a message from `from` to `to` costs.
+    pub fn hops(self, from: Proc, to: Proc) -> u32 {
+        assert_ne!(from, to, "no self-messages");
+        match self {
+            Topology::FullyConnected => 1,
+            Topology::Star { center } => {
+                if from == center || to == center {
+                    1
+                } else {
+                    2
+                }
+            }
+        }
+    }
+}
+
+/// A three-processor heterogeneous platform.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Relative processing speeds `P_r : R_r : S_r`.
+    pub ratio: Ratio,
+    /// Scalar updates per second achieved by the *slowest* processor `S`.
+    pub base_speed: f64,
+    /// Communication model.
+    pub network: HockneyModel,
+    /// Network topology.
+    pub topology: Topology,
+}
+
+impl Platform {
+    /// A platform with the paper's default assumptions: fully connected,
+    /// latency-free network.
+    pub fn new(ratio: Ratio, base_speed: f64, t_send: f64) -> Platform {
+        Platform {
+            ratio,
+            base_speed,
+            network: HockneyModel::per_element(t_send),
+            topology: Topology::FullyConnected,
+        }
+    }
+
+    /// Switch to a star topology centered on `center`.
+    pub fn with_star(mut self, center: Proc) -> Platform {
+        self.topology = Topology::Star { center };
+        self
+    }
+
+    /// Replace the network model.
+    pub fn with_network(mut self, network: HockneyModel) -> Platform {
+        self.network = network;
+        self
+    }
+
+    /// Updates per second of a given processor:
+    /// `base_speed * X_r / S_r`.
+    pub fn speed(&self, proc: Proc) -> f64 {
+        self.base_speed * f64::from(self.ratio.speed(proc)) / f64::from(self.ratio.s)
+    }
+
+    /// Seconds for `proc` to execute `updates` scalar updates.
+    pub fn compute_time(&self, proc: Proc, updates: u64) -> f64 {
+        updates as f64 / self.speed(proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speeds_follow_ratio() {
+        let plat = Platform::new(Ratio::new(4, 2, 1), 1e9, 1e-9);
+        assert!((plat.speed(Proc::P) - 4e9).abs() < 1.0);
+        assert!((plat.speed(Proc::R) - 2e9).abs() < 1.0);
+        assert!((plat.speed(Proc::S) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn compute_time_scales_inversely() {
+        let plat = Platform::new(Ratio::new(2, 1, 1), 1e9, 1e-9);
+        let t_s = plat.compute_time(Proc::S, 1_000_000_000);
+        let t_p = plat.compute_time(Proc::P, 1_000_000_000);
+        assert!((t_s - 1.0).abs() < 1e-9);
+        assert!((t_p - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_doubles_rim_traffic() {
+        let star = Topology::Star { center: Proc::P };
+        assert_eq!(star.hops(Proc::R, Proc::S), 2);
+        assert_eq!(star.hops(Proc::R, Proc::P), 1);
+        assert_eq!(star.hops(Proc::P, Proc::S), 1);
+        assert_eq!(Topology::FullyConnected.hops(Proc::R, Proc::S), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-messages")]
+    fn self_message_rejected() {
+        let _ = Topology::FullyConnected.hops(Proc::P, Proc::P);
+    }
+
+    #[test]
+    fn non_normalized_ratio_base_is_s() {
+        // Ratio 10:4:2 has S_r = 2; base_speed describes S itself.
+        let plat = Platform::new(Ratio::new(10, 4, 2), 1e9, 1e-9);
+        assert!((plat.speed(Proc::S) - 1e9).abs() < 1.0);
+        assert!((plat.speed(Proc::P) - 5e9).abs() < 1.0);
+    }
+}

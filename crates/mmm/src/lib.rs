@@ -1,0 +1,28 @@
+//! # hetmmm-mmm
+//!
+//! The kij matrix-matrix multiplication substrate (Section II, Fig. 1) and
+//! a partition-driven multi-threaded executor standing in for the paper's
+//! three Open-MPI nodes (Section X-B).
+//!
+//! The kij algorithm iterates a pivot `k` over rows/columns: at each step,
+//! every element of C is updated with
+//! `C[i,j] += A[i,k] * B[k,j]`. If the processor computing `C[i,j]` does
+//! not own the pivot elements `A[i,k]` / `B[k,j]`, they must be
+//! communicated — which is precisely where the partition shape determines
+//! the communication volume.
+//!
+//! [`parallel::multiply_partitioned`] runs one OS thread per processor.
+//! Each worker holds **only the matrix elements its partition assigns to
+//! it**; pivot fragments travel through crossbeam channels, so the
+//! communication the cost models count actually happens (and is counted by
+//! the executor's [`parallel::ExecStats`]). The result is verified against
+//! the serial reference in tests for arbitrary partitions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod parallel;
+
+pub use matrix::{kij_serial, naive_multiply, Matrix};
+pub use parallel::{multiply_partitioned, ExecStats};

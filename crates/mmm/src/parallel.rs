@@ -1,0 +1,422 @@
+//! Partition-driven threaded kij executor.
+//!
+//! One OS thread per processor plays the role of the paper's three MPI
+//! nodes (Section X-B). Each worker holds only the A/B elements its
+//! partition assigns to it; at every pivot step `k` the owners of column
+//! `k` of A and row `k` of B send the fragments the other workers need
+//! (and only those — a worker owning no C element in row `i` never
+//! receives `A[i,k]`). The communication statistics the executor gathers
+//! are exactly the quantities the analytic models charge for, so the
+//! integration tests can check executor-counted traffic against
+//! `pairwise_volumes` for any partition.
+
+use crate::matrix::Matrix;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hetmmm_partition::{Partition, Proc};
+use serde::{Deserialize, Serialize};
+
+/// Per-worker execution counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcExec {
+    /// Scalar updates `C[i,j] += A[i,k] * B[k,j]` performed.
+    pub updates: u64,
+    /// Fragment elements sent to other workers.
+    pub elems_sent: u64,
+    /// Fragment elements received from other workers.
+    pub elems_recv: u64,
+    /// Non-empty fragment messages sent.
+    pub messages: u64,
+}
+
+/// Aggregate execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Counters per processor, indexed by [`Proc::idx`].
+    pub per_proc: [ProcExec; 3],
+}
+
+impl ExecStats {
+    /// Total elements that crossed between workers.
+    pub fn total_sent(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.elems_sent).sum()
+    }
+
+    /// Total scalar updates performed by all workers.
+    pub fn total_updates(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.updates).sum()
+    }
+
+    /// Total non-empty messages exchanged.
+    pub fn total_messages(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.messages).sum()
+    }
+
+    /// Map the measured counters onto a platform clock, SCB-style: all
+    /// fragments serially on one medium (`α` per message, `β` per
+    /// element), then computation in parallel at the platform's speeds.
+    ///
+    /// Because the executor's traffic equals the analytic pairwise volumes
+    /// and its update counts equal `N · ∈X`, this reproduces the
+    /// `hetmmm_cost::evaluate(Scb, ..)` total exactly up to the latency
+    /// term's message granularity — asserted in the integration tests.
+    pub fn virtual_scb_time(
+        &self,
+        speeds: [f64; 3],
+        alpha: f64,
+        beta: f64,
+    ) -> f64 {
+        let comm = alpha * self.total_messages() as f64
+            + beta * self.total_sent() as f64;
+        let comp = self
+            .per_proc
+            .iter()
+            .zip(speeds)
+            .map(|(p, s)| p.updates as f64 / s)
+            .fold(0.0f64, f64::max);
+        comm + comp
+    }
+}
+
+/// One step's fragments from one sender: `(row, value)` pairs of A-column
+/// `k` and `(col, value)` pairs of B-row `k` that the receiver needs.
+type StepMessage = (Vec<(u32, f64)>, Vec<(u32, f64)>);
+
+struct Worker {
+    proc: Proc,
+    n: usize,
+    /// `a_frags[k]`: owned `(i, A[i,k])` pairs.
+    a_frags: Vec<Vec<(u32, f64)>>,
+    /// `b_frags[k]`: owned `(j, B[k,j])` pairs.
+    b_frags: Vec<Vec<(u32, f64)>>,
+    /// Owned C cells.
+    c_cells: Vec<(u32, u32)>,
+    /// `row_needed[Y][i]`: does processor `Y` own C elements in row `i`?
+    row_needed: [Vec<bool>; 3],
+    /// `col_needed[Y][j]`.
+    col_needed: [Vec<bool>; 3],
+    /// Outgoing channels to the two other workers.
+    out: Vec<(Proc, Sender<StepMessage>)>,
+    /// Incoming channels from the two other workers.
+    inbox: Vec<Receiver<StepMessage>>,
+}
+
+impl Worker {
+    fn run(mut self) -> (Vec<(u32, u32, f64)>, ProcExec) {
+        let n = self.n;
+        let mut stats = ProcExec::default();
+        let mut a_col = vec![0.0f64; n];
+        let mut b_row = vec![0.0f64; n];
+        // C accumulators, one per owned cell (same order as c_cells).
+        let mut acc = vec![0.0f64; self.c_cells.len()];
+
+        for k in 0..n {
+            // Send the needed slices of our fragments to each peer.
+            for (peer, tx) in &self.out {
+                let a_part: Vec<(u32, f64)> = self.a_frags[k]
+                    .iter()
+                    .copied()
+                    .filter(|&(i, _)| self.row_needed[peer.idx()][i as usize])
+                    .collect();
+                let b_part: Vec<(u32, f64)> = self.b_frags[k]
+                    .iter()
+                    .copied()
+                    .filter(|&(j, _)| self.col_needed[peer.idx()][j as usize])
+                    .collect();
+                let payload = (a_part.len() + b_part.len()) as u64;
+                stats.elems_sent += payload;
+                if payload > 0 {
+                    stats.messages += 1;
+                }
+                tx.send((a_part, b_part)).expect("peer hung up");
+            }
+            // Own fragments.
+            for &(i, v) in &self.a_frags[k] {
+                a_col[i as usize] = v;
+            }
+            for &(j, v) in &self.b_frags[k] {
+                b_row[j as usize] = v;
+            }
+            // Receive both peers' fragments.
+            for rx in &self.inbox {
+                let (a_part, b_part) = rx.recv().expect("peer died");
+                stats.elems_recv += (a_part.len() + b_part.len()) as u64;
+                for (i, v) in a_part {
+                    a_col[i as usize] = v;
+                }
+                for (j, v) in b_part {
+                    b_row[j as usize] = v;
+                }
+            }
+            // Update every owned C element.
+            for (cell, accum) in self.c_cells.iter().zip(acc.iter_mut()) {
+                let (i, j) = (cell.0 as usize, cell.1 as usize);
+                *accum += a_col[i] * b_row[j];
+            }
+            stats.updates += self.c_cells.len() as u64;
+        }
+
+        let result = self
+            .c_cells
+            .drain(..)
+            .zip(acc)
+            .map(|((i, j), v)| (i, j, v))
+            .collect();
+        (result, stats)
+    }
+}
+
+/// Multiply `A x B` with ownership given by `part`, one thread per
+/// processor, fragments exchanged through channels. Returns the assembled
+/// C and the executor statistics.
+///
+/// Panics if the matrices and partition disagree on `n`.
+///
+/// ```
+/// use hetmmm_mmm::{kij_serial, multiply_partitioned, Matrix};
+/// use hetmmm_partition::{Partition, Proc};
+///
+/// let a = Matrix::from_fn(8, |i, j| (i + j) as f64);
+/// let b = Matrix::identity(8);
+/// let part = Partition::from_fn(8, |i, _| if i < 4 { Proc::P } else { Proc::S });
+/// let (c, stats) = multiply_partitioned(&a, &b, &part);
+/// assert!(c.max_abs_diff(&a) < 1e-12); // A x I = A
+/// assert_eq!(stats.total_sent(), part.voc());
+/// ```
+pub fn multiply_partitioned(a: &Matrix, b: &Matrix, part: &Partition) -> (Matrix, ExecStats) {
+    let n = a.n();
+    assert_eq!(n, b.n(), "A and B must agree");
+    assert_eq!(n, part.n(), "partition must match the matrices");
+
+    // Channels between each ordered pair of workers.
+    let mut txs: Vec<Vec<Option<Sender<StepMessage>>>> = vec![vec![None, None, None]; 3];
+    let mut rxs: Vec<Vec<Option<Receiver<StepMessage>>>> = vec![vec![None, None, None]; 3];
+    for x in Proc::ALL {
+        for y in Proc::ALL {
+            if x == y {
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            txs[x.idx()][y.idx()] = Some(tx);
+            rxs[y.idx()][x.idx()] = Some(rx);
+        }
+    }
+
+    // Need maps shared by value (small).
+    let row_needed: [Vec<bool>; 3] =
+        Proc::ALL.map(|y| (0..n).map(|i| part.row_has(y, i)).collect());
+    let col_needed: [Vec<bool>; 3] =
+        Proc::ALL.map(|y| (0..n).map(|j| part.col_has(y, j)).collect());
+
+    let mut workers: Vec<Worker> = Vec::with_capacity(3);
+    for x in Proc::ALL {
+        let mut a_frags = vec![Vec::new(); n];
+        let mut b_frags = vec![Vec::new(); n];
+        let mut c_cells = Vec::with_capacity(part.elems(x));
+        for i in 0..n {
+            for j in 0..n {
+                if part.get(i, j) == x {
+                    // A element (i, j) belongs to column-fragment j.
+                    a_frags[j].push((i as u32, a.get(i, j)));
+                    // B element (i, j) belongs to row-fragment i.
+                    b_frags[i].push((j as u32, b.get(i, j)));
+                    c_cells.push((i as u32, j as u32));
+                }
+            }
+        }
+        let out: Vec<(Proc, Sender<StepMessage>)> = x
+            .others()
+            .into_iter()
+            .map(|y| (y, txs[x.idx()][y.idx()].take().expect("channel wired")))
+            .collect();
+        let inbox: Vec<Receiver<StepMessage>> = x
+            .others()
+            .into_iter()
+            .map(|y| rxs[x.idx()][y.idx()].take().expect("channel wired"))
+            .collect();
+        workers.push(Worker {
+            proc: x,
+            n,
+            a_frags,
+            b_frags,
+            c_cells,
+            row_needed: row_needed.clone(),
+            col_needed: col_needed.clone(),
+            out,
+            inbox,
+        });
+    }
+
+    let mut c = Matrix::zeros(n);
+    let mut stats = ExecStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|w| {
+                let proc = w.proc;
+                (proc, scope.spawn(move || w.run()))
+            })
+            .collect();
+        for (proc, handle) in handles {
+            let (cells, proc_stats) = handle.join().expect("worker panicked");
+            stats.per_proc[proc.idx()] = proc_stats;
+            for (i, j, v) in cells {
+                c.set(i as usize, j as usize, v);
+            }
+        }
+    });
+    (c, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::kij_serial;
+    use hetmmm_partition::{pairwise_volumes, PartitionBuilder, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_matrices(n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (Matrix::random(n, &mut rng), Matrix::random(n, &mut rng))
+    }
+
+    #[test]
+    fn matches_serial_on_strips() {
+        let n = 24;
+        let (a, b) = random_matrices(n, 7);
+        let part = Partition::from_fn(n, |i, _| {
+            if i < 8 {
+                Proc::P
+            } else if i < 16 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        });
+        let (c, stats) = multiply_partitioned(&a, &b, &part);
+        let reference = kij_serial(&a, &b);
+        assert!(c.max_abs_diff(&reference) < 1e-10);
+        assert_eq!(stats.total_updates(), (n * n * n) as u64);
+    }
+
+    #[test]
+    fn matches_serial_on_square_corner() {
+        let n = 20;
+        let (a, b) = random_matrices(n, 8);
+        let part = PartitionBuilder::new(n)
+            .rect(Rect::new(0, 5, 0, 5), Proc::R)
+            .rect(Rect::new(14, 19, 14, 19), Proc::S)
+            .build();
+        let (c, _) = multiply_partitioned(&a, &b, &part);
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn matches_serial_on_scatter() {
+        // Even a pathological scatter must compute correctly.
+        let n = 16;
+        let (a, b) = random_matrices(n, 9);
+        let part = Partition::from_fn(n, |i, j| match (i * 7 + j * 3) % 4 {
+            0 => Proc::R,
+            1 => Proc::S,
+            _ => Proc::P,
+        });
+        let (c, _) = multiply_partitioned(&a, &b, &part);
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn traffic_matches_pairwise_volumes() {
+        // The executor sends exactly the elements the analytic accounting
+        // charges for: fragment element (i,k) of A goes to Y iff Y owns C
+        // cells in row i, etc.
+        let n = 18;
+        let (a, b) = random_matrices(n, 10);
+        let part = PartitionBuilder::new(n)
+            .rect(Rect::new(0, 8, 0, 5), Proc::R)
+            .rect(Rect::new(10, 17, 9, 17), Proc::S)
+            .build();
+        let (_, stats) = multiply_partitioned(&a, &b, &part);
+        let vol = pairwise_volumes(&part);
+        let expect: u64 = vol.iter().flatten().sum();
+        assert_eq!(stats.total_sent(), expect);
+        assert_eq!(stats.total_sent(), part.voc());
+        // Per-sender totals match the row sums of the volume matrix.
+        for x in Proc::ALL {
+            let sent: u64 = vol[x.idx()].iter().sum();
+            assert_eq!(stats.per_proc[x.idx()].elems_sent, sent, "{x}");
+        }
+    }
+
+    #[test]
+    fn single_owner_partition_sends_nothing() {
+        let n = 8;
+        let (a, b) = random_matrices(n, 11);
+        let part = Partition::new(n, Proc::P);
+        let (c, stats) = multiply_partitioned(&a, &b, &part);
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+        assert_eq!(stats.total_sent(), 0);
+        assert_eq!(stats.per_proc[Proc::P.idx()].updates, (n * n * n) as u64);
+    }
+
+    #[test]
+    fn updates_proportional_to_ownership() {
+        let n = 12;
+        let (a, b) = random_matrices(n, 12);
+        let part = PartitionBuilder::new(n)
+            .rect(Rect::new(0, 5, 0, 11), Proc::R)
+            .build();
+        let (_, stats) = multiply_partitioned(&a, &b, &part);
+        assert_eq!(
+            stats.per_proc[Proc::R.idx()].updates,
+            (n * part.elems(Proc::R)) as u64
+        );
+        assert_eq!(
+            stats.per_proc[Proc::P.idx()].updates,
+            (n * part.elems(Proc::P)) as u64
+        );
+    }
+
+    #[test]
+    fn virtual_scb_time_matches_cost_model_without_latency() {
+        let n = 18;
+        let (a, b) = random_matrices(n, 21);
+        let part = PartitionBuilder::new(n)
+            .rect(Rect::new(0, 8, 0, 5), Proc::R)
+            .rect(Rect::new(10, 17, 9, 17), Proc::S)
+            .build();
+        let (_, stats) = multiply_partitioned(&a, &b, &part);
+        // Speeds indexed [R, S, P] to match Proc::idx.
+        let beta = 1e-9;
+        let speeds = [2e9, 1e9, 4e9];
+        let virt = stats.virtual_scb_time(speeds, 0.0, beta);
+        // Manual SCB: voc * beta + max(N * elems / speed).
+        let comm = part.voc() as f64 * beta;
+        let comp = [Proc::R, Proc::S, Proc::P]
+            .iter()
+            .map(|&p| (n * part.elems(p)) as f64 * n as f64 / (n as f64) / speeds[p.idx()])
+            .fold(0.0f64, f64::max);
+        // (N * elems) updates per processor.
+        let comp_exact = [Proc::R, Proc::S, Proc::P]
+            .iter()
+            .map(|&p| (n * part.elems(p)) as f64 / speeds[p.idx()])
+            .fold(0.0f64, f64::max);
+        let _ = comp;
+        assert!((virt - (comm + comp_exact)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn message_count_bounded_by_steps() {
+        let n = 12;
+        let (a, b) = random_matrices(n, 22);
+        let part = PartitionBuilder::new(n)
+            .rect(Rect::new(0, 5, 0, 11), Proc::R)
+            .build();
+        let (_, stats) = multiply_partitioned(&a, &b, &part);
+        // Each worker sends at most 2 peers x n steps non-empty messages.
+        for p in Proc::ALL {
+            assert!(stats.per_proc[p.idx()].messages <= (2 * n) as u64);
+        }
+        assert!(stats.total_messages() > 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! The k-processor partition grid.
+//!
+//! A direct generalization of `hetmmm_partition::Partition`: owners are
+//! `0..k`, with processor 0 the fastest. All derived state — per-processor
+//! per-line element counts, per-line distinct-owner counts (`c_i`, `c_j`),
+//! the Eq. 1 VoC in line units, element totals, and the Zobrist state hash
+//! — updates in `O(1)` per reassignment (`O(k)` memory per line).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Inclusive rectangle, kept local to avoid a dependency cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NRect {
+    /// First row.
+    pub top: usize,
+    /// Last row (inclusive).
+    pub bottom: usize,
+    /// First column.
+    pub left: usize,
+    /// Last column (inclusive).
+    pub right: usize,
+}
+
+impl NRect {
+    /// Rows spanned.
+    pub fn height(&self) -> usize {
+        self.bottom - self.top + 1
+    }
+    /// Columns spanned.
+    pub fn width(&self) -> usize {
+        self.right - self.left + 1
+    }
+    /// Cells contained.
+    pub fn area(&self) -> usize {
+        self.height() * self.width()
+    }
+    /// Overlap test.
+    pub fn overlaps(&self, other: &NRect) -> bool {
+        self.top <= other.bottom
+            && other.top <= self.bottom
+            && self.left <= other.right
+            && other.left <= self.right
+    }
+}
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A partition of an `n x n` matrix among `k` processors (`0` fastest).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NPartition {
+    n: usize,
+    k: usize,
+    cells: Vec<u8>,
+    /// `row_count[p][i]`, flattened as `p * n + i`.
+    row_count: Vec<u32>,
+    col_count: Vec<u32>,
+    row_procs: Vec<u8>,
+    col_procs: Vec<u8>,
+    voc_units: u64,
+    elems: Vec<usize>,
+    zobrist: u64,
+}
+
+impl NPartition {
+    /// All cells assigned to processor 0 (the fastest), as in the paper's
+    /// random start procedure.
+    pub fn new(n: usize, k: usize) -> NPartition {
+        assert!(n > 0, "matrix size must be positive");
+        assert!((2..=64).contains(&k), "2..=64 processors supported");
+        let mut row_count = vec![0u32; k * n];
+        let mut col_count = vec![0u32; k * n];
+        for i in 0..n {
+            row_count[i] = n as u32;
+            col_count[i] = n as u32;
+        }
+        let mut elems = vec![0usize; k];
+        elems[0] = n * n;
+        let mut zobrist = 0u64;
+        for idx in 0..(n * n) as u64 {
+            zobrist ^= mix64(idx * k as u64);
+        }
+        NPartition {
+            n,
+            k,
+            cells: vec![0u8; n * n],
+            row_count,
+            col_count,
+            row_procs: vec![1; n],
+            col_procs: vec![1; n],
+            voc_units: 0,
+            elems,
+            zobrist,
+        }
+    }
+
+    /// Random start state: processor `p`'s element count is proportional
+    /// to `weights[p]` (largest-remainder rounding), placed uniformly.
+    pub fn random<R: Rng>(n: usize, weights: &[u32], rng: &mut R) -> NPartition {
+        let k = weights.len();
+        let mut part = NPartition::new(n, k);
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        // Quotas for processors 1..k; processor 0 keeps the remainder.
+        let mut cells: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .collect();
+        cells.shuffle(rng);
+        let mut cursor = 0usize;
+        for p in 1..k {
+            let quota =
+                ((n * n) as u64 * u64::from(weights[p]) / total) as usize;
+            for &(i, j) in cells.iter().skip(cursor).take(quota) {
+                part.set(i, j, p as u8);
+            }
+            cursor += quota;
+        }
+        part
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of processors.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Owner of a cell.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u8 {
+        self.cells[i * self.n + j]
+    }
+
+    /// Reassign a cell; all derived state updates in `O(1)`.
+    pub fn set(&mut self, i: usize, j: usize, proc: u8) -> u8 {
+        debug_assert!((proc as usize) < self.k);
+        let idx = i * self.n + j;
+        let old = self.cells[idx];
+        if old == proc {
+            return old;
+        }
+        self.cells[idx] = proc;
+        self.elems[old as usize] -= 1;
+        self.elems[proc as usize] += 1;
+        self.zobrist ^= mix64((idx * self.k) as u64 + u64::from(old))
+            ^ mix64((idx * self.k) as u64 + u64::from(proc));
+
+        let n = self.n;
+        let rc_old = &mut self.row_count[old as usize * n + i];
+        *rc_old -= 1;
+        if *rc_old == 0 {
+            self.row_procs[i] -= 1;
+            self.voc_units -= 1;
+        }
+        let rc_new = &mut self.row_count[proc as usize * n + i];
+        if *rc_new == 0 {
+            self.row_procs[i] += 1;
+            self.voc_units += 1;
+        }
+        *rc_new += 1;
+
+        let cc_old = &mut self.col_count[old as usize * n + j];
+        *cc_old -= 1;
+        if *cc_old == 0 {
+            self.col_procs[j] -= 1;
+            self.voc_units -= 1;
+        }
+        let cc_new = &mut self.col_count[proc as usize * n + j];
+        if *cc_new == 0 {
+            self.col_procs[j] += 1;
+            self.voc_units += 1;
+        }
+        *cc_new += 1;
+        old
+    }
+
+    /// Swap two cells' owners.
+    pub fn swap(&mut self, a: (usize, usize), b: (usize, usize)) {
+        let pa = self.get(a.0, a.1);
+        let pb = self.get(b.0, b.1);
+        if pa == pb {
+            return;
+        }
+        self.set(a.0, a.1, pb);
+        self.set(b.0, b.1, pa);
+    }
+
+    /// `∈p`.
+    pub fn elems(&self, proc: u8) -> usize {
+        self.elems[proc as usize]
+    }
+
+    /// Elements of `proc` in row `i`.
+    #[inline]
+    pub fn row_count(&self, proc: u8, i: usize) -> u32 {
+        self.row_count[proc as usize * self.n + i]
+    }
+
+    /// Elements of `proc` in column `j`.
+    #[inline]
+    pub fn col_count(&self, proc: u8, j: usize) -> u32 {
+        self.col_count[proc as usize * self.n + j]
+    }
+
+    /// Does row `i` contain `proc`?
+    #[inline]
+    pub fn row_has(&self, proc: u8, i: usize) -> bool {
+        self.row_count(proc, i) > 0
+    }
+
+    /// Does column `j` contain `proc`?
+    #[inline]
+    pub fn col_has(&self, proc: u8, j: usize) -> bool {
+        self.col_count(proc, j) > 0
+    }
+
+    /// VoC in line units; Eq. 1 VoC is `n *` this.
+    pub fn voc_units(&self) -> u64 {
+        self.voc_units
+    }
+
+    /// The Eq. 1 volume of communication, generalized to `k` owners.
+    pub fn voc(&self) -> u64 {
+        self.n as u64 * self.voc_units
+    }
+
+    /// Incremental state hash (Zobrist).
+    pub fn state_hash(&self) -> u64 {
+        self.zobrist
+    }
+
+    /// Enclosing rectangle of `proc`.
+    pub fn enclosing_rect(&self, proc: u8) -> Option<NRect> {
+        let n = self.n;
+        let rows = &self.row_count[proc as usize * n..(proc as usize + 1) * n];
+        let cols = &self.col_count[proc as usize * n..(proc as usize + 1) * n];
+        let top = rows.iter().position(|&c| c > 0)?;
+        let bottom = rows.iter().rposition(|&c| c > 0)?;
+        let left = cols.iter().position(|&c| c > 0)?;
+        let right = cols.iter().rposition(|&c| c > 0)?;
+        Some(NRect { top, bottom, left, right })
+    }
+
+    /// Recompute everything from the raw cells and panic on drift.
+    pub fn assert_invariants(&self) {
+        let (n, k) = (self.n, self.k);
+        let mut row_count = vec![0u32; k * n];
+        let mut col_count = vec![0u32; k * n];
+        let mut elems = vec![0usize; k];
+        let mut zob = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                let p = self.cells[i * n + j] as usize;
+                row_count[p * n + i] += 1;
+                col_count[p * n + j] += 1;
+                elems[p] += 1;
+                zob ^= mix64(((i * n + j) * k) as u64 + p as u64);
+            }
+        }
+        assert_eq!(row_count, self.row_count, "row_count drift");
+        assert_eq!(col_count, self.col_count, "col_count drift");
+        assert_eq!(elems, self.elems, "elems drift");
+        assert_eq!(zob, self.zobrist, "zobrist drift");
+        let mut units = 0u64;
+        for i in 0..n {
+            let c = (0..k).filter(|&p| row_count[p * n + i] > 0).count() as u8;
+            assert_eq!(c, self.row_procs[i], "row_procs drift");
+            units += u64::from(c) - 1;
+        }
+        for j in 0..n {
+            let c = (0..k).filter(|&p| col_count[p * n + j] > 0).count() as u8;
+            assert_eq!(c, self.col_procs[j], "col_procs drift");
+            units += u64::from(c) - 1;
+        }
+        assert_eq!(units, self.voc_units, "voc_units drift");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_is_all_proc_zero() {
+        let part = NPartition::new(8, 4);
+        assert_eq!(part.elems(0), 64);
+        assert_eq!(part.voc(), 0);
+        part.assert_invariants();
+    }
+
+    #[test]
+    fn set_updates_counts_for_many_procs() {
+        let mut part = NPartition::new(6, 5);
+        part.set(0, 0, 1);
+        part.set(0, 1, 2);
+        part.set(0, 2, 3);
+        part.set(0, 3, 4);
+        // Row 0 now hosts 5 distinct processors: +4 row units; each column
+        // touched hosts 2: +1 each.
+        assert_eq!(part.voc_units(), 4 + 4);
+        part.assert_invariants();
+    }
+
+    #[test]
+    fn random_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let part = NPartition::random(40, &[8, 4, 2, 1, 1], &mut rng);
+        let total = 1600usize;
+        assert_eq!(part.elems(1), total * 4 / 16);
+        assert_eq!(part.elems(2), total * 2 / 16);
+        assert_eq!(part.elems(3), total / 16);
+        assert_eq!(part.elems(4), total / 16);
+        assert_eq!(
+            part.elems(0),
+            total - part.elems(1) - part.elems(2) - part.elems(3) - part.elems(4)
+        );
+        part.assert_invariants();
+    }
+
+    #[test]
+    fn k3_matches_three_proc_voc_semantics() {
+        // Strips across 3 procs: same VoC as the main crate computes.
+        let n = 9;
+        let mut part = NPartition::new(n, 3);
+        for i in 3..6 {
+            for j in 0..n {
+                part.set(i, j, 1);
+            }
+        }
+        for i in 6..9 {
+            for j in 0..n {
+                part.set(i, j, 2);
+            }
+        }
+        assert_eq!(part.voc(), (n * n * 2) as u64);
+    }
+
+    #[test]
+    fn state_hash_content_addressed() {
+        let mut a = NPartition::new(5, 4);
+        let mut b = NPartition::new(5, 4);
+        a.set(1, 2, 3);
+        b.set(1, 2, 3);
+        assert_eq!(a.state_hash(), b.state_hash());
+        b.set(1, 2, 2);
+        assert_ne!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=64")]
+    fn k_out_of_range_rejected() {
+        let _ = NPartition::new(4, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hetmmm-nproc
+//!
+//! The paper's stated extension (Sections I and XI): "A fundamental
+//! requirement of this program is that it must also be applicable beyond
+//! the three processor case. It can easily be adapted to form partition
+//! shapes for any number of processors." — this crate is that adaptation.
+//!
+//! Everything is generalized from the fixed three-processor machinery of
+//! the main crates to `k ≥ 2` processors:
+//!
+//! - [`grid::NPartition`]: the `q(i,j) ∈ {0..k-1}` grid with the same
+//!   incremental VoC / occupancy / Zobrist accounting,
+//! - [`push`]: the Push operation with `k − 1` possible displaced owners
+//!   (the three-processor select-and-match generalizes directly: bucket
+//!   interior targets per owner, assign owners to vacated positions,
+//!   commit under the exact ΔVoC contract),
+//! - [`dfa`]: the randomized search with per-processor direction plans and
+//!   neutral-cycle detection,
+//! - [`stats`]: shape descriptors for the outcomes — per-processor
+//!   rectangularity (fill of the enclosing rectangle), corner counts, and
+//!   the pairwise enclosing-rectangle overlap structure — the raw material
+//!   for a future ≥4-processor archetype taxonomy.
+//!
+//! Processor 0 is the fastest (the background owner of the remainder);
+//! processors `1..k` are the slower, pushable ones, in decreasing speed
+//! order. With `k = 3` the behaviour matches the main `hetmmm` crates
+//! (cross-checked in tests); with `k = 2` it reproduces the two-processor
+//! prior work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod grid;
+pub mod push;
+pub mod stats;
+
+pub use dfa::{NDfaConfig, NDfaOutcome, NDfaRunner};
+pub use grid::NPartition;
+pub use push::{try_push_n, NDirection, PushMode};
+pub use stats::{OutcomeStats, ProcShapeStats};

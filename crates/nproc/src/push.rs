@@ -1,0 +1,412 @@
+//! The generalized Push for `k` processors.
+//!
+//! The three-processor select-and-match operation carries over with one
+//! structural change: there are `k − 1` possible displaced owners instead
+//! of two, so the per-owner target buckets and the position-to-owner
+//! assignment become vectors. The strictness ladder collapses the paper's
+//! six types into three [`PushMode`]s (the displaced-side and active-side
+//! knobs the types combine), each still governed by the exact ΔVoC
+//! contract: `Strict` and `Budgeted` commit only on strict decrease,
+//! `Relaxed` on non-increase.
+
+use crate::grid::NPartition;
+use serde::{Deserialize, Serialize};
+
+/// Push direction (same semantics as the three-processor engine: Down
+/// cleans the top edge of the active processor's enclosing rectangle).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NDirection {
+    /// Clean the top row, move down.
+    Down,
+    /// Clean the bottom row, move up.
+    Up,
+    /// Clean the rightmost column, move left.
+    Left,
+    /// Clean the leftmost column, move right.
+    Right,
+}
+
+impl NDirection {
+    /// All four directions.
+    pub const ALL: [NDirection; 4] = [
+        NDirection::Down,
+        NDirection::Up,
+        NDirection::Left,
+        NDirection::Right,
+    ];
+}
+
+/// Legality ladder, from the paper's Type 1 (strictest) to Type 6.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PushMode {
+    /// Active elements only into occupied lines; displaced owners only
+    /// into positions they already share row/column with; ΔVoC < 0.
+    Strict,
+    /// Active side free (net budget), displaced side strict; ΔVoC < 0.
+    Budgeted,
+    /// Both sides free; ΔVoC ≤ 0.
+    Relaxed,
+}
+
+impl PushMode {
+    /// The ladder order `try_push_n` uses.
+    pub const ALL: [PushMode; 3] = [PushMode::Strict, PushMode::Budgeted, PushMode::Relaxed];
+}
+
+/// Canonical-coordinate accessors for a direction.
+struct NView<'a> {
+    part: &'a mut NPartition,
+    dir: NDirection,
+    n: usize,
+}
+
+impl<'a> NView<'a> {
+    fn new(part: &'a mut NPartition, dir: NDirection) -> NView<'a> {
+        let n = part.n();
+        NView { part, dir, n }
+    }
+
+    #[inline]
+    fn map(&self, u: usize, v: usize) -> (usize, usize) {
+        match self.dir {
+            NDirection::Down => (u, v),
+            NDirection::Up => (self.n - 1 - u, v),
+            NDirection::Right => (v, u),
+            NDirection::Left => (v, self.n - 1 - u),
+        }
+    }
+
+    #[inline]
+    fn get(&self, u: usize, v: usize) -> u8 {
+        let (i, j) = self.map(u, v);
+        self.part.get(i, j)
+    }
+
+    #[inline]
+    fn swap(&mut self, a: (usize, usize), b: (usize, usize)) {
+        let ra = self.map(a.0, a.1);
+        let rb = self.map(b.0, b.1);
+        self.part.swap(ra, rb);
+    }
+
+    #[inline]
+    fn row_has(&self, proc: u8, u: usize) -> bool {
+        match self.dir {
+            NDirection::Down => self.part.row_has(proc, u),
+            NDirection::Up => self.part.row_has(proc, self.n - 1 - u),
+            NDirection::Right => self.part.col_has(proc, u),
+            NDirection::Left => self.part.col_has(proc, self.n - 1 - u),
+        }
+    }
+
+    #[inline]
+    fn col_has(&self, proc: u8, v: usize) -> bool {
+        match self.dir {
+            NDirection::Down | NDirection::Up => self.part.col_has(proc, v),
+            NDirection::Right | NDirection::Left => self.part.row_has(proc, v),
+        }
+    }
+
+    #[inline]
+    fn col_count(&self, proc: u8, v: usize) -> u32 {
+        match self.dir {
+            NDirection::Down | NDirection::Up => self.part.col_count(proc, v),
+            NDirection::Right | NDirection::Left => self.part.row_count(proc, v),
+        }
+    }
+
+    #[inline]
+    fn row_count_canon(&self, proc: u8, u: usize) -> u32 {
+        match self.dir {
+            NDirection::Down => self.part.row_count(proc, u),
+            NDirection::Up => self.part.row_count(proc, self.n - 1 - u),
+            NDirection::Right => self.part.col_count(proc, u),
+            NDirection::Left => self.part.col_count(proc, self.n - 1 - u),
+        }
+    }
+
+    fn enclosing_rect_canonical(&self, proc: u8) -> Option<(usize, usize, usize, usize)> {
+        let r = self.part.enclosing_rect(proc)?;
+        let n = self.n;
+        Some(match self.dir {
+            NDirection::Down => (r.top, r.bottom, r.left, r.right),
+            NDirection::Up => (n - 1 - r.bottom, n - 1 - r.top, r.left, r.right),
+            NDirection::Right => (r.left, r.right, r.top, r.bottom),
+            NDirection::Left => (n - 1 - r.right, n - 1 - r.left, r.top, r.bottom),
+        })
+    }
+}
+
+/// Result of an applied generalized push.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NAppliedPush {
+    /// The active processor.
+    pub proc: u8,
+    /// Direction.
+    pub dir: NDirection,
+    /// Mode under which it was legal.
+    pub mode: PushMode,
+    /// Exact ΔVoC in line units.
+    pub delta_voc_units: i64,
+    /// Swaps performed.
+    pub swaps: usize,
+}
+
+/// Attempt a push of `proc` in `dir`, trying modes strictest-first.
+/// Commits the first legal one; otherwise leaves the partition untouched.
+pub fn try_push_n(part: &mut NPartition, proc: u8, dir: NDirection) -> Option<NAppliedPush> {
+    PushMode::ALL
+        .iter()
+        .find_map(|&mode| try_push_mode(part, proc, dir, mode))
+}
+
+/// Attempt a push under one specific mode.
+pub fn try_push_mode(
+    part: &mut NPartition,
+    proc: u8,
+    dir: NDirection,
+    mode: PushMode,
+) -> Option<NAppliedPush> {
+    let k = part.k();
+    let voc_before = part.voc_units() as i64;
+    let mut view = NView::new(part, dir);
+    let (top, bottom, left, right) = view.enclosing_rect_canonical(proc)?;
+    if bottom == top {
+        return None; // single-line rectangle: nowhere to go
+    }
+    let kline = top;
+
+    let cleaned: Vec<usize> = (left..=right)
+        .filter(|&v| view.get(kline, v) == proc)
+        .collect();
+    let m = cleaned.len();
+    debug_assert!(m > 0);
+
+    // Owner slots: every processor except the active one.
+    let owners: Vec<u8> = (0..k as u8).filter(|&p| p != proc).collect();
+    let slot_of = |p: u8| owners.iter().position(|&o| o == p).expect("owner slot");
+
+    // Phase 1: bucket interior targets per owner by active dirty cost and
+    // owner-line cleaning bonus.
+    let cap = m + 64;
+    let mut buckets: Vec<[Vec<(usize, usize)>; 6]> =
+        (0..owners.len()).map(|_| Default::default()).collect();
+    for g in (kline + 1)..=bottom {
+        for h in left..=right {
+            let owner = view.get(g, h);
+            if owner == proc {
+                continue;
+            }
+            let col_has_excl_k = {
+                let mut cnt = view.col_count(proc, h);
+                if view.get(kline, h) == proc {
+                    cnt -= 1;
+                }
+                cnt > 0
+            };
+            let cost =
+                usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
+            let cleans = view.row_count_canon(owner, g) == 1
+                || view.col_count(owner, h) == 1;
+            let bucket = cost * 2 + usize::from(!cleans);
+            let vec = &mut buckets[slot_of(owner)][bucket];
+            if vec.len() < cap {
+                vec.push((g, h));
+            }
+        }
+    }
+    let owner_targets: Vec<Vec<(usize, usize)>> = buckets
+        .into_iter()
+        .map(|b| b.into_iter().flatten().collect())
+        .collect();
+
+    // Phase 2: assign an owner to each vacated position. A position is
+    // free for an owner when that owner already occupies both the cleaned
+    // line and the position's cross line.
+    let row_k_has: Vec<bool> = owners.iter().map(|&o| view.row_has(o, kline)).collect();
+    let displaced_strict = !matches!(mode, PushMode::Relaxed);
+    let mut demand = vec![0usize; owners.len()];
+    let avail: Vec<usize> = owner_targets.iter().map(Vec::len).collect();
+    let mut assignment: Vec<usize> = Vec::with_capacity(m);
+    let mut flexible: Vec<usize> = Vec::new();
+    for (idx, &v) in cleaned.iter().enumerate() {
+        let free: Vec<usize> = (0..owners.len())
+            .filter(|&s| row_k_has[s] && view.col_has(owners[s], v))
+            .collect();
+        match free.len() {
+            0 if displaced_strict => return None,
+            1 if demand[free[0]] < avail[free[0]] => {
+                assignment.push(free[0]);
+                demand[free[0]] += 1;
+            }
+            _ => {
+                // Prefer a free owner with spare targets; resolved below.
+                assignment.push(usize::MAX);
+                flexible.push(idx);
+            }
+        }
+    }
+    for idx in flexible {
+        let v = cleaned[idx];
+        // Free owners first, then anyone with spare targets.
+        let mut order: Vec<usize> = (0..owners.len()).collect();
+        order.sort_by_key(|&s| !(row_k_has[s] && view.col_has(owners[s], v)));
+        let mut placed = false;
+        for s in order {
+            if demand[s] < avail[s] {
+                if displaced_strict && !(row_k_has[s] && view.col_has(owners[s], v)) {
+                    continue;
+                }
+                assignment[idx] = s;
+                demand[s] += 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+
+    // Phase 3: pair and swap under the active-side rules.
+    let mut journal: Vec<((usize, usize), (usize, usize))> = Vec::with_capacity(m);
+    let mut dirty_used = 0usize;
+    let mut next = vec![0usize; owners.len()];
+    let mut ok = true;
+    'elems: for (idx, &v) in cleaned.iter().enumerate() {
+        let slot = assignment[idx];
+        loop {
+            let Some(&(g, h)) = owner_targets[slot].get(next[slot]) else {
+                ok = false;
+                break 'elems;
+            };
+            next[slot] += 1;
+            if view.get(g, h) == proc {
+                continue;
+            }
+            let col_has_excl_k = {
+                let mut cnt = view.col_count(proc, h);
+                if view.get(kline, h) == proc {
+                    cnt -= 1;
+                }
+                cnt > 0
+            };
+            let cost =
+                usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
+            let admissible = match mode {
+                PushMode::Strict => cost == 0 || dirty_used + cost <= 1,
+                PushMode::Budgeted | PushMode::Relaxed => true,
+            };
+            if !admissible {
+                continue;
+            }
+            view.swap((kline, v), (g, h));
+            journal.push(((kline, v), (g, h)));
+            dirty_used += cost;
+            break;
+        }
+    }
+
+    let delta = view.part.voc_units() as i64 - voc_before;
+    let contract_ok = match mode {
+        PushMode::Strict | PushMode::Budgeted => delta < 0,
+        PushMode::Relaxed => delta <= 0,
+    };
+    if !ok || !contract_ok {
+        for &(a, b) in journal.iter().rev() {
+            view.swap(a, b);
+        }
+        debug_assert_eq!(view.part.voc_units() as i64, voc_before);
+        return None;
+    }
+    Some(NAppliedPush {
+        proc,
+        dir,
+        mode,
+        delta_voc_units: delta,
+        swaps: journal.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_never_raises_voc_k4() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut part = NPartition::random(24, &[6, 3, 2, 1], &mut rng);
+        let mut voc = part.voc();
+        for _ in 0..50 {
+            let mut any = false;
+            for proc in 1..4u8 {
+                for dir in NDirection::ALL {
+                    if let Some(ap) = try_push_n(&mut part, proc, dir) {
+                        assert!(ap.delta_voc_units <= 0);
+                        assert!(part.voc() <= voc);
+                        voc = part.voc();
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        part.assert_invariants();
+    }
+
+    #[test]
+    fn failed_push_rolls_back_k5() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let part = NPartition::random(16, &[8, 3, 2, 2, 1], &mut rng);
+        for proc in 1..5u8 {
+            for dir in NDirection::ALL {
+                for mode in PushMode::ALL {
+                    let mut scratch = part.clone();
+                    if try_push_mode(&mut scratch, proc, dir, mode).is_none() {
+                        assert_eq!(scratch, part, "{proc} {dir:?} {mode:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn element_counts_preserved() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut part = NPartition::random(20, &[5, 2, 2, 1], &mut rng);
+        let before: Vec<usize> = (0..4).map(|p| part.elems(p as u8)).collect();
+        for proc in 1..4u8 {
+            for dir in NDirection::ALL {
+                let _ = try_push_n(&mut part, proc, dir);
+            }
+        }
+        let after: Vec<usize> = (0..4).map(|p| part.elems(p as u8)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn exact_square_is_fixed_point() {
+        // A k=4 partition with three exact corner squares: no pushes.
+        let mut part = NPartition::new(12, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                part.set(i, j, 1);
+                part.set(i + 8, j + 8, 2);
+                part.set(i, j + 8, 3);
+            }
+        }
+        for proc in 1..4u8 {
+            for dir in NDirection::ALL {
+                let mut scratch = part.clone();
+                assert!(
+                    try_push_n(&mut scratch, proc, dir).is_none(),
+                    "{proc} {dir:?} should not push"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! The partition grid: `q(i, j) -> {R, S, P}` with incremental accounting.
+//!
+//! [`Partition`] is the workhorse of the whole reproduction. Besides the raw
+//! cell assignments it maintains, under every mutation:
+//!
+//! - `row_count[X][i]` / `col_count[X][j]`: how many elements of processor
+//!   `X` live in row `i` / column `j`,
+//! - `row_procs[i]` / `col_procs[j]`: the paper's `c_i` / `c_j` — how many
+//!   *distinct* processors own elements in that line,
+//! - `voc_units`: `Σ_i (c_i - 1) + Σ_j (c_j - 1)`, so that the paper's
+//!   Eq. 1 volume of communication is `N * voc_units`,
+//! - `elems[X]`: the element count `∈X` of each processor.
+//!
+//! All of these update in `O(1)` per [`Partition::set`], which is what lets
+//! the Push engine evaluate the legality (ΔVoC) of a candidate push cheaply
+//! and roll it back if illegal.
+
+use crate::proc_::Proc;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A partition of an `n x n` matrix among processors `R`, `S`, `P`.
+///
+/// See the [module documentation](self) for the maintained invariants.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    n: usize,
+    /// Row-major `q` values (`0 = R`, `1 = S`, `2 = P`).
+    cells: Vec<u8>,
+    /// `row_count[X][i]`: elements of processor `X` in row `i`.
+    row_count: [Vec<u32>; 3],
+    /// `col_count[X][j]`: elements of processor `X` in column `j`.
+    col_count: [Vec<u32>; 3],
+    /// `c_i`: number of distinct processors in each row.
+    row_procs: Vec<u8>,
+    /// `c_j`: number of distinct processors in each column.
+    col_procs: Vec<u8>,
+    /// `Σ_i (c_i - 1) + Σ_j (c_j - 1)`; `VoC = n * voc_units`.
+    voc_units: u64,
+    /// `∈X` per processor.
+    elems: [usize; 3],
+    /// Zobrist-style state hash, maintained incrementally: XOR of a mixed
+    /// key per `(cell, owner)` pair. Lets the Push DFA detect revisited
+    /// states (VoC-neutral cycles) in `O(1)`.
+    zobrist: u64,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer used to derive the
+/// per-(cell, owner) Zobrist keys without storing a table.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Partition {
+    /// A partition with every element assigned to `fill`.
+    ///
+    /// The paper's random `q0` generator starts from an all-`P` matrix
+    /// (Section VI-A-2).
+    pub fn new(n: usize, fill: Proc) -> Partition {
+        assert!(n > 0, "matrix size must be positive");
+        let counts_full = vec![n as u32; n];
+        let counts_zero = vec![0u32; n];
+        let mut row_count = [counts_zero.clone(), counts_zero.clone(), counts_zero.clone()];
+        let mut col_count = row_count.clone();
+        row_count[fill.idx()] = counts_full.clone();
+        col_count[fill.idx()] = counts_full;
+        let mut elems = [0usize; 3];
+        elems[fill.idx()] = n * n;
+        let mut zobrist = 0u64;
+        for idx in 0..(n * n) as u64 {
+            zobrist ^= mix64(idx * 3 + u64::from(fill.q()));
+        }
+        Partition {
+            n,
+            cells: vec![fill.q(); n * n],
+            row_count,
+            col_count,
+            row_procs: vec![1; n],
+            col_procs: vec![1; n],
+            voc_units: 0,
+            elems,
+            zobrist,
+        }
+    }
+
+    /// Build a partition by evaluating `f(i, j)` for every cell.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> Proc) -> Partition {
+        let mut part = Partition::new(n, Proc::P);
+        for i in 0..n {
+            for j in 0..n {
+                part.set(i, j, f(i, j));
+            }
+        }
+        part
+    }
+
+    /// Matrix dimension `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n);
+        i * self.n + j
+    }
+
+    /// The processor assigned to cell `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Proc {
+        Proc::from_q(self.cells[self.at(i, j)])
+    }
+
+    /// Reassign cell `(i, j)` to `proc`, returning the previous owner.
+    ///
+    /// Updates every derived count in `O(1)`.
+    pub fn set(&mut self, i: usize, j: usize, proc: Proc) -> Proc {
+        let idx = self.at(i, j);
+        let old = Proc::from_q(self.cells[idx]);
+        if old == proc {
+            return old;
+        }
+        self.cells[idx] = proc.q();
+        self.elems[old.idx()] -= 1;
+        self.elems[proc.idx()] += 1;
+        self.zobrist ^= mix64(idx as u64 * 3 + u64::from(old.q()))
+            ^ mix64(idx as u64 * 3 + u64::from(proc.q()));
+
+        // Row i bookkeeping.
+        let rc_old = &mut self.row_count[old.idx()][i];
+        *rc_old -= 1;
+        if *rc_old == 0 {
+            self.row_procs[i] -= 1;
+            self.voc_units -= 1;
+        }
+        let rc_new = &mut self.row_count[proc.idx()][i];
+        if *rc_new == 0 {
+            self.row_procs[i] += 1;
+            self.voc_units += 1;
+        }
+        *rc_new += 1;
+
+        // Column j bookkeeping.
+        let cc_old = &mut self.col_count[old.idx()][j];
+        *cc_old -= 1;
+        if *cc_old == 0 {
+            self.col_procs[j] -= 1;
+            self.voc_units -= 1;
+        }
+        let cc_new = &mut self.col_count[proc.idx()][j];
+        if *cc_new == 0 {
+            self.col_procs[j] += 1;
+            self.voc_units += 1;
+        }
+        *cc_new += 1;
+
+        old
+    }
+
+    /// Swap the assignments of two cells. A no-op if they match.
+    pub fn swap(&mut self, a: (usize, usize), b: (usize, usize)) {
+        let pa = self.get(a.0, a.1);
+        let pb = self.get(b.0, b.1);
+        if pa == pb {
+            return;
+        }
+        self.set(a.0, a.1, pb);
+        self.set(b.0, b.1, pa);
+    }
+
+    /// `∈X`: the number of elements assigned to `proc`.
+    #[inline]
+    pub fn elems(&self, proc: Proc) -> usize {
+        self.elems[proc.idx()]
+    }
+
+    /// Elements of `proc` in row `i`.
+    #[inline]
+    pub fn row_count(&self, proc: Proc, i: usize) -> u32 {
+        self.row_count[proc.idx()][i]
+    }
+
+    /// Elements of `proc` in column `j`.
+    #[inline]
+    pub fn col_count(&self, proc: Proc, j: usize) -> u32 {
+        self.col_count[proc.idx()][j]
+    }
+
+    /// The paper's `row(q, i, X)` predicate: does row `i` contain any element
+    /// of `proc`? (Section VI-B.)
+    #[inline]
+    pub fn row_has(&self, proc: Proc, i: usize) -> bool {
+        self.row_count[proc.idx()][i] > 0
+    }
+
+    /// The paper's `col(q, j, X)` predicate.
+    #[inline]
+    pub fn col_has(&self, proc: Proc, j: usize) -> bool {
+        self.col_count[proc.idx()][j] > 0
+    }
+
+    /// `c_i`: number of distinct processors owning elements in row `i`.
+    #[inline]
+    pub fn procs_in_row(&self, i: usize) -> u8 {
+        self.row_procs[i]
+    }
+
+    /// `c_j`: number of distinct processors owning elements in column `j`.
+    #[inline]
+    pub fn procs_in_col(&self, j: usize) -> u8 {
+        self.col_procs[j]
+    }
+
+    /// `i_X`: the number of rows containing elements of `proc`
+    /// (used by the PCB model, Eq. 6).
+    pub fn rows_occupied(&self, proc: Proc) -> usize {
+        self.row_count[proc.idx()].iter().filter(|&&c| c > 0).count()
+    }
+
+    /// `j_X`: the number of columns containing elements of `proc`.
+    pub fn cols_occupied(&self, proc: Proc) -> usize {
+        self.col_count[proc.idx()].iter().filter(|&&c| c > 0).count()
+    }
+
+    /// `Σ_i (c_i - 1) + Σ_j (c_j - 1)`, the volume of communication in units
+    /// of "lines": `VoC = N * voc_units()` (Eq. 1).
+    #[inline]
+    pub fn voc_units(&self) -> u64 {
+        self.voc_units
+    }
+
+    /// The paper's Eq. 1 volume of communication, in elements.
+    #[inline]
+    pub fn voc(&self) -> u64 {
+        self.n as u64 * self.voc_units
+    }
+
+    /// A 64-bit hash of the full assignment, maintained incrementally
+    /// (Zobrist hashing). Equal partitions always hash equal; the DFA uses
+    /// it to detect revisited states in VoC-neutral push cycles.
+    #[inline]
+    pub fn state_hash(&self) -> u64 {
+        self.zobrist
+    }
+
+    /// The enclosing rectangle of `proc` (Fig. 4), or `None` if the processor
+    /// owns no elements. `O(N)` scan of the per-line counts.
+    pub fn enclosing_rect(&self, proc: Proc) -> Option<Rect> {
+        let rows = &self.row_count[proc.idx()];
+        let cols = &self.col_count[proc.idx()];
+        let top = rows.iter().position(|&c| c > 0)?;
+        let bottom = rows.iter().rposition(|&c| c > 0)?;
+        let left = cols.iter().position(|&c| c > 0)?;
+        let right = cols.iter().rposition(|&c| c > 0)?;
+        Some(Rect::new(top, bottom, left, right))
+    }
+
+    /// Iterate over the cells assigned to `proc`, row-major.
+    pub fn cells_of(&self, proc: Proc) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n = self.n;
+        let q = proc.q();
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &c)| c == q)
+            .map(move |(idx, _)| (idx / n, idx % n))
+    }
+
+    /// Assign every cell of `rect` to `proc`.
+    pub fn fill_rect(&mut self, rect: Rect, proc: Proc) {
+        assert!(rect.bottom < self.n && rect.right < self.n, "rect out of bounds");
+        for (i, j) in rect.cells() {
+            self.set(i, j, proc);
+        }
+    }
+
+    /// Does `proc` exactly fill its enclosing rectangle? (A *rectangular*
+    /// processor in the strict sense.)
+    pub fn is_exact_rect(&self, proc: Proc) -> bool {
+        match self.enclosing_rect(proc) {
+            None => false,
+            Some(rect) => rect.area() == self.elems(proc),
+        }
+    }
+
+    /// Fully recompute every derived count from the raw cells and panic on
+    /// any mismatch. Test/debug aid; `O(N²)`.
+    pub fn assert_invariants(&self) {
+        let n = self.n;
+        let mut row_count = [vec![0u32; n], vec![0u32; n], vec![0u32; n]];
+        let mut col_count = row_count.clone();
+        let mut elems = [0usize; 3];
+        for i in 0..n {
+            for j in 0..n {
+                let p = Proc::from_q(self.cells[i * n + j]);
+                row_count[p.idx()][i] += 1;
+                col_count[p.idx()][j] += 1;
+                elems[p.idx()] += 1;
+            }
+        }
+        assert_eq!(row_count, self.row_count, "row_count drift");
+        assert_eq!(col_count, self.col_count, "col_count drift");
+        assert_eq!(elems, self.elems, "elems drift");
+        let mut voc_units = 0u64;
+        for i in 0..n {
+            let c_i = Proc::ALL.iter().filter(|p| row_count[p.idx()][i] > 0).count() as u8;
+            assert_eq!(c_i, self.row_procs[i], "row_procs drift at row {i}");
+            voc_units += u64::from(c_i) - 1;
+        }
+        for j in 0..n {
+            let c_j = Proc::ALL.iter().filter(|p| col_count[p.idx()][j] > 0).count() as u8;
+            assert_eq!(c_j, self.col_procs[j], "col_procs drift at col {j}");
+            voc_units += u64::from(c_j) - 1;
+        }
+        assert_eq!(voc_units, self.voc_units, "voc_units drift");
+        let mut zobrist = 0u64;
+        for (idx, &q) in self.cells.iter().enumerate() {
+            zobrist ^= mix64(idx as u64 * 3 + u64::from(q));
+        }
+        assert_eq!(zobrist, self.zobrist, "zobrist drift");
+    }
+}
+
+impl fmt::Debug for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Partition(n={}, voc={}, elems R={} S={} P={})",
+            self.n,
+            self.voc(),
+            self.elems(Proc::R),
+            self.elems(Proc::S),
+            self.elems(Proc::P),
+        )?;
+        if self.n <= 64 {
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    write!(f, "{}", self.get(i, j).letter())?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_uniform() {
+        let p = Partition::new(8, Proc::P);
+        assert_eq!(p.elems(Proc::P), 64);
+        assert_eq!(p.elems(Proc::R), 0);
+        assert_eq!(p.voc(), 0);
+        assert_eq!(p.enclosing_rect(Proc::P), Some(Rect::new(0, 7, 0, 7)));
+        assert_eq!(p.enclosing_rect(Proc::R), None);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn set_updates_counts_and_voc() {
+        let mut p = Partition::new(4, Proc::P);
+        p.set(1, 2, Proc::R);
+        // Row 1 and column 2 now have two processors each: +2 line units.
+        assert_eq!(p.voc_units(), 2);
+        assert_eq!(p.voc(), 8);
+        assert_eq!(p.elems(Proc::R), 1);
+        assert_eq!(p.procs_in_row(1), 2);
+        assert_eq!(p.procs_in_col(2), 2);
+        p.assert_invariants();
+
+        // Setting back restores everything.
+        p.set(1, 2, Proc::P);
+        assert_eq!(p.voc(), 0);
+        assert_eq!(p.elems(Proc::R), 0);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn three_procs_in_one_row() {
+        let mut p = Partition::new(3, Proc::P);
+        p.set(0, 0, Proc::R);
+        p.set(0, 1, Proc::S);
+        assert_eq!(p.procs_in_row(0), 3);
+        // Row 0 contributes 2 units; columns 0 and 1 contribute 1 each.
+        assert_eq!(p.voc_units(), 4);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn swap_preserves_elem_counts() {
+        let mut p = Partition::new(5, Proc::P);
+        p.set(0, 0, Proc::R);
+        p.set(4, 4, Proc::S);
+        let before = [p.elems(Proc::R), p.elems(Proc::S), p.elems(Proc::P)];
+        p.swap((0, 0), (4, 4));
+        let after = [p.elems(Proc::R), p.elems(Proc::S), p.elems(Proc::P)];
+        assert_eq!(before, after);
+        assert_eq!(p.get(0, 0), Proc::S);
+        assert_eq!(p.get(4, 4), Proc::R);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn swap_same_proc_is_noop() {
+        let mut p = Partition::new(3, Proc::P);
+        let before = p.clone();
+        p.swap((0, 0), (2, 2));
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn enclosing_rect_tracks_extremes() {
+        let mut p = Partition::new(10, Proc::P);
+        p.set(2, 3, Proc::R);
+        p.set(7, 5, Proc::R);
+        assert_eq!(p.enclosing_rect(Proc::R), Some(Rect::new(2, 7, 3, 5)));
+        p.set(2, 3, Proc::P);
+        assert_eq!(p.enclosing_rect(Proc::R), Some(Rect::new(7, 7, 5, 5)));
+    }
+
+    #[test]
+    fn fill_rect_and_exact_rect() {
+        let mut p = Partition::new(8, Proc::P);
+        p.fill_rect(Rect::new(2, 4, 1, 3), Proc::R);
+        assert!(p.is_exact_rect(Proc::R));
+        assert_eq!(p.elems(Proc::R), 9);
+        p.set(2, 1, Proc::S);
+        assert!(!p.is_exact_rect(Proc::R));
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn rows_cols_occupied() {
+        let mut p = Partition::new(6, Proc::P);
+        p.fill_rect(Rect::new(0, 2, 0, 1), Proc::S);
+        assert_eq!(p.rows_occupied(Proc::S), 3);
+        assert_eq!(p.cols_occupied(Proc::S), 2);
+        assert_eq!(p.rows_occupied(Proc::P), 6);
+        assert_eq!(p.cols_occupied(Proc::P), 6);
+    }
+
+    #[test]
+    fn voc_matches_eq1_definition() {
+        // Traditional three horizontal strips: every column has 3 procs,
+        // every row exactly 1. VoC = N * N * 2 (columns only).
+        let n = 9;
+        let p = Partition::from_fn(n, |i, _| {
+            if i < 3 {
+                Proc::P
+            } else if i < 6 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        });
+        assert_eq!(p.voc(), (n * n * 2) as u64);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let p = Partition::from_fn(5, |i, j| if (i + j) % 2 == 0 { Proc::R } else { Proc::S });
+        for i in 0..5 {
+            for j in 0..5 {
+                let want = if (i + j) % 2 == 0 { Proc::R } else { Proc::S };
+                assert_eq!(p.get(i, j), want);
+            }
+        }
+    }
+
+    #[test]
+    fn state_hash_tracks_content_not_history() {
+        let mut a = Partition::new(6, Proc::P);
+        a.set(1, 1, Proc::R);
+        a.set(2, 2, Proc::S);
+        let mut b = Partition::new(6, Proc::P);
+        b.set(2, 2, Proc::S);
+        b.set(1, 1, Proc::R);
+        assert_eq!(a.state_hash(), b.state_hash());
+        a.set(1, 1, Proc::P);
+        assert_ne!(a.state_hash(), b.state_hash());
+        a.set(1, 1, Proc::R);
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+}

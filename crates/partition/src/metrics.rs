@@ -1,0 +1,319 @@
+//! Communication metrics extracted from a [`Partition`].
+//!
+//! The five performance models (crate `hetmmm-cost`) are functions of a small
+//! set of per-partition quantities defined in Sections II and IV-B of the
+//! paper:
+//!
+//! - the total serial communication volume (Eq. 1 / Eq. 3),
+//! - per-processor send volumes `d_X = N·i_X + N·j_X − ∈X` (Eq. 6),
+//! - per-processor element counts `∈X` (computation volume),
+//! - per-processor *locally computable* update counts (the `o_X` overlap
+//!   terms of the SCO/PCO models, Eqs. 7–8).
+//!
+//! [`CommMetrics::from_partition`] gathers them all in one pass so the cost
+//! models never need the grid itself.
+
+use crate::grid::Partition;
+use crate::proc_::Proc;
+use serde::{Deserialize, Serialize};
+
+/// Per-processor communication/computation quantities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcMetrics {
+    /// `i_X`: number of rows containing elements of this processor.
+    pub rows_occupied: usize,
+    /// `j_X`: number of columns containing elements of this processor.
+    pub cols_occupied: usize,
+    /// `∈X`: number of elements assigned to this processor.
+    pub elems: usize,
+    /// Number of scalar updates `C[i,j] += A[i,k] * B[k,j]` for which this
+    /// processor owns all three operands — the work available for bulk
+    /// overlap (`o_X` numerator in Eqs. 7–8).
+    pub local_updates: u64,
+}
+
+impl ProcMetrics {
+    /// `d_X` in *elements*: `N·i_X + N·j_X − ∈X` (Eq. 6). The time to send
+    /// all data owned by the processor that others need, under the
+    /// fully-connected topology.
+    pub fn send_elems(&self, n: usize) -> u64 {
+        (n * self.rows_occupied + n * self.cols_occupied) as u64 - self.elems as u64
+    }
+
+    /// Number of scalar updates that *require* communicated operands:
+    /// `N·∈X − local_updates` (each of the `∈X` C-elements receives `N`
+    /// updates in the kij algorithm).
+    pub fn remote_updates(&self, n: usize) -> u64 {
+        n as u64 * self.elems as u64 - self.local_updates
+    }
+}
+
+/// All quantities the cost models need, extracted from one partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommMetrics {
+    /// Matrix dimension `N`.
+    pub n: usize,
+    /// Per-processor metrics, indexed by [`Proc::idx`] (`[R, S, P]`).
+    pub per_proc: [ProcMetrics; 3],
+    /// Eq. 1 total volume of communication, in elements.
+    pub voc: u64,
+}
+
+impl CommMetrics {
+    /// Extract the metrics from a partition.
+    ///
+    /// Everything except `local_updates` is `O(N)`; `local_updates` uses a
+    /// bitset inner-product sweep costing `O(N³ / 64)` — fast enough for the
+    /// `N ≤ 2000` grids the search and tests use. Callers that only need
+    /// communication quantities can use
+    /// [`CommMetrics::from_partition_comm_only`].
+    pub fn from_partition(part: &Partition) -> CommMetrics {
+        let mut metrics = Self::from_partition_comm_only(part);
+        let local = local_updates(part);
+        for p in Proc::ALL {
+            metrics.per_proc[p.idx()].local_updates = local[p.idx()];
+        }
+        metrics
+    }
+
+    /// Extract only the communication quantities (`local_updates` left 0).
+    pub fn from_partition_comm_only(part: &Partition) -> CommMetrics {
+        let per_proc = Proc::ALL.map(|p| ProcMetrics {
+            rows_occupied: part.rows_occupied(p),
+            cols_occupied: part.cols_occupied(p),
+            elems: part.elems(p),
+            local_updates: 0,
+        });
+        CommMetrics {
+            n: part.n(),
+            per_proc,
+            voc: part.voc(),
+        }
+    }
+
+    /// Metrics of one processor.
+    #[inline]
+    pub fn proc(&self, p: Proc) -> &ProcMetrics {
+        &self.per_proc[p.idx()]
+    }
+}
+
+/// Pairwise communication volumes `vol[X][Y]`: the number of matrix elements
+/// owner `X` must send to processor `Y` under the kij algorithm.
+///
+/// Element `(i, j)` (present in both A and B, identically partitioned) goes
+/// to `Y ≠ X` once as an A-element when `Y` owns any element of row `i`, and
+/// once as a B-element when `Y` owns any element of column `j`. Summing over
+/// all elements and receivers recovers exactly the Eq. 1 VoC:
+/// `Σ_{X≠Y} vol[X][Y] = VoC`.
+pub fn pairwise_volumes(part: &Partition) -> [[u64; 3]; 3] {
+    let n = part.n();
+    let mut vol = [[0u64; 3]; 3];
+    for x in Proc::ALL {
+        for y in Proc::ALL {
+            if x == y {
+                continue;
+            }
+            let mut total = 0u64;
+            for i in 0..n {
+                if part.row_has(y, i) {
+                    total += u64::from(part.row_count(x, i));
+                }
+            }
+            for j in 0..n {
+                if part.col_has(y, j) {
+                    total += u64::from(part.col_count(x, j));
+                }
+            }
+            vol[x.idx()][y.idx()] = total;
+        }
+    }
+    vol
+}
+
+/// Count, for each processor `X`, the scalar updates `(i, j, k)` with
+/// `owner(i,j) = owner(i,k) = owner(k,j) = X`.
+///
+/// Implementation: one `N`-bit row bitset per matrix row per processor; for
+/// each pivot `k`, the contribution is `Σ_{i ∈ I_k} |rowbits[i] ∩ J_k|`
+/// where `I_k` is the X-owned column `k` and `J_k` the X-owned row `k`.
+pub fn local_updates(part: &Partition) -> [u64; 3] {
+    let n = part.n();
+    let words = n.div_ceil(64);
+    // rowbits[p][i * words ..][..words]: bitset of columns of row i owned by p.
+    let mut rowbits = vec![vec![0u64; n * words]; 3];
+    for i in 0..n {
+        for j in 0..n {
+            let p = part.get(i, j).idx();
+            rowbits[p][i * words + j / 64] |= 1u64 << (j % 64);
+        }
+    }
+    let mut totals = [0u64; 3];
+    let mut jk = vec![0u64; words];
+    for p in 0..3 {
+        let proc = Proc::from_q(p as u8);
+        let bits = &rowbits[p];
+        for k in 0..n {
+            // J_k: columns of row k owned by proc.
+            jk.copy_from_slice(&bits[k * words..(k + 1) * words]);
+            if jk.iter().all(|&w| w == 0) {
+                continue;
+            }
+            // I_k: rows i with (i, k) owned by proc.
+            for i in 0..n {
+                if part.get(i, k) == proc {
+                    let row = &bits[i * words..(i + 1) * words];
+                    let mut acc = 0u32;
+                    for (a, b) in row.iter().zip(jk.iter()) {
+                        acc += (a & b).count_ones();
+                    }
+                    totals[p] += u64::from(acc);
+                }
+            }
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    /// Brute-force `O(N³)` reference for `local_updates`.
+    fn local_updates_naive(part: &Partition) -> [u64; 3] {
+        let n = part.n();
+        let mut totals = [0u64; 3];
+        for i in 0..n {
+            for j in 0..n {
+                let owner = part.get(i, j);
+                for k in 0..n {
+                    if part.get(i, k) == owner && part.get(k, j) == owner {
+                        totals[owner.idx()] += 1;
+                    }
+                }
+            }
+        }
+        totals
+    }
+
+    #[test]
+    fn uniform_partition_is_fully_local() {
+        let part = Partition::new(6, Proc::P);
+        let m = CommMetrics::from_partition(&part);
+        assert_eq!(m.voc, 0);
+        assert_eq!(m.proc(Proc::P).local_updates, 6 * 6 * 6);
+        assert_eq!(m.proc(Proc::P).remote_updates(6), 0);
+        assert_eq!(m.proc(Proc::R).elems, 0);
+    }
+
+    #[test]
+    fn bitset_matches_naive_on_strips() {
+        let part = Partition::from_fn(9, |i, _| {
+            if i < 3 {
+                Proc::P
+            } else if i < 6 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        });
+        assert_eq!(local_updates(&part), local_updates_naive(&part));
+    }
+
+    #[test]
+    fn bitset_matches_naive_on_square_corner() {
+        let mut part = Partition::new(12, Proc::P);
+        part.fill_rect(Rect::new(0, 3, 0, 3), Proc::R);
+        part.fill_rect(Rect::new(8, 11, 8, 11), Proc::S);
+        assert_eq!(local_updates(&part), local_updates_naive(&part));
+    }
+
+    #[test]
+    fn bitset_matches_naive_on_scattered() {
+        // Deterministic pseudo-random scatter.
+        let part = Partition::from_fn(17, |i, j| match (i * 31 + j * 17) % 5 {
+            0 | 1 => Proc::P,
+            2 => Proc::R,
+            _ => Proc::S,
+        });
+        assert_eq!(local_updates(&part), local_updates_naive(&part));
+    }
+
+    #[test]
+    fn send_elems_matches_eq6() {
+        // R owns a 2x3 rectangle in a 6x6 matrix:
+        // d_R = N*i_R + N*j_R - |R| = 6*2 + 6*3 - 6 = 24.
+        let mut part = Partition::new(6, Proc::P);
+        part.fill_rect(Rect::new(1, 2, 0, 2), Proc::R);
+        let m = CommMetrics::from_partition_comm_only(&part);
+        assert_eq!(m.proc(Proc::R).send_elems(6), 24);
+        // P occupies every row and column: d_P = 6*6 + 6*6 - 30 = 42.
+        assert_eq!(m.proc(Proc::P).send_elems(6), 42);
+    }
+
+    #[test]
+    fn remote_plus_local_equals_total_updates() {
+        let part = Partition::from_fn(10, |i, j| {
+            if i < 5 && j < 5 {
+                Proc::R
+            } else if i >= 5 && j >= 5 {
+                Proc::S
+            } else {
+                Proc::P
+            }
+        });
+        let m = CommMetrics::from_partition(&part);
+        for p in Proc::ALL {
+            let pm = m.proc(p);
+            assert_eq!(
+                pm.local_updates + pm.remote_updates(10),
+                10 * pm.elems as u64
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_volumes_sum_to_voc() {
+        let part = Partition::from_fn(10, |i, j| {
+            if i < 5 && j < 5 {
+                Proc::R
+            } else if i >= 5 && j >= 5 {
+                Proc::S
+            } else {
+                Proc::P
+            }
+        });
+        let vol = pairwise_volumes(&part);
+        let total: u64 = vol.iter().flatten().sum();
+        assert_eq!(total, part.voc());
+        for x in Proc::ALL {
+            assert_eq!(vol[x.idx()][x.idx()], 0);
+        }
+    }
+
+    #[test]
+    fn pairwise_volumes_strips() {
+        // Three horizontal strips: every column has all three processors, so
+        // every element is sent to both others as a B-element; no A-element
+        // traffic (each row has one owner).
+        let n = 9;
+        let part = Partition::from_fn(n, |i, _| {
+            if i < 3 {
+                Proc::P
+            } else if i < 6 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        });
+        let vol = pairwise_volumes(&part);
+        for x in Proc::ALL {
+            for y in Proc::ALL {
+                if x != y {
+                    assert_eq!(vol[x.idx()][y.idx()], 27, "{x}->{y}");
+                }
+            }
+        }
+    }
+}

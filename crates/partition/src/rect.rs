@@ -1,0 +1,203 @@
+//! Inclusive integer rectangles.
+//!
+//! The Push operation is defined in terms of each processor's *enclosing
+//! rectangle* — "an imaginary rectangle drawn around the elements assigned to
+//! a given processor, which is strictly large enough to encompass all such
+//! elements" (Section II, Fig. 4). The paper names the four edges of
+//! processor `X`'s enclosing rectangle `x_top`, `x_right`, `x_bottom`,
+//! `x_left`; [`Rect`] mirrors that naming.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An inclusive axis-aligned rectangle of matrix cells:
+/// rows `top..=bottom`, columns `left..=right`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Rect {
+    /// First (smallest) row index.
+    pub top: usize,
+    /// Last (largest) row index, inclusive.
+    pub bottom: usize,
+    /// First (smallest) column index.
+    pub left: usize,
+    /// Last (largest) column index, inclusive.
+    pub right: usize,
+}
+
+impl Rect {
+    /// Construct, checking `top <= bottom` and `left <= right`.
+    pub fn new(top: usize, bottom: usize, left: usize, right: usize) -> Rect {
+        assert!(top <= bottom, "Rect: top {top} > bottom {bottom}");
+        assert!(left <= right, "Rect: left {left} > right {right}");
+        Rect { top, bottom, left, right }
+    }
+
+    /// A rectangle spanning rows `rows` and columns `cols` given as
+    /// half-open ranges, e.g. `Rect::from_ranges(0..4, 2..6)`.
+    /// Panics if either range is empty.
+    pub fn from_ranges(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Rect {
+        assert!(!rows.is_empty() && !cols.is_empty(), "Rect ranges must be non-empty");
+        Rect::new(rows.start, rows.end - 1, cols.start, cols.end - 1)
+    }
+
+    /// Number of rows spanned.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.bottom - self.top + 1
+    }
+
+    /// Number of columns spanned.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.right - self.left + 1
+    }
+
+    /// Number of cells contained.
+    #[inline]
+    pub fn area(&self) -> usize {
+        self.height() * self.width()
+    }
+
+    /// Perimeter in cell-side units, `2 * (height + width)`. Used by the
+    /// canonical-form optimizer (Section IX-B minimizes combined perimeters).
+    #[inline]
+    pub fn perimeter(&self) -> usize {
+        2 * (self.height() + self.width())
+    }
+
+    /// Does this rectangle contain cell `(i, j)`?
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        i >= self.top && i <= self.bottom && j >= self.left && j <= self.right
+    }
+
+    /// Do two rectangles share at least one cell?
+    #[inline]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.top <= other.bottom
+            && other.top <= self.bottom
+            && self.left <= other.right
+            && other.left <= self.right
+    }
+
+    /// Is `other` entirely inside `self` (possibly touching the border)?
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.top <= other.top
+            && self.bottom >= other.bottom
+            && self.left <= other.left
+            && self.right >= other.right
+    }
+
+    /// Is `other` *strictly* inside `self` (no shared border line)? The
+    /// Archetype D "surround" relationship (Section VII-G).
+    #[inline]
+    pub fn strictly_contains_rect(&self, other: &Rect) -> bool {
+        self.contains_rect(other) && self != other
+    }
+
+    /// Iterate over all `(row, col)` cells of the rectangle in row-major
+    /// order.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let left = self.left;
+        let right = self.right;
+        (self.top..=self.bottom).flat_map(move |i| (left..=right).map(move |j| (i, j)))
+    }
+
+    /// The intersection of two rectangles, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.top.max(other.top),
+            self.bottom.min(other.bottom),
+            self.left.max(other.left),
+            self.right.min(other.right),
+        ))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[rows {}..={}, cols {}..={}]",
+            self.top, self.bottom, self.left, self.right
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_basics() {
+        let r = Rect::new(1, 3, 2, 6);
+        assert_eq!(r.height(), 3);
+        assert_eq!(r.width(), 5);
+        assert_eq!(r.area(), 15);
+        assert_eq!(r.perimeter(), 16);
+    }
+
+    #[test]
+    fn from_ranges_matches_new() {
+        assert_eq!(Rect::from_ranges(0..4, 2..6), Rect::new(0, 3, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn from_empty_range_panics() {
+        let _ = Rect::from_ranges(3..3, 0..1);
+    }
+
+    #[test]
+    fn contains_cells() {
+        let r = Rect::new(1, 2, 1, 2);
+        assert!(r.contains(1, 1));
+        assert!(r.contains(2, 2));
+        assert!(!r.contains(0, 1));
+        assert!(!r.contains(1, 3));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_correct() {
+        let a = Rect::new(0, 4, 0, 4);
+        let b = Rect::new(4, 8, 4, 8); // shares corner cell (4,4)
+        let c = Rect::new(5, 8, 5, 8);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0, 9, 0, 9);
+        let inner = Rect::new(2, 5, 3, 7);
+        assert!(outer.contains_rect(&inner));
+        assert!(outer.strictly_contains_rect(&inner));
+        assert!(outer.contains_rect(&outer));
+        assert!(!outer.strictly_contains_rect(&outer));
+        assert!(!inner.contains_rect(&outer));
+    }
+
+    #[test]
+    fn cells_iterator_covers_area() {
+        let r = Rect::new(2, 3, 5, 7);
+        let cells: Vec<_> = r.cells().collect();
+        assert_eq!(cells.len(), r.area());
+        assert_eq!(cells[0], (2, 5));
+        assert_eq!(*cells.last().unwrap(), (3, 7));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Rect::new(0, 5, 0, 5);
+        let b = Rect::new(3, 8, 4, 9);
+        assert_eq!(a.intersect(&b), Some(Rect::new(3, 5, 4, 5)));
+        let c = Rect::new(6, 8, 6, 9);
+        assert_eq!(a.intersect(&c), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Symmetry operations on partitions.
+//!
+//! The Eq. 1 volume of communication is defined row/column-symmetrically,
+//! so it is invariant under the dihedral symmetries of the square —
+//! transposition, horizontal/vertical mirroring, and quarter rotations.
+//! These operations normalize shapes ("a partition falls under a type if
+//! it can be rotated to meet the criteria", Section IX-A) and provide a
+//! sharp oracle for property tests: every VoC-relevant metric must be
+//! preserved exactly.
+
+use crate::grid::Partition;
+
+/// Transpose: `(i, j) → (j, i)`.
+pub fn transpose(part: &Partition) -> Partition {
+    let n = part.n();
+    Partition::from_fn(n, |i, j| part.get(j, i))
+}
+
+/// Mirror horizontally: `(i, j) → (i, n−1−j)`.
+pub fn mirror_h(part: &Partition) -> Partition {
+    let n = part.n();
+    Partition::from_fn(n, |i, j| part.get(i, n - 1 - j))
+}
+
+/// Mirror vertically: `(i, j) → (n−1−i, j)`.
+pub fn mirror_v(part: &Partition) -> Partition {
+    let n = part.n();
+    Partition::from_fn(n, |i, j| part.get(n - 1 - i, j))
+}
+
+/// Rotate a quarter turn clockwise: row `i` becomes column `n−1−i`.
+pub fn rotate_cw(part: &Partition) -> Partition {
+    let n = part.n();
+    Partition::from_fn(n, |i, j| part.get(n - 1 - j, i))
+}
+
+/// All eight dihedral images of a partition (identity included).
+pub fn dihedral_images(part: &Partition) -> Vec<Partition> {
+    let r1 = rotate_cw(part);
+    let r2 = rotate_cw(&r1);
+    let r3 = rotate_cw(&r2);
+    let m = mirror_h(part);
+    let mr1 = rotate_cw(&m);
+    let mr2 = rotate_cw(&mr1);
+    let mr3 = rotate_cw(&mr2);
+    vec![part.clone(), r1, r2, r3, m, mr1, mr2, mr3]
+}
+
+/// The lexicographically smallest dihedral image (by state hash first,
+/// then cells) — a canonical representative for duplicate detection among
+/// rotated/mirrored shapes.
+pub fn canonical_image(part: &Partition) -> Partition {
+    dihedral_images(part)
+        .into_iter()
+        .min_by_key(|p| {
+            let cells: Vec<u8> = (0..p.n())
+                .flat_map(|i| (0..p.n()).map(move |j| (i, j)))
+                .map(|(i, j)| p.get(i, j).q())
+                .collect();
+            cells
+        })
+        .expect("eight images")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::random_partition;
+    use crate::proc_::{Proc, Ratio};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(seed: u64) -> Partition {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_partition(17, Ratio::new(3, 2, 1), &mut rng)
+    }
+
+    #[test]
+    fn voc_invariant_under_all_symmetries() {
+        let part = sample(1);
+        for image in dihedral_images(&part) {
+            assert_eq!(image.voc(), part.voc());
+            assert_eq!(image.voc_units(), part.voc_units());
+            for p in Proc::ALL {
+                assert_eq!(image.elems(p), part.elems(p));
+            }
+            image.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn four_rotations_are_identity() {
+        let part = sample(2);
+        let back = rotate_cw(&rotate_cw(&rotate_cw(&rotate_cw(&part))));
+        assert_eq!(back, part);
+    }
+
+    #[test]
+    fn double_mirror_is_identity() {
+        let part = sample(3);
+        assert_eq!(mirror_h(&mirror_h(&part)), part);
+        assert_eq!(mirror_v(&mirror_v(&part)), part);
+        assert_eq!(transpose(&transpose(&part)), part);
+    }
+
+    #[test]
+    fn transpose_swaps_row_col_counts() {
+        let part = sample(4);
+        let t = transpose(&part);
+        for p in Proc::ALL {
+            for i in 0..part.n() {
+                assert_eq!(part.row_count(p, i), t.col_count(p, i));
+                assert_eq!(part.col_count(p, i), t.row_count(p, i));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_image_is_symmetry_invariant() {
+        let part = sample(5);
+        let canon = canonical_image(&part);
+        for image in dihedral_images(&part) {
+            assert_eq!(canonical_image(&image), canon);
+        }
+    }
+
+    #[test]
+    fn enclosing_rect_maps_correctly_under_rotation() {
+        let part = sample(6);
+        let rot = rotate_cw(&part);
+        let n = part.n();
+        for p in Proc::ALL {
+            let a = part.enclosing_rect(p).unwrap();
+            let b = rot.enclosing_rect(p).unwrap();
+            // Row i of the original becomes column n-1-i: heights and
+            // widths swap.
+            assert_eq!(a.height(), b.width());
+            assert_eq!(a.width(), b.height());
+            assert_eq!(b.right, n - 1 - a.top);
+            assert_eq!(b.top, a.left);
+        }
+    }
+}

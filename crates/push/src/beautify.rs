@@ -1,0 +1,113 @@
+//! Exhaustive condensation — the paper's "beautify" pass (Theorem 8.3).
+//!
+//! Archetype C shapes are fixed points of a *restricted* plan on which valid
+//! pushes remain in the directions the randomized run did not select. The
+//! paper notes: "Transforming partition shapes of this archetype is a simple
+//! matter of applying the Push operation in the direction not selected by the
+//! program. In the program, this case is handled by a 'beautify' function."
+//!
+//! [`beautify`] applies pushes for both slower processors in all four
+//! directions, round-robin, until no push is legal anywhere. The same
+//! zero-delta streak guard as the DFA protects against VoC-neutral
+//! oscillation.
+
+use crate::op::{try_push_any_type, would_push, Direction};
+use hetmmm_partition::{Partition, Proc};
+
+/// Apply pushes in every direction until the partition is fully condensed.
+/// Returns the number of pushes applied.
+pub fn beautify(part: &mut Partition) -> usize {
+    let n = part.n();
+    let step_cap = 100 * n.max(8);
+    let zero_cap = (4 * n).max(64);
+    let mut steps = 0usize;
+    let mut zero_streak = 0usize;
+    // Revisiting a state with no VoC improvement in between means the
+    // remaining pushes only cycle; stop there (same guard as the DFA).
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(part.state_hash());
+    loop {
+        let mut progressed = false;
+        for proc in Proc::PUSHABLE {
+            for dir in Direction::ALL {
+                while let Some(applied) = try_push_any_type(part, proc, dir) {
+                    steps += 1;
+                    progressed = true;
+                    if applied.delta_voc_units == 0 {
+                        zero_streak += 1;
+                        if zero_streak > zero_cap {
+                            return steps;
+                        }
+                    } else {
+                        zero_streak = 0;
+                        seen.clear();
+                    }
+                    if !seen.insert(part.state_hash()) || steps >= step_cap {
+                        return steps;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            return steps;
+        }
+    }
+}
+
+/// Is the partition a fixed point — no legal push for either slower
+/// processor in any direction? (The paper's end condition, Section VI-C.)
+pub fn is_condensed(part: &Partition) -> bool {
+    Proc::PUSHABLE
+        .into_iter()
+        .all(|p| Direction::ALL.into_iter().all(|d| !would_push(part, p, d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_partition::{random_partition, PartitionBuilder, Ratio, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beautify_reaches_fixed_point() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut part = random_partition(24, Ratio::new(3, 1, 1), &mut rng);
+        let voc_before = part.voc();
+        let steps = beautify(&mut part);
+        assert!(steps > 0);
+        assert!(part.voc() <= voc_before);
+        assert!(is_condensed(&part), "beautify must fully condense");
+        part.assert_invariants();
+    }
+
+    #[test]
+    fn beautify_idempotent() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut part = random_partition(16, Ratio::new(2, 2, 1), &mut rng);
+        beautify(&mut part);
+        let snapshot = part.clone();
+        let extra = beautify(&mut part);
+        assert_eq!(extra, 0, "second beautify must be a no-op");
+        assert_eq!(part, snapshot);
+    }
+
+    #[test]
+    fn condensed_shape_detected() {
+        let part = PartitionBuilder::new(12)
+            .rect(Rect::new(0, 3, 0, 3), Proc::R)
+            .rect(Rect::new(8, 11, 8, 11), Proc::S)
+            .build();
+        assert!(is_condensed(&part));
+    }
+
+    #[test]
+    fn scattered_shape_not_condensed() {
+        let part = PartitionBuilder::new(12)
+            .rect(Rect::new(0, 0, 0, 5), Proc::R)
+            .rect(Rect::new(5, 8, 2, 3), Proc::R)
+            .rect(Rect::new(10, 11, 10, 11), Proc::S)
+            .build();
+        assert!(!is_condensed(&part));
+    }
+}

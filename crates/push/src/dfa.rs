@@ -1,0 +1,376 @@
+//! The DFA search engine (Sections V–VI).
+//!
+//! The paper models the search for candidate optimal shapes as a
+//! Deterministic Finite Automaton: states are partition shapes, the alphabet
+//! is (active processor, push direction), the transition function is the
+//! Push, and the accept states are the fixed points where no push applies.
+//! The experimental program draws a random start state `q0` (Section
+//! VI-A-2), selects a random set of push directions for each slower
+//! processor (Section VI-A-1), and interleaves pushes in random order until
+//! no transition remains.
+//!
+//! [`DfaRunner`] reproduces that program. Each run is fully determined by a
+//! `u64` seed, and [`DfaRunner::run_many`] fans independent seeds out over
+//! rayon — the paper ran "multiple instances of the program on multiple
+//! processors" of a cluster for the same reason.
+
+use crate::op::{try_push_any_type, would_push, Direction, PushType};
+use hetmmm_partition::{random_partition, Partition, Proc, Ratio};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The randomized push plan of a single DFA run: which directions each
+/// slower processor may be pushed in (Section VI-A-1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushPlan {
+    /// `(active processor, direction)` pairs the run is allowed to use.
+    pub entries: Vec<(Proc, Direction)>,
+}
+
+impl PushPlan {
+    /// The paper's randomization: for each of `R` and `S`, draw the number
+    /// of directions (1–4), then that many distinct random directions.
+    pub fn random<RNG: Rng>(rng: &mut RNG) -> PushPlan {
+        let mut entries = Vec::with_capacity(8);
+        for proc in Proc::PUSHABLE {
+            let count = rng.random_range(1..=4usize);
+            let mut dirs = Direction::ALL;
+            dirs.shuffle(rng);
+            for &dir in dirs.iter().take(count) {
+                entries.push((proc, dir));
+            }
+        }
+        entries.shuffle(rng);
+        PushPlan { entries }
+    }
+
+    /// The full plan: both processors, all four directions. Used by
+    /// `beautify` and exhaustive condensation.
+    pub fn full() -> PushPlan {
+        let mut entries = Vec::with_capacity(8);
+        for proc in Proc::PUSHABLE {
+            for dir in Direction::ALL {
+                entries.push((proc, dir));
+            }
+        }
+        PushPlan { entries }
+    }
+
+    /// Restrict to a fixed direction set per processor (used to script runs
+    /// such as the Fig. 7 example: R ↓→, S ↓←).
+    pub fn scripted(r_dirs: &[Direction], s_dirs: &[Direction]) -> PushPlan {
+        let mut entries = Vec::new();
+        for &d in r_dirs {
+            entries.push((Proc::R, d));
+        }
+        for &d in s_dirs {
+            entries.push((Proc::S, d));
+        }
+        PushPlan { entries }
+    }
+}
+
+/// Configuration of a DFA run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DfaConfig {
+    /// Matrix dimension `N` (the paper uses 1000; smaller values keep the
+    /// same qualitative behaviour and are much faster — see DESIGN.md).
+    pub n: usize,
+    /// Processor speed ratio `P_r : R_r : S_r`.
+    pub ratio: Ratio,
+    /// Hard cap on applied pushes; a backstop, generously above the
+    /// `~2 N` steps a typical run needs (the Fig. 7 example converges in
+    /// ~2100 steps at `N = 1000`).
+    pub step_cap: usize,
+    /// Cap on *consecutive* VoC-neutral (Type 5/6) pushes, guarding against
+    /// neutral-push oscillation that the paper's informal argument does not
+    /// rule out.
+    pub zero_delta_cap: usize,
+    /// Steps at which to clone the partition into the outcome (Fig. 7
+    /// snapshots). Empty for search runs.
+    pub snapshot_steps: Vec<usize>,
+}
+
+impl DfaConfig {
+    /// Defaults for a given size and ratio.
+    pub fn new(n: usize, ratio: Ratio) -> DfaConfig {
+        DfaConfig {
+            n,
+            ratio,
+            step_cap: 100 * n.max(8),
+            zero_delta_cap: (4 * n).max(64),
+            snapshot_steps: Vec::new(),
+        }
+    }
+
+    /// Builder-style: record snapshots at the given step counts.
+    pub fn with_snapshots(mut self, steps: Vec<usize>) -> DfaConfig {
+        self.snapshot_steps = steps;
+        self
+    }
+}
+
+/// Result of one DFA run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DfaOutcome {
+    /// The final (fixed-point) partition.
+    pub partition: Partition,
+    /// The randomized plan the run used.
+    pub plan: PushPlan,
+    /// Number of pushes applied.
+    pub steps: usize,
+    /// VoC of the random start state.
+    pub voc_initial: u64,
+    /// VoC of the final state — never greater than `voc_initial`.
+    pub voc_final: u64,
+    /// `true` if the run reached a genuine fixed point of its plan, or a
+    /// recurrent VoC-neutral cycle (see `cycled`), rather than hitting a
+    /// cap.
+    pub converged: bool,
+    /// `true` when the run terminated because it revisited a previously
+    /// seen state without any VoC improvement in between — a VoC-neutral
+    /// push cycle. The state is then an accept state for practical
+    /// purposes: no sequence of plan moves the run explored can improve it.
+    pub cycled: bool,
+    /// `(step, partition)` snapshots at the configured steps.
+    pub snapshots: Vec<(usize, Partition)>,
+    /// How many pushes of each type (index 0 = Type One) were applied.
+    pub pushes_by_type: [usize; 6],
+    /// `(proc, dir)` pairs that would still push under the *full* direction
+    /// set (nonempty exactly for Archetype C outcomes, Theorem 8.3).
+    pub residual_pushes: Vec<(Proc, Direction)>,
+}
+
+impl DfaOutcome {
+    /// Is the outcome condensed under every direction, not just the plan's?
+    pub fn fully_condensed(&self) -> bool {
+        self.residual_pushes.is_empty()
+    }
+}
+
+/// Executes DFA runs for a fixed configuration.
+#[derive(Clone, Debug)]
+pub struct DfaRunner {
+    config: DfaConfig,
+}
+
+impl DfaRunner {
+    /// Create a runner.
+    pub fn new(config: DfaConfig) -> DfaRunner {
+        DfaRunner { config }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &DfaConfig {
+        &self.config
+    }
+
+    /// Run the DFA from the seed-determined random start state with a
+    /// seed-determined random plan.
+    pub fn run_seed(&self, seed: u64) -> DfaOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = random_partition(self.config.n, self.config.ratio, &mut rng);
+        let plan = PushPlan::random(&mut rng);
+        self.run_with(part, plan, &mut rng)
+    }
+
+    /// Run the DFA from an explicit start state and plan.
+    pub fn run_with<RNG: Rng>(
+        &self,
+        mut part: Partition,
+        plan: PushPlan,
+        rng: &mut RNG,
+    ) -> DfaOutcome {
+        let voc_initial = part.voc();
+        let mut steps = 0usize;
+        let mut zero_streak = 0usize;
+        let mut converged = false;
+        let mut cycled = false;
+        let mut snapshots = Vec::new();
+        let mut pushes_by_type = [0usize; 6];
+        let mut order: Vec<usize> = (0..plan.entries.len()).collect();
+        // States visited since the last strict VoC improvement; a revisit
+        // means the run entered a VoC-neutral cycle (Type 5/6 pushes can
+        // shuffle elements without progress).
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(part.state_hash());
+
+        if !self.config.snapshot_steps.contains(&0) && self.config.snapshot_steps.is_empty() {
+            // no snapshot of the start state requested
+        } else if self.config.snapshot_steps.contains(&0) {
+            snapshots.push((0, part.clone()));
+        }
+
+        'outer: loop {
+            order.shuffle(rng);
+            let mut progressed = false;
+            for &idx in &order {
+                let (proc, dir) = plan.entries[idx];
+                if let Some(applied) = try_push_any_type(&mut part, proc, dir) {
+                    steps += 1;
+                    progressed = true;
+                    pushes_by_type[type_index(applied.ty)] += 1;
+                    if applied.delta_voc_units == 0 {
+                        zero_streak += 1;
+                    } else {
+                        zero_streak = 0;
+                        seen.clear();
+                    }
+                    if !seen.insert(part.state_hash()) {
+                        cycled = true;
+                        converged = true;
+                        if self.config.snapshot_steps.contains(&steps) {
+                            snapshots.push((steps, part.clone()));
+                        }
+                        break 'outer;
+                    }
+                    if self.config.snapshot_steps.contains(&steps) {
+                        snapshots.push((steps, part.clone()));
+                    }
+                    if steps >= self.config.step_cap || zero_streak > self.config.zero_delta_cap
+                    {
+                        break 'outer;
+                    }
+                    break; // re-randomize the interleaving after each push
+                }
+            }
+            if !progressed {
+                converged = true;
+                break;
+            }
+        }
+
+        let residual_pushes: Vec<(Proc, Direction)> = Proc::PUSHABLE
+            .into_iter()
+            .flat_map(|p| Direction::ALL.into_iter().map(move |d| (p, d)))
+            .filter(|&(p, d)| would_push(&part, p, d))
+            .collect();
+
+        let voc_final = part.voc();
+        debug_assert!(voc_final <= voc_initial, "DFA must never increase VoC");
+        DfaOutcome {
+            partition: part,
+            plan,
+            steps,
+            voc_initial,
+            voc_final,
+            converged,
+            cycled,
+            snapshots,
+            pushes_by_type,
+            residual_pushes,
+        }
+    }
+
+    /// Run many independent seeds in parallel (rayon).
+    pub fn run_many(&self, seeds: impl IntoIterator<Item = u64>) -> Vec<DfaOutcome> {
+        let seeds: Vec<u64> = seeds.into_iter().collect();
+        seeds.par_iter().map(|&s| self.run_seed(s)).collect()
+    }
+}
+
+fn type_index(ty: PushType) -> usize {
+    match ty {
+        PushType::One => 0,
+        PushType::Two => 1,
+        PushType::Three => 2,
+        PushType::Four => 3,
+        PushType::Five => 4,
+        PushType::Six => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_random_is_within_spec() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let plan = PushPlan::random(&mut rng);
+            let r_count = plan.entries.iter().filter(|(p, _)| *p == Proc::R).count();
+            let s_count = plan.entries.iter().filter(|(p, _)| *p == Proc::S).count();
+            assert!((1..=4).contains(&r_count));
+            assert!((1..=4).contains(&s_count));
+            // no duplicate (proc, dir) pairs
+            let mut pairs = plan.entries.clone();
+            pairs.sort_by_key(|&(p, d)| (p.idx(), Direction::ALL.iter().position(|&x| x == d)));
+            pairs.dedup();
+            assert_eq!(pairs.len(), plan.entries.len());
+        }
+    }
+
+    #[test]
+    fn run_converges_and_voc_decreases() {
+        let runner = DfaRunner::new(DfaConfig::new(24, Ratio::new(2, 1, 1)));
+        let out = runner.run_seed(17);
+        assert!(out.converged, "run should reach a fixed point");
+        assert!(out.voc_final <= out.voc_initial);
+        assert!(out.steps > 0, "a random start should admit at least one push");
+        out.partition.assert_invariants();
+        // Element counts must be preserved through the whole run.
+        let areas = Ratio::new(2, 1, 1).areas(24);
+        for p in Proc::ALL {
+            assert_eq!(out.partition.elems(p), areas[p.idx()]);
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let runner = DfaRunner::new(DfaConfig::new(16, Ratio::new(3, 2, 1)));
+        let a = runner.run_seed(5);
+        let b = runner.run_seed(5);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn snapshots_recorded_at_requested_steps() {
+        let config = DfaConfig::new(16, Ratio::new(2, 1, 1)).with_snapshots(vec![1, 3, 5]);
+        let runner = DfaRunner::new(config);
+        let out = runner.run_seed(11);
+        let steps: Vec<usize> = out.snapshots.iter().map(|(s, _)| *s).collect();
+        for s in steps {
+            assert!([1, 3, 5].contains(&s));
+        }
+        assert!(!out.snapshots.is_empty());
+    }
+
+    #[test]
+    fn run_many_matches_individual_runs() {
+        let runner = DfaRunner::new(DfaConfig::new(12, Ratio::new(4, 2, 1)));
+        let batch = runner.run_many(0..4u64);
+        for (seed, out) in (0..4u64).zip(&batch) {
+            let single = runner.run_seed(seed);
+            assert_eq!(single.partition, out.partition);
+        }
+    }
+
+    #[test]
+    fn scripted_plan_restricts_directions() {
+        let plan = PushPlan::scripted(
+            &[Direction::Down, Direction::Right],
+            &[Direction::Down, Direction::Left],
+        );
+        assert_eq!(plan.entries.len(), 4);
+        assert!(plan.entries.contains(&(Proc::R, Direction::Down)));
+        assert!(plan.entries.contains(&(Proc::S, Direction::Left)));
+    }
+
+    #[test]
+    fn residual_pushes_empty_after_full_plan() {
+        // With the full plan the fixed point must be condensed in every
+        // direction.
+        let config = DfaConfig::new(20, Ratio::new(3, 1, 1));
+        let runner = DfaRunner::new(config);
+        let mut rng = StdRng::seed_from_u64(99);
+        let part = random_partition(20, Ratio::new(3, 1, 1), &mut rng);
+        let out = runner.run_with(part, PushPlan::full(), &mut rng);
+        assert!(out.converged);
+        assert!(out.fully_condensed());
+    }
+}

@@ -1,0 +1,37 @@
+//! # hetmmm-push
+//!
+//! The three-processor **Push** operation and the DFA search engine — the
+//! primary contribution of DeFlumere & Lastovetsky (HCW/IPDPS-W 2014),
+//! Sections IV–VI.
+//!
+//! A *Push* is an atomic transformation of a partition `q` into `q₁` that
+//! cleans one edge line of the active processor's enclosing rectangle and is
+//! guaranteed never to increase the Eq. 1 volume of communication. The paper
+//! defines six Push *types* differing in how strictly the displaced elements
+//! must respect existing row/column occupancy (Section IV-A), and a
+//! Deterministic Finite Automaton whose states are partition shapes and whose
+//! transition function is the Push (Section V). Running the DFA from random
+//! start states to a fixed point yields the candidate optimal shapes.
+//!
+//! Modules:
+//! - [`op`]: directions, push types, and the atomic [`op::try_push`] /
+//!   [`op::try_push_any_type`] operations with exact ΔVoC accounting and
+//!   rollback,
+//! - [`view`]: the direction-canonicalizing coordinate view that lets one
+//!   implementation serve ↓, ↑, ← and →,
+//! - [`dfa`]: the randomized search engine (random `q0`, random direction
+//!   sets, random interleaving) with snapshot support (Fig. 7),
+//! - [`beautify`]: exhaustive condensation in *all* directions, used to
+//!   finish Archetype C shapes (Theorem 8.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beautify;
+pub mod dfa;
+pub mod op;
+pub mod view;
+
+pub use beautify::{beautify, is_condensed};
+pub use dfa::{DfaConfig, DfaOutcome, DfaRunner, PushPlan};
+pub use op::{try_push, try_push_any_type, AppliedPush, Direction, PushType};

@@ -1,0 +1,226 @@
+//! Direction-canonicalizing view over a [`Partition`].
+//!
+//! The paper describes Push↓ in full and notes "the ↑, ← and → directions
+//! are similar" (Section IV-A). Rather than maintaining four near-identical
+//! implementations, [`View`] maps *canonical* coordinates `(u, v)` — in which
+//! every push is a Push↓ cleaning the canonical top row `u = rect.top` — onto
+//! the real grid:
+//!
+//! | direction | cleaned edge      | canonical `(u, v)` → real `(i, j)` |
+//! |-----------|-------------------|-------------------------------------|
+//! | Down      | top row           | `(u, v)`                            |
+//! | Up        | bottom row        | `(n-1-u, v)`                        |
+//! | Right     | leftmost column   | `(v, u)`                            |
+//! | Left      | rightmost column  | `(v, n-1-u)`                        |
+//!
+//! Canonical "rows" are the lines perpendicular to the push direction, and
+//! canonical "columns" the lines parallel to it, so the occupancy predicates
+//! of the six push types translate directly.
+
+use crate::op::Direction;
+use hetmmm_partition::{Partition, Proc, Rect};
+
+/// A mutable, direction-canonicalized window onto a partition.
+pub struct View<'a> {
+    part: &'a mut Partition,
+    dir: Direction,
+    n: usize,
+}
+
+impl<'a> View<'a> {
+    /// Wrap `part` so that pushing in `dir` looks like a canonical Push↓.
+    pub fn new(part: &'a mut Partition, dir: Direction) -> View<'a> {
+        let n = part.n();
+        View { part, dir, n }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Map canonical `(u, v)` to real `(i, j)`.
+    #[inline]
+    pub fn map(&self, u: usize, v: usize) -> (usize, usize) {
+        match self.dir {
+            Direction::Down => (u, v),
+            Direction::Up => (self.n - 1 - u, v),
+            Direction::Right => (v, u),
+            Direction::Left => (v, self.n - 1 - u),
+        }
+    }
+
+    /// Owner of canonical cell `(u, v)`.
+    #[inline]
+    pub fn get(&self, u: usize, v: usize) -> Proc {
+        let (i, j) = self.map(u, v);
+        self.part.get(i, j)
+    }
+
+    /// Swap two canonical cells on the underlying grid.
+    #[inline]
+    pub fn swap(&mut self, a: (usize, usize), b: (usize, usize)) {
+        let ra = self.map(a.0, a.1);
+        let rb = self.map(b.0, b.1);
+        self.part.swap(ra, rb);
+    }
+
+    /// Does canonical row `u` contain elements of `proc`?
+    #[inline]
+    pub fn row_has(&self, proc: Proc, u: usize) -> bool {
+        match self.dir {
+            Direction::Down => self.part.row_has(proc, u),
+            Direction::Up => self.part.row_has(proc, self.n - 1 - u),
+            Direction::Right => self.part.col_has(proc, u),
+            Direction::Left => self.part.col_has(proc, self.n - 1 - u),
+        }
+    }
+
+    /// Does canonical column `v` contain elements of `proc`?
+    #[inline]
+    pub fn col_has(&self, proc: Proc, v: usize) -> bool {
+        match self.dir {
+            Direction::Down | Direction::Up => self.part.col_has(proc, v),
+            Direction::Right | Direction::Left => self.part.row_has(proc, v),
+        }
+    }
+
+    /// Elements of `proc` in canonical row `u`.
+    #[inline]
+    pub fn row_count(&self, proc: Proc, u: usize) -> u32 {
+        match self.dir {
+            Direction::Down => self.part.row_count(proc, u),
+            Direction::Up => self.part.row_count(proc, self.n - 1 - u),
+            Direction::Right => self.part.col_count(proc, u),
+            Direction::Left => self.part.col_count(proc, self.n - 1 - u),
+        }
+    }
+
+    /// Elements of `proc` in canonical column `v`.
+    #[inline]
+    pub fn col_count(&self, proc: Proc, v: usize) -> u32 {
+        match self.dir {
+            Direction::Down | Direction::Up => self.part.col_count(proc, v),
+            Direction::Right | Direction::Left => self.part.row_count(proc, v),
+        }
+    }
+
+    /// Enclosing rectangle of `proc` in canonical coordinates.
+    pub fn enclosing_rect(&self, proc: Proc) -> Option<Rect> {
+        let r = self.part.enclosing_rect(proc)?;
+        let n = self.n;
+        Some(match self.dir {
+            Direction::Down => r,
+            Direction::Up => Rect::new(n - 1 - r.bottom, n - 1 - r.top, r.left, r.right),
+            Direction::Right => Rect::new(r.left, r.right, r.top, r.bottom),
+            Direction::Left => Rect::new(n - 1 - r.right, n - 1 - r.left, r.top, r.bottom),
+        })
+    }
+
+    /// VoC line units of the underlying partition (direction-independent).
+    #[inline]
+    pub fn voc_units(&self) -> u64 {
+        self.part.voc_units()
+    }
+
+    /// Immutable access to the wrapped partition.
+    #[inline]
+    pub fn partition(&self) -> &Partition {
+        self.part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_partition::PartitionBuilder;
+
+    fn sample() -> Partition {
+        // 5x5, R at (1,2), S block rows 3..=4 cols 0..=1.
+        PartitionBuilder::new(5)
+            .rect(Rect::new(1, 1, 2, 2), Proc::R)
+            .rect(Rect::new(3, 4, 0, 1), Proc::S)
+            .build()
+    }
+
+    #[test]
+    fn map_roundtrips_ownership() {
+        let mut part = sample();
+        for dir in Direction::ALL {
+            let view = View::new(&mut part, dir);
+            // Every canonical cell maps to exactly one real cell.
+            let mut seen = std::collections::HashSet::new();
+            for u in 0..5 {
+                for v in 0..5 {
+                    assert!(seen.insert(view.map(u, v)), "duplicate mapping {dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn down_view_is_identity() {
+        let mut part = sample();
+        let view = View::new(&mut part, Direction::Down);
+        assert_eq!(view.get(1, 2), Proc::R);
+        assert_eq!(view.enclosing_rect(Proc::S), Some(Rect::new(3, 4, 0, 1)));
+        assert!(view.row_has(Proc::R, 1));
+        assert!(view.col_has(Proc::R, 2));
+    }
+
+    #[test]
+    fn up_view_flips_rows() {
+        let mut part = sample();
+        let view = View::new(&mut part, Direction::Up);
+        // Real row 1 is canonical row 3 when n = 5.
+        assert_eq!(view.get(3, 2), Proc::R);
+        // S rows 3..=4 become canonical rows 0..=1.
+        assert_eq!(view.enclosing_rect(Proc::S), Some(Rect::new(0, 1, 0, 1)));
+    }
+
+    #[test]
+    fn right_view_transposes() {
+        let mut part = sample();
+        let view = View::new(&mut part, Direction::Right);
+        // Real (1, 2) appears at canonical (2, 1).
+        assert_eq!(view.get(2, 1), Proc::R);
+        // S real rows 3..=4 / cols 0..=1 -> canonical rows 0..=1 / cols 3..=4.
+        assert_eq!(view.enclosing_rect(Proc::S), Some(Rect::new(0, 1, 3, 4)));
+        assert!(view.row_has(Proc::S, 0)); // real col 0 has S
+        assert!(view.col_has(Proc::S, 3)); // real row 3 has S
+    }
+
+    #[test]
+    fn left_view_flips_cols_and_transposes() {
+        let mut part = sample();
+        let view = View::new(&mut part, Direction::Left);
+        // Real (1, 2): canonical u = n-1-j = 2, v = i = 1.
+        assert_eq!(view.get(2, 1), Proc::R);
+        // S cols 0..=1 -> canonical rows 3..=4; S rows 3..=4 -> canonical cols 3..=4.
+        assert_eq!(view.enclosing_rect(Proc::S), Some(Rect::new(3, 4, 3, 4)));
+    }
+
+    #[test]
+    fn swap_acts_on_real_grid() {
+        let mut part = sample();
+        {
+            let mut view = View::new(&mut part, Direction::Right);
+            // canonical (2, 1) is real (1, 2) = R; canonical (0, 0) is real (0, 0) = P.
+            view.swap((2, 1), (0, 0));
+        }
+        assert_eq!(part.get(0, 0), Proc::R);
+        assert_eq!(part.get(1, 2), Proc::P);
+        part.assert_invariants();
+    }
+
+    #[test]
+    fn counts_match_direction_semantics() {
+        let mut part = sample();
+        let view = View::new(&mut part, Direction::Left);
+        // Canonical row u counts = real column n-1-u counts.
+        assert_eq!(view.row_count(Proc::S, 4), 2); // real col 0
+        assert_eq!(view.row_count(Proc::S, 3), 2); // real col 1
+        assert_eq!(view.col_count(Proc::S, 3), 2); // real row 3
+    }
+}

@@ -1,0 +1,17 @@
+//! Diagnostic: print condensed shapes.
+
+use hetmmm_partition::Ratio;
+use hetmmm_push::{beautify, DfaConfig, DfaRunner};
+
+#[test]
+#[ignore = "diagnostic"]
+fn show_condensed_shapes() {
+    let ratio = Ratio::new(2, 1, 1);
+    let runner = DfaRunner::new(DfaConfig::new(30, ratio));
+    for seed in [0u64, 3, 4, 7] {
+        let out = runner.run_seed(seed);
+        let mut part = out.partition.clone();
+        beautify(&mut part);
+        eprintln!("==== seed {seed} voc={} ====\n{part:?}", part.voc());
+    }
+}

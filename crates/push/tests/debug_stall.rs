@@ -1,0 +1,41 @@
+//! Diagnostic: why does a run stall?
+
+use hetmmm_partition::{Proc, Ratio};
+use hetmmm_push::{beautify, is_condensed, try_push, DfaConfig, DfaRunner, Direction, PushType};
+
+#[test]
+#[ignore = "diagnostic"]
+fn diagnose_stall() {
+    let ratio = Ratio::new(2, 1, 1);
+    let runner = DfaRunner::new(DfaConfig::new(30, ratio));
+    for seed in 0..12u64 {
+        let out = runner.run_seed(seed);
+        let mut part = out.partition.clone();
+        let b_steps = beautify(&mut part);
+        eprintln!(
+            "seed {seed}: steps={} conv={} voc {} -> {} residual={} plan={:?} beautify_steps={b_steps} condensed_after={}",
+            out.steps,
+            out.converged,
+            out.voc_initial,
+            out.voc_final,
+            out.residual_pushes.len(),
+            out.plan.entries,
+            is_condensed(&part),
+        );
+        if !is_condensed(&part) {
+            // Which pushes legal? Try each type and report.
+            for proc in Proc::PUSHABLE {
+                for dir in Direction::ALL {
+                    for ty in PushType::ALL {
+                        let mut scratch = part.clone();
+                        if let Some(ap) = try_push(&mut scratch, proc, dir, ty) {
+                            eprintln!("  legal: {proc} {dir} {ty} delta={}", ap.delta_voc_units);
+                        }
+                    }
+                }
+            }
+            eprintln!("{part:?}");
+            panic!("not condensed after beautify");
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The four shape archetypes and the classifier (Section VII).
+//!
+//! Every fixed point the paper's DFA program produced fell into one of four
+//! archetypes, distinguished by the relationship between the enclosing
+//! rectangles of the two slower processors and by their corner counts
+//! (Fig. 5):
+//!
+//! - **A — No Overlap, Minimum Corners**: R and S rectangular, disjoint
+//!   enclosing rectangles;
+//! - **B — Overlap, L Shape**: one processor rectangular, the other a
+//!   six-corner "L" wrapped around it;
+//! - **C — Overlap, Interlock**: both ≥ six corners, their union
+//!   rectangular; residual pushes always remain (Theorem 8.3);
+//! - **D — Overlap, Surround**: one enclosing rectangle entirely inside the
+//!   other (4 + 8 corners).
+//!
+//! Anything else is a [`Archetype::NonShape`] — a counterexample to
+//! Postulate 1, which the paper (and our integration tests across thousands
+//! of seeds) never observed for *condensed* partitions.
+//!
+//! Asymptotic tolerance: per Assumption 4 the paper treats asymptotically
+//! rectangular shapes as rectangular, and at finite `N` the element counts
+//! rarely factor into exact rectangles. The classifier therefore accepts
+//! asymptotically rectangular processors where the archetype calls for
+//! rectangles and allows the two enclosing rectangles of an Archetype A
+//! partition to overlap in at most one ragged line.
+
+use crate::region::{union_rect_like, RegionKind, RegionProfile};
+use hetmmm_partition::{Partition, Proc, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four archetypes of Fig. 5, plus the counterexample bucket.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Archetype {
+    /// No overlap, minimum corners.
+    A,
+    /// Overlap, L shape.
+    B,
+    /// Overlap, interlock (residual pushes remain).
+    C,
+    /// Overlap, surround.
+    D,
+    /// Not one of the four — would falsify Postulate 1 if condensed.
+    NonShape,
+}
+
+impl fmt::Display for Archetype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Archetype::A => "A (no overlap, minimum corners)",
+            Archetype::B => "B (overlap, L shape)",
+            Archetype::C => "C (overlap, interlock)",
+            Archetype::D => "D (overlap, surround)",
+            Archetype::NonShape => "non-shape",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Does the overlap of two rectangles amount to at most a single row or
+/// column (the ragged-line tolerance for Archetype A)?
+fn overlap_is_thin(a: &Rect, b: &Rect) -> bool {
+    match a.intersect(b) {
+        None => true,
+        Some(ov) => ov.height() == 1 || ov.width() == 1,
+    }
+}
+
+/// Classify a partition into an archetype.
+///
+/// Intended for *condensed* partitions (fixed points of the Push DFA); it
+/// can be called on anything, but a random scatter will simply come back as
+/// [`Archetype::NonShape`].
+///
+/// ```
+/// use hetmmm_partition::{PartitionBuilder, Proc, Rect};
+/// use hetmmm_shapes::{classify, Archetype};
+///
+/// // Two squares in opposite corners: the Square-Corner layout.
+/// let part = PartitionBuilder::new(12)
+///     .rect(Rect::new(0, 3, 0, 3), Proc::R)
+///     .rect(Rect::new(8, 11, 8, 11), Proc::S)
+///     .build();
+/// assert_eq!(classify(&part), Archetype::A);
+/// ```
+pub fn classify(part: &Partition) -> Archetype {
+    let pr = RegionProfile::new(part, Proc::R);
+    let ps = RegionProfile::new(part, Proc::S);
+    classify_profiles(part, &pr, &ps)
+}
+
+/// Classifier taking precomputed profiles (avoids recomputation in bulk
+/// census runs).
+pub fn classify_profiles(part: &Partition, pr: &RegionProfile, ps: &RegionProfile) -> Archetype {
+    let (Some(rr), Some(rs)) = (pr.rect, ps.rect) else {
+        // A degenerate two-processor partition: treat a single rectangular
+        // remainder as A, anything else as non-shape.
+        let only = if pr.rect.is_some() { pr } else { ps };
+        return if only.is_rect_like() {
+            Archetype::A
+        } else {
+            Archetype::NonShape
+        };
+    };
+
+    let overlapping = rr.overlaps(&rs);
+
+    // B: overlap, one rectangle + one six-corner L. An L whose notch hosts
+    // the other processor may well *contain* its enclosing rectangle, so B
+    // must be tested before D — the paper separates the two by corner count
+    // (6 for B, 8 for D).
+    if overlapping {
+        let b_pair = (pr.is_rect_like() && ps.kind == RegionKind::LShape)
+            || (ps.is_rect_like() && pr.kind == RegionKind::LShape);
+        if b_pair {
+            return Archetype::B;
+        }
+    }
+
+    // D: one enclosing rectangle inside the other, inner processor
+    // rectangular, outer (≥ 8 corners) wrapped around it.
+    let d_candidate = |outer: &RegionProfile, inner: &RegionProfile, ro: &Rect, ri: &Rect| {
+        ro.contains_rect(ri)
+            && inner.is_rect_like()
+            && !outer.is_rect_like()
+            && outer.corners >= 8
+    };
+    if d_candidate(pr, ps, &rr, &rs) || d_candidate(ps, pr, &rs, &rr) {
+        return Archetype::D;
+    }
+
+    // A: both rectangle-like, enclosing rectangles disjoint (up to one
+    // ragged line).
+    if pr.is_rect_like() && ps.is_rect_like() && overlap_is_thin(&rr, &rs) {
+        return Archetype::A;
+    }
+
+    // C: both non-rectangular, at least six corners each, union
+    // rectangular.
+    if overlapping
+        && !pr.is_rect_like()
+        && !ps.is_rect_like()
+        && pr.corners >= 6
+        && ps.corners >= 6
+        && union_rect_like(part)
+    {
+        return Archetype::C;
+    }
+
+    Archetype::NonShape
+}
+
+/// Tolerant classification by enclosing-rectangle relationship and fill
+/// ratios.
+///
+/// The discrete Push dynamics leave staircase boundaries between regions
+/// that the strict corner-count definitions reject, but that the paper's
+/// authors — grouping 1/100-granularity renders by eye — would clearly have
+/// assigned to the nearest archetype. This classifier captures that
+/// judgment with explicit thresholds:
+///
+/// - a region is *rectangle-like* when it fills at least `RECT_FILL` of its
+///   enclosing rectangle,
+/// - the R∪S union is *solid* when it fills at least `UNION_FILL` of its
+///   bounding box,
+/// - anything with a region filling less than `SCATTER_FILL` of its
+///   enclosing rectangle is a genuine non-shape (a random scatter fills
+///   only its area share).
+pub fn classify_tolerant(part: &Partition) -> Archetype {
+    /// Fill ratio above which a region counts as rectangle-like.
+    const RECT_FILL: f64 = 0.80;
+    /// Fill ratio above which the R∪S union counts as solid.
+    const UNION_FILL: f64 = 0.75;
+    /// Fill ratio below which a region is scatter, not shape.
+    const SCATTER_FILL: f64 = 0.45;
+
+    let exact = classify(part);
+    if exact != Archetype::NonShape {
+        return exact;
+    }
+    let (Some(rr), Some(rs)) = (
+        part.enclosing_rect(Proc::R),
+        part.enclosing_rect(Proc::S),
+    ) else {
+        return Archetype::NonShape;
+    };
+    let e_r = part.elems(Proc::R);
+    let e_s = part.elems(Proc::S);
+    let fill_r = e_r as f64 / rr.area() as f64;
+    let fill_s = e_s as f64 / rs.area() as f64;
+    let bbox = Rect::new(
+        rr.top.min(rs.top),
+        rr.bottom.max(rs.bottom),
+        rr.left.min(rs.left),
+        rr.right.max(rs.right),
+    );
+    let union_fill = (e_r + e_s) as f64 / bbox.area() as f64;
+
+    // Containment: D when the inner region is solid and the outer wraps it
+    // densely (a sandwich or frame has low raw fill because the inner
+    // processor sits inside its rectangle).
+    let containment = |ro: &Rect, ri: &Rect, e_o: usize, e_i: usize, fill_i: f64| -> bool {
+        ro.contains_rect(ri)
+            && fill_i >= RECT_FILL
+            && (e_o + e_i) as f64 / ro.area() as f64 >= UNION_FILL
+    };
+    if containment(&rr, &rs, e_r, e_s, fill_s) || containment(&rs, &rr, e_s, e_r, fill_r) {
+        return Archetype::D;
+    }
+
+    if fill_r < SCATTER_FILL || fill_s < SCATTER_FILL {
+        return Archetype::NonShape;
+    }
+
+    if overlap_is_thin(&rr, &rs) {
+        // Disjoint (or ragged-line) rectangles: A when both are solid.
+        if fill_r >= RECT_FILL && fill_s >= RECT_FILL {
+            return Archetype::A;
+        }
+        return Archetype::NonShape;
+    }
+
+    // Overlapping rectangles with a solid union: one solid region means an
+    // L-against-rectangle boundary (B); neither solid means interlock (C).
+    if union_fill >= UNION_FILL {
+        if fill_r >= RECT_FILL || fill_s >= RECT_FILL {
+            return Archetype::B;
+        }
+        return Archetype::C;
+    }
+    Archetype::NonShape
+}
+
+/// Classify at the paper's viewing granularity.
+///
+/// Fig. 7 renders partitions at 1/100th granularity — each displayed cell is
+/// the majority owner of a block of elements — and the paper groups DFA
+/// outputs into archetypes at that level of detail. At finite `N` a fixed
+/// point retains a few stray elements that the exact classifier rejects;
+/// majority-downsampling to `blocks x blocks` and classifying the coarse
+/// grid (strictly first, tolerantly second) reproduces the paper's
+/// grouping. Exact classification is attempted first; the coarse passes
+/// only run as fallbacks.
+pub fn classify_coarse(part: &Partition, blocks: usize) -> Archetype {
+    let exact = classify(part);
+    if exact != Archetype::NonShape {
+        return exact;
+    }
+    let coarse = hetmmm_partition::downsample(part, blocks);
+    classify_tolerant(&coarse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_partition::PartitionBuilder;
+
+    #[test]
+    fn square_corner_is_archetype_a() {
+        let part = PartitionBuilder::new(12)
+            .rect(Rect::new(0, 3, 0, 3), Proc::R)
+            .rect(Rect::new(8, 11, 8, 11), Proc::S)
+            .build();
+        assert_eq!(classify(&part), Archetype::A);
+    }
+
+    #[test]
+    fn traditional_strips_are_archetype_a() {
+        let part = Partition::from_fn(9, |i, _| {
+            if i < 3 {
+                Proc::P
+            } else if i < 6 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        });
+        assert_eq!(classify(&part), Archetype::A);
+    }
+
+    #[test]
+    fn asymptotic_rects_with_thin_overlap_still_a() {
+        // R rows 0..=2 plus half of row 3; S the other half of row 3 plus
+        // rows 4..=5: enclosing rectangles overlap in exactly one row.
+        let part = PartitionBuilder::new(8)
+            .rect(Rect::new(0, 2, 0, 7), Proc::R)
+            .rect(Rect::new(3, 3, 0, 3), Proc::R)
+            .rect(Rect::new(3, 3, 4, 7), Proc::S)
+            .rect(Rect::new(4, 5, 0, 7), Proc::S)
+            .build();
+        assert_eq!(classify(&part), Archetype::A);
+    }
+
+    #[test]
+    fn l_wrap_is_archetype_b() {
+        // S rectangle with R L-shaped around it; enclosing rects overlap.
+        let part = PartitionBuilder::new(8)
+            .rect(Rect::new(4, 7, 0, 1), Proc::R) // vertical arm
+            .rect(Rect::new(6, 7, 2, 5), Proc::R) // foot
+            .rect(Rect::new(4, 5, 2, 5), Proc::S) // rect resting on the foot
+            .build();
+        assert_eq!(classify(&part), Archetype::B);
+    }
+
+    #[test]
+    fn interlock_is_archetype_c() {
+        // Two interlocking staircase shapes whose union is a rectangle.
+        let part = PartitionBuilder::new(8)
+            .rect(Rect::new(0, 1, 0, 3), Proc::R)
+            .rect(Rect::new(2, 3, 0, 1), Proc::R)
+            .rect(Rect::new(2, 3, 2, 3), Proc::S)
+            .rect(Rect::new(4, 5, 0, 3), Proc::S)
+            .build();
+        assert_eq!(classify(&part), Archetype::C);
+    }
+
+    #[test]
+    fn surround_is_archetype_d() {
+        // S square strictly inside R's enclosing rectangle, R wrapped around.
+        let part = PartitionBuilder::new(10)
+            .rect(Rect::new(2, 7, 2, 7), Proc::R)
+            .rect(Rect::new(4, 5, 4, 5), Proc::S)
+            .build();
+        assert_eq!(classify(&part), Archetype::D);
+    }
+
+    #[test]
+    fn random_scatter_is_non_shape() {
+        let part = Partition::from_fn(10, |i, j| match (i * 13 + j * 7) % 4 {
+            0 => Proc::R,
+            1 => Proc::S,
+            _ => Proc::P,
+        });
+        assert_eq!(classify(&part), Archetype::NonShape);
+    }
+
+    #[test]
+    fn empty_s_with_rect_r_degenerates_to_a() {
+        let part = PartitionBuilder::new(6)
+            .rect(Rect::new(0, 2, 0, 2), Proc::R)
+            .build();
+        assert_eq!(classify(&part), Archetype::A);
+    }
+}

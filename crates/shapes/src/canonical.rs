@@ -1,0 +1,184 @@
+//! Canonical-form optimization (Section IX-B).
+//!
+//! Each candidate type leaves some freedom (rectangle aspect ratios,
+//! placement within the matrix); the canonical form fixes it by minimizing
+//! the combined perimeter of the two slower rectangles, which minimizes
+//! SCB communication. This module carries the continuous mathematics the
+//! constructors discretize:
+//!
+//! - **Theorem 9.1**: both processors can be squares iff
+//!   `√(R_r/T) + √(S_r/T) ≤ 1`;
+//! - **Eq. 13**: for Type 1 when squares do not fit, minimize
+//!   `f(x, y) = 2 (R_r/(T x) + x + S_r/(T y) + y)` subject to
+//!   `x + y ≤ 1` (widths) and both heights `< 1`. The minimum lies on the
+//!   boundary `x + y = 1`, where the one-dimensional problem has the
+//!   closed-form interior optimum `x* = √a / (√a + √b)` with `a = R_r/T`,
+//!   `b = S_r/T`.
+//!
+//! Every closed form is cross-validated against brute numeric scans in the
+//! tests, and against the integer-grid constructors in
+//! `candidates::tests`.
+
+use hetmmm_partition::Ratio;
+use serde::{Deserialize, Serialize};
+
+/// Normalized areas `a = R_r/T`, `b = S_r/T` of the two slower processors.
+fn areas(ratio: Ratio) -> (f64, f64) {
+    let t = f64::from(ratio.total());
+    (f64::from(ratio.r) / t, f64::from(ratio.s) / t)
+}
+
+/// The Type 1B (Rectangle-Corner) canonical split: both rectangles'
+/// dimensions, normalized to a unit matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CornerSplit {
+    /// Width of the R rectangle (`x` in Eq. 13).
+    pub x: f64,
+    /// Width of the S rectangle (`y = 1 − x` on the optimal boundary).
+    pub y: f64,
+    /// Height of the R rectangle, `a / x`.
+    pub height_r: f64,
+    /// Height of the S rectangle, `b / y`.
+    pub height_s: f64,
+    /// The minimized combined perimeter `f(x, y)`.
+    pub perimeter: f64,
+}
+
+/// Eq. 13 objective on the boundary `x + y = 1`.
+fn perimeter_at(a: f64, b: f64, x: f64) -> f64 {
+    let y = 1.0 - x;
+    2.0 * (a / x + x + b / y + y)
+}
+
+/// Closed-form Eq. 13 minimizer on `x + y = 1`:
+/// `d/dx (a/x + b/(1−x)) = 0 → x* = √a / (√a + √b)`, clamped so both
+/// heights stay below 1 (each rectangle must be shorter than the matrix).
+pub fn rectangle_corner_split(ratio: Ratio) -> CornerSplit {
+    let (a, b) = areas(ratio);
+    let mut x = a.sqrt() / (a.sqrt() + b.sqrt());
+    // Feasibility clamps: height_r = a/x < 1 → x > a; height_s = b/(1−x) <
+    // 1 → x < 1 − b. The interval (a, 1−b) is non-empty because a + b < 1.
+    let lo = a + 1e-9;
+    let hi = 1.0 - b - 1e-9;
+    x = x.clamp(lo, hi);
+    let y = 1.0 - x;
+    CornerSplit {
+        x,
+        y,
+        height_r: a / x,
+        height_s: b / y,
+        perimeter: perimeter_at(a, b, x),
+    }
+}
+
+/// Theorem 9.1 boundary as an explicit margin: positive when two squares
+/// fit (`1 − √a − √b`), negative when they do not.
+pub fn square_corner_margin(ratio: Ratio) -> f64 {
+    let (a, b) = areas(ratio);
+    1.0 - a.sqrt() - b.sqrt()
+}
+
+/// Combined perimeter of the Square-Corner canonical form (two squares):
+/// `4(√a + √b)`. Only meaningful when `square_corner_margin ≥ 0`.
+pub fn square_corner_perimeter(ratio: Ratio) -> f64 {
+    let (a, b) = areas(ratio);
+    4.0 * (a.sqrt() + b.sqrt())
+}
+
+/// Golden-section minimizer used as an independent check of the closed
+/// form (and available for objectives without one).
+pub fn golden_section_min(mut lo: f64, mut hi: f64, f: impl Fn(f64) -> f64) -> f64 {
+    assert!(lo < hi);
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut c = hi - (hi - lo) * INV_PHI;
+    let mut d = lo + (hi - lo) * INV_PHI;
+    for _ in 0..200 {
+        if f(c) < f(d) {
+            hi = d;
+            d = c;
+            c = hi - (hi - lo) * INV_PHI;
+        } else {
+            lo = c;
+            c = d;
+            d = lo + (hi - lo) * INV_PHI;
+        }
+        if (hi - lo).abs() < 1e-12 {
+            break;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_golden_section() {
+        for &(p, r, s) in &[(2u32, 2u32, 1u32), (3, 2, 1), (5, 4, 1), (2, 1, 1)] {
+            let ratio = Ratio::new(p, r, s);
+            let (a, b) = areas(ratio);
+            let split = rectangle_corner_split(ratio);
+            let lo = a + 1e-9;
+            let hi = 1.0 - b - 1e-9;
+            let x_num = golden_section_min(lo, hi, |x| perimeter_at(a, b, x));
+            assert!(
+                (split.x - x_num).abs() < 1e-6,
+                "{ratio}: closed {} vs numeric {}",
+                split.x,
+                x_num
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_feasible_and_exact_area() {
+        for ratio in Ratio::paper_ratios() {
+            let (a, b) = areas(ratio);
+            let split = rectangle_corner_split(ratio);
+            assert!(split.x > 0.0 && split.y > 0.0);
+            assert!((split.x + split.y - 1.0).abs() < 1e-12);
+            assert!(split.height_r < 1.0 + 1e-9, "{ratio}");
+            assert!(split.height_s < 1.0 + 1e-9, "{ratio}");
+            // Areas recovered exactly.
+            assert!((split.x * split.height_r - a).abs() < 1e-12);
+            assert!((split.y * split.height_s - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn squares_beat_boundary_rectangles_when_feasible() {
+        // Whenever Theorem 9.1 admits two squares, their combined
+        // perimeter undercuts the best x + y = 1 rectangles (that is why
+        // Type 1A, not 1B, is canonical in that regime).
+        for &(p, r, s) in &[(10u32, 1u32, 1u32), (20, 3, 1), (8, 1, 1)] {
+            let ratio = Ratio::new(p, r, s);
+            assert!(square_corner_margin(ratio) > 0.0, "{ratio}");
+            let sq = square_corner_perimeter(ratio);
+            let rect = rectangle_corner_split(ratio).perimeter;
+            assert!(sq < rect, "{ratio}: squares {sq} vs rectangles {rect}");
+        }
+    }
+
+    #[test]
+    fn margin_sign_matches_theorem_9_1() {
+        assert!(square_corner_margin(Ratio::new(10, 1, 1)) > 0.0);
+        assert!(square_corner_margin(Ratio::new(2, 2, 1)) < 0.0);
+        // The boundary case P_r = 2√(R_r S_r): 2:1:1 → margin 0.
+        assert!(square_corner_margin(Ratio::new(2, 1, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_areas_split_evenly() {
+        // R_r = S_r → x* = 1/2.
+        let split = rectangle_corner_split(Ratio::new(6, 1, 1));
+        assert!((split.x - 0.5).abs() < 1e-12);
+        assert!((split.height_r - split.height_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_vertex() {
+        let x = golden_section_min(-10.0, 10.0, |x| (x - 3.25) * (x - 3.25));
+        assert!((x - 3.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Corner counting (Section VIII-A).
+//!
+//! The paper defines a *corner* as "a point in a partition shape of a single
+//! processor at which the previously constant coordinate of the edge changes,
+//! and the other coordinate becomes a constant" — i.e. a vertex of the
+//! orthogonal polygon bounding the processor's region. Every shape has at
+//! least four corners; the archetypes are distinguished by their counts
+//! (A: 4+4, B: 4+6, C: ≥6 each, D: 4+8).
+//!
+//! We count vertices with the classic 2×2-window scan: slide a 2×2 window
+//! over the grid (including a one-cell border of "outside"); a window
+//! containing an odd number of region cells (1 or 3) contributes one vertex,
+//! and a window containing exactly the two diagonal cells contributes two.
+//! This is exact for arbitrary (even disconnected or holed) regions.
+
+use hetmmm_partition::{Partition, Proc};
+
+/// Number of boundary vertices ("corners") of the region owned by `proc`.
+///
+/// Returns 0 for an empty region; any non-empty region has at least 4.
+pub fn corner_count(part: &Partition, proc: Proc) -> usize {
+    let n = part.n();
+    let inside = |i: isize, j: isize| -> bool {
+        if i < 0 || j < 0 || i >= n as isize || j >= n as isize {
+            return false;
+        }
+        part.get(i as usize, j as usize) == proc
+    };
+    let mut corners = 0usize;
+    // Window anchored at (i, j) covers cells (i,j), (i,j+1), (i+1,j), (i+1,j+1)
+    // with the anchor ranging over the extended grid [-1, n-1].
+    for i in -1..n as isize {
+        for j in -1..n as isize {
+            let a = inside(i, j);
+            let b = inside(i, j + 1);
+            let c = inside(i + 1, j);
+            let d = inside(i + 1, j + 1);
+            let cnt = usize::from(a) + usize::from(b) + usize::from(c) + usize::from(d);
+            match cnt {
+                1 | 3 => corners += 1,
+                2 if (a && d && !b && !c) || (b && c && !a && !d) => corners += 2,
+                _ => {}
+            }
+        }
+    }
+    corners
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_partition::{PartitionBuilder, Rect};
+
+    #[test]
+    fn empty_region_has_no_corners() {
+        let part = Partition::new(5, Proc::P);
+        assert_eq!(corner_count(&part, Proc::R), 0);
+    }
+
+    #[test]
+    fn rectangle_has_four_corners() {
+        let part = PartitionBuilder::new(8)
+            .rect(Rect::new(2, 5, 1, 6), Proc::R)
+            .build();
+        assert_eq!(corner_count(&part, Proc::R), 4);
+        // The complement (P) wraps the rectangle: 4 outer + 4 inner = 8.
+        assert_eq!(corner_count(&part, Proc::P), 8);
+    }
+
+    #[test]
+    fn full_matrix_has_four_corners() {
+        let part = Partition::new(6, Proc::P);
+        assert_eq!(corner_count(&part, Proc::P), 4);
+    }
+
+    #[test]
+    fn single_cell_has_four_corners() {
+        let mut part = Partition::new(4, Proc::P);
+        part.set(2, 2, Proc::S);
+        assert_eq!(corner_count(&part, Proc::S), 4);
+    }
+
+    #[test]
+    fn l_shape_has_six_corners() {
+        // Vertical bar rows 0..=3 col 0..=1 plus foot rows 2..=3 cols 2..=4.
+        let part = PartitionBuilder::new(6)
+            .rect(Rect::new(0, 3, 0, 1), Proc::R)
+            .rect(Rect::new(2, 3, 2, 4), Proc::R)
+            .build();
+        assert_eq!(corner_count(&part, Proc::R), 6);
+    }
+
+    #[test]
+    fn u_shape_has_eight_corners() {
+        // Surround-style shape: bottom band + two arms.
+        let part = PartitionBuilder::new(8)
+            .rect(Rect::new(5, 7, 0, 7), Proc::R)
+            .rect(Rect::new(0, 4, 0, 1), Proc::R)
+            .rect(Rect::new(0, 4, 6, 7), Proc::R)
+            .build();
+        assert_eq!(corner_count(&part, Proc::R), 8);
+    }
+
+    #[test]
+    fn two_disjoint_rectangles_have_eight_corners() {
+        let part = PartitionBuilder::new(8)
+            .rect(Rect::new(0, 1, 0, 1), Proc::S)
+            .rect(Rect::new(5, 6, 5, 6), Proc::S)
+            .build();
+        assert_eq!(corner_count(&part, Proc::S), 8);
+    }
+
+    #[test]
+    fn diagonal_touch_counts_two_vertices() {
+        // Two cells sharing only a corner point: the 2x2 diagonal pattern.
+        let mut part = Partition::new(4, Proc::P);
+        part.set(0, 0, Proc::R);
+        part.set(1, 1, Proc::R);
+        // Each cell contributes 3 solo vertices; the shared point is one
+        // geometric point counted twice (the diagonal window): 3+3+2 = 8.
+        assert_eq!(corner_count(&part, Proc::R), 8);
+    }
+
+    #[test]
+    fn rectangle_with_hole() {
+        // 6x6 R square with a 2x2 P hole: 4 outer + 4 inner corners.
+        let part = PartitionBuilder::new(8)
+            .rect(Rect::new(1, 6, 1, 6), Proc::R)
+            .rect(Rect::new(3, 4, 3, 4), Proc::P)
+            .build();
+        assert_eq!(corner_count(&part, Proc::R), 8);
+    }
+}

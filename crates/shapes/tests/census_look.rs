@@ -1,0 +1,26 @@
+//! Diagnostic: print coarse NonShape outcomes.
+use hetmmm_partition::{downsample, Ratio};
+use hetmmm_push::{beautify, DfaConfig, DfaRunner};
+use hetmmm_shapes::{classify_coarse, Archetype, RegionProfile};
+use hetmmm_partition::Proc;
+
+#[test]
+#[ignore = "diagnostic"]
+fn show_coarse_nonshapes() {
+    let ratio = Ratio::new(2, 1, 1);
+    let n = 100;
+    let runner = DfaRunner::new(DfaConfig::new(n, ratio));
+    let mut shown = 0;
+    for seed in 0..24u64 {
+        let out = runner.run_seed(seed);
+        let mut part = out.partition;
+        beautify(&mut part);
+        if classify_coarse(&part, 10) == Archetype::NonShape && shown < 4 {
+            shown += 1;
+            let coarse = downsample(&part, 10);
+            let pr = RegionProfile::new(&coarse, Proc::R);
+            let ps = RegionProfile::new(&coarse, Proc::S);
+            eprintln!("seed {seed} voc={}\ncoarse:\n{coarse:?}\nR: kind={:?} corners={} rect={:?}\nS: kind={:?} corners={} rect={:?}", part.voc(), pr.kind, pr.corners, pr.rect, ps.kind, ps.corners, ps.rect);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Diagnostic: archetype census quality at various N.
+use hetmmm_partition::Ratio;
+use hetmmm_push::{beautify, DfaConfig, DfaRunner};
+use hetmmm_shapes::{classify, classify_coarse};
+
+#[test]
+#[ignore = "diagnostic"]
+fn census_quality() {
+    for n in [30usize, 60, 100] {
+        for &(p, r, s) in &[(2u32, 1, 1), (5, 2, 1), (10, 1, 1), (2, 2, 1)] {
+            let ratio = Ratio::new(p, r, s);
+            let runner = DfaRunner::new(DfaConfig::new(n, ratio));
+            let outs = runner.run_many(0..24u64);
+            let mut exact = std::collections::HashMap::new();
+            let mut coarse = std::collections::HashMap::new();
+            for out in outs {
+                let mut part = out.partition;
+                beautify(&mut part);
+                *exact.entry(format!("{:?}", classify(&part))).or_insert(0) += 1;
+                *coarse.entry(format!("{:?}", classify_coarse(&part, 10))).or_insert(0) += 1;
+            }
+            eprintln!("n={n} ratio={ratio}: exact={exact:?} coarse={coarse:?}");
+        }
+    }
+}

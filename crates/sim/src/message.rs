@@ -1,0 +1,204 @@
+//! Building the message set a partition implies.
+//!
+//! Under the kij algorithm (Fig. 1), processor `Y` needs the full row `i`
+//! of A whenever it owns any C element in row `i`, and the full column `j`
+//! of B whenever it owns any element in column `j`. Aggregated over a whole
+//! barrier-style exchange this yields the pairwise volumes of
+//! `hetmmm_partition::pairwise_volumes`; the paper's Eq. 6 instead charges
+//! each owner the full rows and columns it touches once
+//! (`N·i_X + N·j_X − ∈X`), i.e. a broadcast/multicast accounting. Both
+//! modes are supported; see [`CommMode`].
+
+use hetmmm_cost::Topology;
+use hetmmm_partition::{pairwise_volumes, CommMetrics, Partition, Proc};
+use serde::{Deserialize, Serialize};
+
+/// How transfer volumes are accounted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CommMode {
+    /// Exact pairwise unicast volumes (consistent with Eq. 1 / Eq. 3:
+    /// their sum equals the VoC).
+    Unicast,
+    /// The paper's Eq. 6 accounting: each owner sends every row and column
+    /// it touches once, regardless of how many receivers need it. Only
+    /// meaningful on a fully connected topology.
+    Broadcast,
+}
+
+/// One bulk transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sending processor.
+    pub from: Proc,
+    /// Receiving processor (for broadcast messages, a nominal "all others"
+    /// is represented by the receiver being the sender's first other).
+    pub to: Proc,
+    /// Elements carried.
+    pub elems: u64,
+    /// Relay leg: this message may only start once the same-`relay_of`
+    /// first hop has arrived (index into the message list).
+    pub relay_of: Option<usize>,
+}
+
+/// Build the bulk message list for a barrier-style exchange.
+///
+/// On a star topology, rim-to-rim traffic becomes two messages: rim → hub
+/// and hub → rim, the second depending on the first.
+pub fn build_messages(part: &Partition, topology: Topology, mode: CommMode) -> Vec<Message> {
+    let mut messages = Vec::new();
+    match mode {
+        CommMode::Unicast => {
+            let vol = pairwise_volumes(part);
+            for x in Proc::ALL {
+                for y in Proc::ALL {
+                    if x == y || vol[x.idx()][y.idx()] == 0 {
+                        continue;
+                    }
+                    let elems = vol[x.idx()][y.idx()];
+                    match topology {
+                        Topology::FullyConnected => {
+                            messages.push(Message { from: x, to: y, elems, relay_of: None });
+                        }
+                        Topology::Star { center } => {
+                            if x == center || y == center {
+                                messages.push(Message { from: x, to: y, elems, relay_of: None });
+                            } else {
+                                let first = messages.len();
+                                messages.push(Message {
+                                    from: x,
+                                    to: center,
+                                    elems,
+                                    relay_of: None,
+                                });
+                                messages.push(Message {
+                                    from: center,
+                                    to: y,
+                                    elems,
+                                    relay_of: Some(first),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CommMode::Broadcast => {
+            assert!(
+                matches!(topology, Topology::FullyConnected),
+                "Eq. 6 broadcast accounting is only defined for the fully \
+                 connected topology; use Unicast for a star"
+            );
+            let metrics = CommMetrics::from_partition_comm_only(part);
+            let vol = pairwise_volumes(part);
+            for x in Proc::ALL {
+                // Only processors with actual receivers send anything.
+                let has_receiver = Proc::ALL
+                    .iter()
+                    .any(|&y| y != x && vol[x.idx()][y.idx()] > 0);
+                if !has_receiver {
+                    continue;
+                }
+                let elems = metrics.proc(x).send_elems(metrics.n);
+                if elems == 0 {
+                    continue;
+                }
+                messages.push(Message {
+                    from: x,
+                    to: x.others()[0],
+                    elems,
+                    relay_of: None,
+                });
+            }
+        }
+    }
+    messages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_partition::{PartitionBuilder, Rect};
+
+    fn square_corner() -> Partition {
+        PartitionBuilder::new(12)
+            .rect(Rect::new(0, 3, 0, 3), Proc::R)
+            .rect(Rect::new(8, 11, 8, 11), Proc::S)
+            .build()
+    }
+
+    #[test]
+    fn unicast_totals_match_voc() {
+        let part = square_corner();
+        let msgs = build_messages(&part, Topology::FullyConnected, CommMode::Unicast);
+        let total: u64 = msgs.iter().map(|m| m.elems).sum();
+        assert_eq!(total, part.voc());
+    }
+
+    #[test]
+    fn square_corner_has_no_rs_traffic() {
+        // Diagonally opposite squares share no rows or columns, so R and S
+        // exchange nothing — the defining communication advantage of the
+        // Square-Corner shape.
+        let part = square_corner();
+        let msgs = build_messages(&part, Topology::FullyConnected, CommMode::Unicast);
+        assert!(msgs
+            .iter()
+            .all(|m| m.from == Proc::P || m.to == Proc::P));
+        assert!(!msgs.is_empty());
+    }
+
+    #[test]
+    fn star_relays_rim_traffic() {
+        // Strips force R↔S traffic; with P as hub it must be relayed.
+        let part = Partition::from_fn(9, |i, _| {
+            if i < 3 {
+                Proc::P
+            } else if i < 6 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        });
+        let full = build_messages(&part, Topology::FullyConnected, CommMode::Unicast);
+        let star = build_messages(
+            &part,
+            Topology::Star { center: Proc::P },
+            CommMode::Unicast,
+        );
+        assert!(star.len() > full.len());
+        let relayed: Vec<&Message> = star.iter().filter(|m| m.relay_of.is_some()).collect();
+        assert_eq!(relayed.len(), 2, "R→S and S→R each relayed once");
+        for m in relayed {
+            assert_eq!(m.from, Proc::P);
+        }
+        // Total elements on the wire grow by exactly the relayed volume.
+        let full_total: u64 = full.iter().map(|m| m.elems).sum();
+        let star_total: u64 = star.iter().map(|m| m.elems).sum();
+        assert!(star_total > full_total);
+    }
+
+    #[test]
+    fn broadcast_uses_eq6_volumes() {
+        let part = square_corner();
+        let msgs = build_messages(&part, Topology::FullyConnected, CommMode::Broadcast);
+        let metrics = CommMetrics::from_partition_comm_only(&part);
+        for m in &msgs {
+            assert_eq!(m.elems, metrics.proc(m.from).send_elems(12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fully connected")]
+    fn broadcast_on_star_rejected() {
+        let part = square_corner();
+        let _ = build_messages(&part, Topology::Star { center: Proc::P }, CommMode::Broadcast);
+    }
+
+    #[test]
+    fn uniform_partition_sends_nothing() {
+        let part = Partition::new(6, Proc::P);
+        for mode in [CommMode::Unicast, CommMode::Broadcast] {
+            assert!(build_messages(&part, Topology::FullyConnected, mode).is_empty());
+        }
+    }
+}

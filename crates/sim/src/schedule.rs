@@ -1,0 +1,509 @@
+//! The per-algorithm schedules: messages and compute phases on a clock.
+//!
+//! Serial algorithms (SCB, SCO) run all messages back-to-back on one shared
+//! medium; parallel algorithms (PCB, PCO, PIO) serialize messages per
+//! *sender* (each processor drives its own NIC), with relay legs waiting
+//! for their inbound hop. Barrier algorithms start every computation at the
+//! global communication end; bulk-overlap algorithms run each processor's
+//! local (`o_X`) work concurrently with communication and start the
+//! remainder at the global barrier `max(comm, max o_X)` — matching Eqs. 7–8
+//! exactly. PIO alternates per-pivot-step sends and computes in a software
+//! pipeline (Eq. 9).
+
+use crate::message::{build_messages, CommMode, Message};
+use crate::timeline::{Phase, SimResult, Span};
+use hetmmm_cost::{Algorithm, Platform};
+use hetmmm_partition::{CommMetrics, Partition, Proc};
+use serde::{Deserialize, Serialize};
+
+/// Simulation configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Platform (speeds, network, topology).
+    pub platform: Platform,
+    /// Which of the five algorithms to schedule.
+    pub algorithm: Algorithm,
+    /// Volume accounting (see [`CommMode`]). `Unicast` is the physically
+    /// consistent default; `Broadcast` reproduces the paper's Eq. 6 PCB
+    /// accounting.
+    pub comm_mode: CommMode,
+    /// Record individual [`Span`]s (costly for PIO at large `N`).
+    pub record_spans: bool,
+}
+
+impl SimConfig {
+    /// Default configuration: unicast, no span recording.
+    pub fn new(platform: Platform, algorithm: Algorithm) -> SimConfig {
+        SimConfig {
+            platform,
+            algorithm,
+            comm_mode: CommMode::Unicast,
+            record_spans: false,
+        }
+    }
+
+    /// Enable span recording.
+    pub fn with_spans(mut self) -> SimConfig {
+        self.record_spans = true;
+        self
+    }
+
+    /// Use Eq. 6 broadcast volume accounting.
+    pub fn with_broadcast(mut self) -> SimConfig {
+        self.comm_mode = CommMode::Broadcast;
+        self
+    }
+}
+
+/// Schedule the bulk-exchange messages and return `(global end, spans)`.
+fn schedule_bulk(
+    messages: &[Message],
+    plat: &Platform,
+    serial: bool,
+    record: bool,
+) -> (f64, Vec<Span>) {
+    let mut spans = Vec::new();
+    let mut ends: Vec<f64> = vec![0.0; messages.len()];
+    if serial {
+        // One shared medium: strict message order, but a relay leg may not
+        // begin before its inbound hop ended (always true in list order).
+        let mut clock = 0.0f64;
+        for (idx, m) in messages.iter().enumerate() {
+            let ready = m.relay_of.map_or(0.0, |dep| ends[dep]);
+            let start = clock.max(ready);
+            let end = start + plat.network.message_time(m.elems);
+            ends[idx] = end;
+            clock = end;
+            if record {
+                spans.push(Span {
+                    start,
+                    end,
+                    phase: Phase::Transfer { from: m.from, to: m.to, elems: m.elems },
+                });
+            }
+        }
+        (clock, spans)
+    } else {
+        // Per-sender NICs: each sender transmits its messages in list
+        // order; a relay leg additionally waits for its inbound hop.
+        let mut nic_free = [0.0f64; 3];
+        let mut done = false;
+        let mut remaining: Vec<usize> = (0..messages.len()).collect();
+        // Relay legs may depend on hops of *other* senders, so iterate to a
+        // fixed point (at most a few rounds with 3 processors).
+        while !done {
+            done = true;
+            remaining.retain(|&idx| {
+                let m = &messages[idx];
+                let ready = match m.relay_of {
+                    None => 0.0,
+                    Some(dep) if ends[dep] > 0.0 || messages[dep].elems == 0 => ends[dep],
+                    Some(_) => return true, // dependency not yet scheduled
+                };
+                let start = nic_free[m.from.idx()].max(ready);
+                let end = start + plat.network.message_time(m.elems);
+                ends[idx] = end;
+                nic_free[m.from.idx()] = end;
+                if record {
+                    spans.push(Span {
+                        start,
+                        end,
+                        phase: Phase::Transfer { from: m.from, to: m.to, elems: m.elems },
+                    });
+                }
+                done = false;
+                false
+            });
+            if remaining.is_empty() {
+                break;
+            }
+        }
+        let end = ends.iter().copied().fold(0.0f64, f64::max);
+        (end, spans)
+    }
+}
+
+/// Run the simulation.
+///
+/// ```
+/// use hetmmm_cost::{Algorithm, Platform};
+/// use hetmmm_partition::{PartitionBuilder, Proc, Ratio, Rect};
+/// use hetmmm_sim::{simulate, SimConfig};
+///
+/// let part = PartitionBuilder::new(12)
+///     .rect(Rect::new(0, 3, 0, 3), Proc::R)
+///     .rect(Rect::new(8, 11, 8, 11), Proc::S)
+///     .build();
+/// let platform = Platform::new(Ratio::new(4, 1, 1), 1e9, 8e-9);
+/// let result = simulate(&part, &SimConfig::new(platform, Algorithm::Scb));
+/// // Square-Corner: R and S never exchange data directly.
+/// assert_eq!(result.elems_sent, part.voc());
+/// assert!(result.exe_time > result.comm_time);
+/// ```
+pub fn simulate(part: &Partition, config: &SimConfig) -> SimResult {
+    let plat = &config.platform;
+    match config.algorithm {
+        Algorithm::Scb | Algorithm::Pcb | Algorithm::Sco | Algorithm::Pco => {
+            let serial =
+                matches!(config.algorithm, Algorithm::Scb | Algorithm::Sco);
+            let overlapped =
+                matches!(config.algorithm, Algorithm::Sco | Algorithm::Pco);
+            let messages = build_messages(part, plat.topology, config.comm_mode);
+            let (comm_time, mut spans) =
+                schedule_bulk(&messages, plat, serial, config.record_spans);
+            let elems_sent: u64 = messages.iter().map(|m| m.elems).sum();
+
+            let metrics = if overlapped {
+                CommMetrics::from_partition(part)
+            } else {
+                CommMetrics::from_partition_comm_only(part)
+            };
+            let n = metrics.n as u64;
+
+            let (overlap_time, compute_time) = if overlapped {
+                let o = Proc::ALL
+                    .map(|x| plat.compute_time(x, metrics.proc(x).local_updates));
+                let c = Proc::ALL.map(|x| {
+                    plat.compute_time(x, metrics.proc(x).remote_updates(metrics.n))
+                });
+                if config.record_spans {
+                    for x in Proc::ALL {
+                        if o[x.idx()] > 0.0 {
+                            spans.push(Span {
+                                start: 0.0,
+                                end: o[x.idx()],
+                                phase: Phase::OverlapCompute { proc: x },
+                            });
+                        }
+                    }
+                }
+                (
+                    o.into_iter().fold(0.0f64, f64::max),
+                    c.into_iter().fold(0.0f64, f64::max),
+                )
+            } else {
+                let c = Proc::ALL
+                    .map(|x| plat.compute_time(x, n * metrics.proc(x).elems as u64));
+                (0.0, c.into_iter().fold(0.0f64, f64::max))
+            };
+
+            let barrier = comm_time.max(overlap_time);
+            let exe_time = barrier + compute_time;
+            if config.record_spans && compute_time > 0.0 {
+                for x in Proc::ALL {
+                    let updates = if overlapped {
+                        metrics.proc(x).remote_updates(metrics.n)
+                    } else {
+                        n * metrics.proc(x).elems as u64
+                    };
+                    let t = plat.compute_time(x, updates);
+                    if t > 0.0 {
+                        spans.push(Span {
+                            start: barrier,
+                            end: barrier + t,
+                            phase: Phase::Compute { proc: x },
+                        });
+                    }
+                }
+            }
+            SimResult {
+                comm_time,
+                overlap_time,
+                compute_time,
+                exe_time,
+                messages: messages.len(),
+                elems_sent,
+                spans,
+            }
+        }
+        Algorithm::Pio => simulate_pio(part, config),
+    }
+}
+
+/// Parallel interleaving overlap: per pivot step `k`, the owners of row and
+/// column `k` send the fragments other processors need while everyone
+/// computes the previous step (Eq. 9).
+fn simulate_pio(part: &Partition, config: &SimConfig) -> SimResult {
+    let plat = &config.platform;
+    let n = part.n();
+    let metrics = CommMetrics::from_partition_comm_only(part);
+    let kcomp = Proc::ALL
+        .map(|x| plat.compute_time(x, metrics.proc(x).elems as u64))
+        .into_iter()
+        .fold(0.0f64, f64::max);
+
+    let mut messages_total = 0usize;
+    let mut elems_total = 0u64;
+    // Per-step communication time: per-sender volumes of row/col k
+    // fragments, parallel across senders, hop-weighted on a star.
+    let mut step_comm = |k: usize| -> f64 {
+        let mut per_sender = [0u64; 3];
+        let mut msgs = 0usize;
+        for x in Proc::ALL {
+            for y in x.others() {
+                let mut elems = 0u64;
+                if part.row_has(y, k) {
+                    elems += u64::from(part.row_count(x, k));
+                }
+                if part.col_has(y, k) {
+                    elems += u64::from(part.col_count(x, k));
+                }
+                if elems == 0 {
+                    continue;
+                }
+                let hops = u64::from(plat.topology.hops(x, y));
+                per_sender[x.idx()] += elems * hops;
+                msgs += hops as usize;
+                elems_total += elems * hops;
+            }
+        }
+        messages_total += msgs;
+        per_sender
+            .into_iter()
+            .map(|e| {
+                if e == 0 {
+                    0.0
+                } else {
+                    plat.network.message_time(e)
+                }
+            })
+            .fold(0.0f64, f64::max)
+    };
+
+    let mut total = step_comm(0); // pipeline fill
+    let mut comm_sum = total;
+    for k in 1..n {
+        let c = step_comm(k);
+        comm_sum += c;
+        total += c.max(kcomp);
+    }
+    total += kcomp; // pipeline drain
+
+    SimResult {
+        comm_time: comm_sum,
+        overlap_time: 0.0,
+        compute_time: kcomp * n as f64,
+        exe_time: total,
+        messages: messages_total,
+        elems_sent: elems_total,
+        spans: Vec::new(),
+    }
+}
+
+/// Simulate all five algorithms with one configuration template.
+pub fn simulate_all(part: &Partition, platform: Platform) -> [(Algorithm, SimResult); 5] {
+    Algorithm::ALL.map(|a| {
+        let config = SimConfig::new(platform, a);
+        (a, simulate(part, &config))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_cost::{evaluate, HockneyModel, Topology};
+    use hetmmm_partition::{PartitionBuilder, Ratio, Rect};
+
+    fn strips(n: usize) -> Partition {
+        Partition::from_fn(n, |i, _| {
+            if i < n / 3 {
+                Proc::P
+            } else if i < 2 * n / 3 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        })
+    }
+
+    fn plat() -> Platform {
+        Platform::new(Ratio::new(2, 1, 1), 1e9, 1e-9)
+    }
+
+    #[test]
+    fn scb_sim_matches_model_exactly() {
+        let part = strips(12);
+        let p = plat();
+        let sim = simulate(&part, &SimConfig::new(p, Algorithm::Scb));
+        let model = evaluate(Algorithm::Scb, &part, &p);
+        assert!((sim.comm_time - model.comm).abs() < 1e-12);
+        assert!((sim.exe_time - model.total).abs() < 1e-12);
+        assert_eq!(sim.elems_sent, part.voc());
+    }
+
+    #[test]
+    fn pcb_broadcast_sim_matches_eq6_model() {
+        let part = strips(12);
+        let p = plat();
+        let sim = simulate(
+            &part,
+            &SimConfig::new(p, Algorithm::Pcb).with_broadcast(),
+        );
+        let model = evaluate(Algorithm::Pcb, &part, &p);
+        assert!((sim.comm_time - model.comm).abs() < 1e-12);
+        assert!((sim.exe_time - model.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sco_pco_match_models() {
+        let part = strips(12);
+        let p = plat();
+        for algo in [Algorithm::Sco, Algorithm::Pco] {
+            let cfg = if algo == Algorithm::Pco {
+                SimConfig::new(p, algo).with_broadcast()
+            } else {
+                SimConfig::new(p, algo)
+            };
+            let sim = simulate(&part, &cfg);
+            let model = evaluate(algo, &part, &p);
+            assert!(
+                (sim.exe_time - model.total).abs() < 1e-12,
+                "{algo}: {} vs {}",
+                sim.exe_time,
+                model.total
+            );
+            assert!(sim.overlap_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn pio_sim_matches_model_on_fully_connected() {
+        // The model's Eq. 9 step cost is the serial per-step volume; the
+        // simulator parallelizes across senders, so it can only be faster.
+        let part = strips(12);
+        let p = plat();
+        let sim = simulate(&part, &SimConfig::new(p, Algorithm::Pio));
+        let model = evaluate(Algorithm::Pio, &part, &p);
+        assert!(sim.exe_time <= model.total + 1e-12);
+        assert!(sim.exe_time >= sim.compute_time - 1e-12);
+    }
+
+    #[test]
+    fn star_topology_slower_or_equal() {
+        let part = strips(12);
+        let full = Platform::new(Ratio::new(2, 1, 1), 1e9, 1e-9);
+        let star = full.with_star(Proc::P);
+        for algo in Algorithm::ALL {
+            let a = simulate(&part, &SimConfig::new(full, algo));
+            let b = simulate(&part, &SimConfig::new(star, algo));
+            assert!(
+                b.exe_time >= a.exe_time - 1e-12,
+                "{algo}: star {} < full {}",
+                b.exe_time,
+                a.exe_time
+            );
+        }
+    }
+
+    #[test]
+    fn relay_leg_waits_for_inbound_hop() {
+        // Parallel schedule on a star: the hub's relay of R→S data must
+        // start no earlier than R's hop to the hub ends.
+        let part = strips(9);
+        let p = Platform::new(Ratio::new(1, 1, 1), 1e9, 1e-9).with_star(Proc::P);
+        let sim = simulate(
+            &part,
+            &SimConfig::new(p, Algorithm::Pcb).with_spans(),
+        );
+        sim.assert_spans_consistent();
+        // Find a relayed span: hub sends to a rim processor data that the
+        // rim pair exchanged.
+        let transfers: Vec<&Span> = sim
+            .spans
+            .iter()
+            .filter(|s| matches!(s.phase, Phase::Transfer { .. }))
+            .collect();
+        assert!(!transfers.is_empty());
+    }
+
+    #[test]
+    fn square_corner_beats_strips_on_comm() {
+        let n = 12;
+        let corner = PartitionBuilder::new(n)
+            .rect(Rect::new(0, 3, 0, 3), Proc::R)
+            .rect(Rect::new(8, 11, 8, 11), Proc::S)
+            .build();
+        let strips = strips(n);
+        let p = plat();
+        let a = simulate(&corner, &SimConfig::new(p, Algorithm::Scb));
+        let b = simulate(&strips, &SimConfig::new(p, Algorithm::Scb));
+        assert!(a.comm_time < b.comm_time);
+    }
+
+    #[test]
+    fn fig14_configuration_runs() {
+        // Fig. 14 parameters scaled down: 1000 MB/s, 8-byte elements.
+        let network = HockneyModel::from_bandwidth(1000e6, 8.0);
+        let p = Platform {
+            ratio: Ratio::new(10, 1, 1),
+            base_speed: 1e9,
+            network,
+            topology: Topology::FullyConnected,
+        };
+        let part = strips(30);
+        let sim = simulate(&part, &SimConfig::new(p, Algorithm::Scb));
+        assert!(sim.comm_time > 0.0);
+        assert_eq!(sim.elems_sent, part.voc());
+    }
+
+    #[test]
+    fn span_recording_is_complete_for_barrier_algos() {
+        let part = strips(9);
+        let p = plat();
+        let sim = simulate(&part, &SimConfig::new(p, Algorithm::Scb).with_spans());
+        sim.assert_spans_consistent();
+        let transfer_count = sim
+            .spans
+            .iter()
+            .filter(|s| matches!(s.phase, Phase::Transfer { .. }))
+            .count();
+        assert_eq!(transfer_count, sim.messages);
+        let compute_count = sim
+            .spans
+            .iter()
+            .filter(|s| matches!(s.phase, Phase::Compute { .. }))
+            .count();
+        assert_eq!(compute_count, 3);
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+    use hetmmm_cost::Platform;
+    use hetmmm_partition::{Partition, Proc, Ratio};
+
+    #[test]
+    fn utilization_sums_are_sane() {
+        let part = Partition::from_fn(12, |i, _| {
+            if i < 4 {
+                Proc::P
+            } else if i < 8 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        });
+        let plat = Platform::new(Ratio::new(2, 1, 1), 1e9, 1e-9);
+        let sim = simulate(&part, &SimConfig::new(plat, Algorithm::Scb).with_spans());
+        for proc in Proc::ALL {
+            let c = sim.compute_utilization(proc);
+            let s = sim.send_utilization(proc);
+            assert!((0.0..=1.0 + 1e-9).contains(&c), "{proc}: {c}");
+            assert!((0.0..=1.0 + 1e-9).contains(&s), "{proc}: {s}");
+        }
+        // The slowest processor's compute phase dominates the barrier
+        // epilogue; the fast processor idles more.
+        assert!(
+            sim.compute_utilization(Proc::S) > sim.compute_utilization(Proc::P)
+        );
+    }
+
+    #[test]
+    fn unrecorded_spans_yield_zero_utilization() {
+        let part = Partition::new(6, Proc::P);
+        let plat = Platform::new(Ratio::new(2, 1, 1), 1e9, 1e-9);
+        let sim = simulate(&part, &SimConfig::new(plat, Algorithm::Scb));
+        assert_eq!(sim.compute_utilization(Proc::P), 0.0);
+    }
+}

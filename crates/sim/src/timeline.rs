@@ -1,0 +1,109 @@
+//! Simulation results: timed spans and aggregates.
+
+use hetmmm_partition::Proc;
+
+use serde::{Deserialize, Serialize};
+
+/// What a span of simulated time represents.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// A network transfer.
+    Transfer {
+        /// Sender.
+        from: Proc,
+        /// Receiver.
+        to: Proc,
+        /// Elements carried.
+        elems: u64,
+    },
+    /// Computation overlapped with communication (SCO/PCO `o_X`).
+    OverlapCompute {
+        /// The computing processor.
+        proc: Proc,
+    },
+    /// Post-barrier (or per-step) computation.
+    Compute {
+        /// The computing processor.
+        proc: Proc,
+    },
+}
+
+/// A half-open time interval `[start, end)` tagged with its phase.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+    /// What happened.
+    pub phase: Phase,
+}
+
+/// Aggregated outcome of one simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Time at which all communication completed.
+    pub comm_time: f64,
+    /// Time spent in overlapped computation (max over processors; 0 for
+    /// barrier algorithms).
+    pub overlap_time: f64,
+    /// Post-communication computation time (max over processors).
+    pub compute_time: f64,
+    /// Total simulated execution time.
+    pub exe_time: f64,
+    /// Number of point-to-point transfers (including relay legs).
+    pub messages: usize,
+    /// Total elements that crossed the network (hop-weighted).
+    pub elems_sent: u64,
+    /// Recorded spans (empty unless event recording was enabled).
+    pub spans: Vec<Span>,
+}
+
+impl SimResult {
+    /// Sanity-check the recorded spans: non-negative durations, nothing
+    /// beyond `exe_time`.
+    pub fn assert_spans_consistent(&self) {
+        for span in &self.spans {
+            assert!(span.end >= span.start, "negative span {span:?}");
+            assert!(
+                span.end <= self.exe_time + 1e-9,
+                "span beyond exe_time: {span:?}"
+            );
+        }
+    }
+
+    /// Fraction of the execution a processor spent computing (overlap +
+    /// post-barrier), from the recorded spans. Requires span recording;
+    /// returns 0 otherwise.
+    pub fn compute_utilization(&self, proc: Proc) -> f64 {
+        if self.exe_time <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .spans
+            .iter()
+            .filter(|s| {
+                matches!(s.phase,
+                    Phase::Compute { proc: p } | Phase::OverlapCompute { proc: p }
+                    if p == proc)
+            })
+            .map(|s| s.end - s.start)
+            .sum();
+        busy / self.exe_time
+    }
+
+    /// Fraction of the execution a processor spent transmitting, from the
+    /// recorded spans.
+    pub fn send_utilization(&self, proc: Proc) -> f64 {
+        if self.exe_time <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .spans
+            .iter()
+            .filter(|s| matches!(s.phase, Phase::Transfer { from, .. } if from == proc))
+            .map(|s| s.end - s.start)
+            .sum();
+        busy / self.exe_time
+    }
+}

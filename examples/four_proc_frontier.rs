@@ -1,0 +1,133 @@
+//! Scenario: beyond the paper — searching shapes for four processors.
+//!
+//! The paper closes by calling the three-processor case "an excellent
+//! starting point for four or more processors". This example runs the
+//! generalized search (`hetmmm-nproc`) on a four-device platform — say a
+//! GPU, two CPU sockets and a host core — renders the best fixed point
+//! found, and compares its communication volume against the natural
+//! baselines (strips, nested corners).
+//!
+//! ```text
+//! cargo run --release -p hetmmm-examples --bin four_proc_frontier -- [n] [runs]
+//! ```
+
+use hetmmm_nproc::stats::outcome_stats;
+use hetmmm_nproc::{NDfaConfig, NDfaRunner, NPartition};
+
+/// Simple ASCII render for k-processor partitions (digits as owners).
+fn render(part: &NPartition, blocks: usize) -> String {
+    let n = part.n();
+    let blocks = blocks.clamp(1, n);
+    let mut out = String::new();
+    for bi in 0..blocks {
+        let i0 = bi * n / blocks;
+        let i1 = ((bi + 1) * n / blocks).max(i0 + 1);
+        for bj in 0..blocks {
+            let j0 = bj * n / blocks;
+            let j1 = ((bj + 1) * n / blocks).max(j0 + 1);
+            let mut counts = vec![0usize; part.k()];
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    counts[part.get(i, j) as usize] += 1;
+                }
+            }
+            let best = (0..part.k()).max_by_key(|&p| counts[p]).unwrap();
+            out.push(char::from_digit(best as u32, 10).unwrap());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Baseline 1: horizontal strips proportional to the weights.
+fn strips(n: usize, weights: &[u32]) -> NPartition {
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    let mut part = NPartition::new(n, weights.len());
+    let mut row = 0usize;
+    let mut acc = 0u64;
+    for (p, &w) in weights.iter().enumerate().skip(1) {
+        acc += u64::from(w);
+        let _ = p;
+        let until = ((n as u64 * acc) / total) as usize;
+        for i in row..until {
+            for j in 0..n {
+                part.set(i, j, p as u8);
+            }
+        }
+        row = until;
+    }
+    // Processor 0 keeps rows `row..n` (it was the background).
+    part
+}
+
+/// Baseline 2: nested corner squares (each slower processor a square in
+/// its own corner, fastest the remainder).
+fn corner_squares(n: usize, weights: &[u32]) -> NPartition {
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    let mut part = NPartition::new(n, weights.len());
+    let corners = [(0usize, 0usize), (1, 1), (0, 1), (1, 0)];
+    for (p, &w) in weights.iter().enumerate().skip(1) {
+        let share = (n * n) as u64 * u64::from(w) / total;
+        let side = ((share as f64).sqrt().ceil() as usize).min(n / 2);
+        let (ci, cj) = corners[(p - 1) % 4];
+        let mut remaining = share as usize;
+        'fill: for di in 0..side {
+            for dj in 0..side.min(remaining.div_ceil(side)) {
+                if remaining == 0 {
+                    break 'fill;
+                }
+                let i = if ci == 0 { di } else { n - 1 - di };
+                let j = if cj == 0 { dj } else { n - 1 - dj };
+                if part.get(i, j) == 0 {
+                    part.set(i, j, p as u8);
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    part
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let n = args.first().copied().unwrap_or(60);
+    let runs = args.get(1).copied().unwrap_or(32) as u64;
+    let weights = vec![8u32, 3, 2, 1];
+
+    println!("four-processor shape frontier: weights {weights:?}, N = {n}, {runs} runs\n");
+
+    let strips_voc = strips(n, &weights).voc();
+    let corners_voc = corner_squares(n, &weights).voc();
+    println!("baseline strips VoC        : {strips_voc}");
+    println!("baseline corner-squares VoC: {corners_voc}");
+
+    let runner = NDfaRunner::new(NDfaConfig::new(n, weights));
+    let best = runner
+        .run_many(0..runs)
+        .into_iter()
+        .min_by_key(|o| o.voc_final)
+        .expect("runs");
+    println!("search best VoC            : {}\n", best.voc_final);
+
+    println!("best fixed point (0 = fastest):\n{}", render(&best.partition, 20));
+
+    let stats = outcome_stats(&best.partition);
+    for (p, ps) in stats.per_proc.iter().enumerate().skip(1) {
+        println!(
+            "P{p}: {} elements, enclosing-rect fill {:.2}, {} corners",
+            ps.elems, ps.fill, ps.corners
+        );
+    }
+    println!(
+        "\nthe search beats or matches both baselines whenever heterogeneity \
+         leaves room to hide the slow processors ({}).",
+        if best.voc_final <= strips_voc.min(corners_voc) {
+            "it does here"
+        } else {
+            "here the baselines win — try a more heterogeneous weight vector"
+        }
+    );
+}

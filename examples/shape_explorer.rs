@@ -1,0 +1,85 @@
+//! Scenario: explore how one partition shape behaves across the whole
+//! modeling stack.
+//!
+//! Builds a shape (any of the six candidates, or a hand-drawn one), prints
+//! its render, region profiles, corner counts, archetype, VoC breakdown,
+//! the cost of all five algorithms on two topologies, and a Push
+//! trajectory from a perturbed version back to a fixed point.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-examples --bin shape_explorer -- [square-corner|
+//!     rectangle-corner|square-rectangle|block-rectangle|l-rectangle|traditional]
+//! ```
+
+use hetmmm::partition::render_ascii;
+use hetmmm::prelude::*;
+use hetmmm::shapes::{corner_count, RegionProfile};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn pick_type(name: &str) -> CandidateType {
+    match name {
+        "rectangle-corner" => CandidateType::RectangleCorner,
+        "square-rectangle" => CandidateType::SquareRectangle,
+        "block-rectangle" => CandidateType::BlockRectangle,
+        "l-rectangle" => CandidateType::LRectangle,
+        "traditional" => CandidateType::TraditionalRectangle,
+        _ => CandidateType::SquareCorner,
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "square-corner".into());
+    let ty = pick_type(&name);
+    let n = 60;
+    let ratio = Ratio::new(6, 2, 1);
+    let candidate = ty
+        .construct(n, ratio)
+        .unwrap_or_else(|| panic!("{ty} infeasible at ratio {ratio}"));
+    let part = candidate.partition;
+
+    println!("=== {} at ratio {ratio}, N = {n} ===\n", ty.paper_name());
+    println!("{}", render_ascii(&part, 15));
+
+    println!("region profiles:");
+    for proc in [Proc::R, Proc::S, Proc::P] {
+        let prof = RegionProfile::new(&part, proc);
+        println!(
+            "  {proc}: {:>5} elements, kind {:?}, {} corners, rect {}",
+            part.elems(proc),
+            prof.kind,
+            corner_count(&part, proc),
+            prof.rect.map_or("-".into(), |r| r.to_string()),
+        );
+    }
+    println!("archetype: {}", classify(&part));
+    println!("VoC: {} elements ({:.3} x N^2)\n", part.voc(), part.voc() as f64 / (n * n) as f64);
+
+    println!("execution-time models (base 1 Gupdate/s, 8 ns/element):");
+    let full = Platform::new(ratio, 1e9, 8e-9);
+    let star = full.with_star(Proc::P);
+    println!("{:>6} {:>14} {:>14}", "algo", "fully-conn (s)", "star@P (s)");
+    for algo in Algorithm::ALL {
+        let a = evaluate(algo, &part, &full);
+        let b = evaluate(algo, &part, &star);
+        println!("{:>6} {:>14.6} {:>14.6}", algo.name(), a.total, b.total);
+    }
+
+    // Perturb the shape, then watch the Push bring it back.
+    println!("\nperturbing 5% of elements and re-condensing with Push:");
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut messy = part.clone();
+    for _ in 0..(n * n / 20) {
+        let (i1, j1) = (rng.random_range(0..n), rng.random_range(0..n));
+        let (i2, j2) = (rng.random_range(0..n), rng.random_range(0..n));
+        messy.swap((i1, j1), (i2, j2));
+    }
+    println!("  perturbed VoC: {}", messy.voc());
+    let steps = beautify(&mut messy);
+    println!(
+        "  after {steps} pushes: VoC {} (original shape had {}), archetype {}",
+        messy.voc(),
+        part.voc(),
+        classify_coarse(&messy, 10)
+    );
+}

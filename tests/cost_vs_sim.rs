@@ -1,0 +1,143 @@
+//! The closed-form models (Eqs. 2–9) and the message-level simulator must
+//! agree wherever they share assumptions, and the Fig. 13 / Fig. 14
+//! crossover must be consistent between the closed forms, the grid VoC, and
+//! the simulator.
+
+use hetmmm::cost::closed::ShapeCost;
+use hetmmm::cost::scb_comm_norm;
+use hetmmm::prelude::*;
+use hetmmm::shapes::candidates::all_feasible;
+
+fn platform(ratio: Ratio) -> Platform {
+    Platform::new(ratio, 1e9, 8.0 / 1e9)
+}
+
+#[test]
+fn sim_equals_model_for_scb_on_all_candidates() {
+    for ratio in [Ratio::new(2, 1, 1), Ratio::new(5, 2, 1), Ratio::new(10, 1, 1)] {
+        let plat = platform(ratio);
+        for c in all_feasible(48, ratio) {
+            let model = evaluate(Algorithm::Scb, &c.partition, &plat);
+            let sim = simulate(&c.partition, &SimConfig::new(plat, Algorithm::Scb));
+            assert!(
+                (sim.exe_time - model.total).abs() < 1e-12,
+                "{} at {ratio}",
+                c.ty
+            );
+            assert_eq!(sim.elems_sent, c.partition.voc());
+        }
+    }
+}
+
+#[test]
+fn sim_equals_model_for_pcb_pco_in_broadcast_mode() {
+    let ratio = Ratio::new(4, 2, 1);
+    let plat = platform(ratio);
+    for c in all_feasible(48, ratio) {
+        for algo in [Algorithm::Pcb, Algorithm::Pco] {
+            let model = evaluate(algo, &c.partition, &plat);
+            let sim = simulate(
+                &c.partition,
+                &SimConfig::new(plat, algo).with_broadcast(),
+            );
+            assert!(
+                (sim.exe_time - model.total).abs() < 1e-9,
+                "{algo} {} : sim {} model {}",
+                c.ty,
+                sim.exe_time,
+                model.total
+            );
+        }
+    }
+}
+
+#[test]
+fn sco_sim_equals_model() {
+    let ratio = Ratio::new(3, 2, 1);
+    let plat = platform(ratio);
+    for c in all_feasible(36, ratio) {
+        let model = evaluate(Algorithm::Sco, &c.partition, &plat);
+        let sim = simulate(&c.partition, &SimConfig::new(plat, Algorithm::Sco));
+        assert!((sim.exe_time - model.total).abs() < 1e-9, "{}", c.ty);
+    }
+}
+
+#[test]
+fn star_topology_never_faster() {
+    let ratio = Ratio::new(5, 2, 1);
+    let full = platform(ratio);
+    let star = full.with_star(Proc::P);
+    for c in all_feasible(36, ratio) {
+        for algo in Algorithm::ALL {
+            let a = simulate(&c.partition, &SimConfig::new(full, algo));
+            let b = simulate(&c.partition, &SimConfig::new(star, algo));
+            assert!(
+                b.exe_time >= a.exe_time - 1e-12,
+                "{algo} {}: star beat fully-connected",
+                c.ty
+            );
+        }
+    }
+}
+
+#[test]
+fn closed_form_grid_and_simulator_agree_on_the_crossover() {
+    // Along R_r = S_r = 1 the three layers of the reproduction must agree
+    // about who wins SCB communication at every ratio away from the
+    // boundary: the normalized closed forms (Fig. 13), the grid VoC of the
+    // constructed candidates, and the simulated communication time.
+    let n = 200;
+    for p in [2u32, 3, 5, 8, 15, 20, 25] {
+        let ratio = Ratio::new(p, 1, 1);
+        let (Some(sc_norm), Some(br_norm)) = (
+            scb_comm_norm(ShapeCost::SquareCorner, ratio),
+            scb_comm_norm(ShapeCost::BlockRectangle, ratio),
+        ) else {
+            continue;
+        };
+        // Skip ratios too close to the analytic tie for grid granularity.
+        if (sc_norm - br_norm).abs() < 0.05 {
+            continue;
+        }
+        let closed_sc_wins = sc_norm < br_norm;
+
+        let sc = CandidateType::SquareCorner.construct(n, ratio);
+        let br = CandidateType::BlockRectangle.construct(n, ratio).unwrap();
+        let Some(sc) = sc else { continue };
+        let grid_sc_wins = sc.partition.voc() < br.partition.voc();
+        assert_eq!(closed_sc_wins, grid_sc_wins, "grid vs closed at {p}:1:1");
+
+        let plat = platform(ratio);
+        let t_sc = simulate(&sc.partition, &SimConfig::new(plat, Algorithm::Scb)).comm_time;
+        let t_br = simulate(&br.partition, &SimConfig::new(plat, Algorithm::Scb)).comm_time;
+        assert_eq!(closed_sc_wins, t_sc < t_br, "sim vs closed at {p}:1:1");
+    }
+}
+
+#[test]
+fn fig14_shape_holds_in_the_simulator() {
+    // Scaled-down Fig. 14 (N = 500 instead of 5000): Square-Corner comm
+    // falls monotonically with heterogeneity and overtakes Block-Rectangle.
+    let n = 500;
+    let mut last_sc = f64::MAX;
+    let mut sc_won = false;
+    for p in [4u32, 6, 10, 15, 25] {
+        let ratio = Ratio::new(p, 1, 1);
+        let plat = Platform {
+            ratio,
+            base_speed: 1e9,
+            network: HockneyModel::from_bandwidth(1000e6, 8.0),
+            topology: Topology::FullyConnected,
+        };
+        let sc = CandidateType::SquareCorner.construct(n, ratio).unwrap();
+        let br = CandidateType::BlockRectangle.construct(n, ratio).unwrap();
+        let t_sc = simulate(&sc.partition, &SimConfig::new(plat, Algorithm::Scb)).comm_time;
+        let t_br = simulate(&br.partition, &SimConfig::new(plat, Algorithm::Scb)).comm_time;
+        assert!(t_sc < last_sc, "SC comm must fall with heterogeneity");
+        last_sc = t_sc;
+        if t_sc < t_br {
+            sc_won = true;
+        }
+    }
+    assert!(sc_won, "Square-Corner must overtake Block-Rectangle");
+}

@@ -1,0 +1,1 @@
+// integration test helper crate (intentionally empty)

@@ -1,0 +1,107 @@
+//! The threaded kij executor must compute the exact product for *any*
+//! partition — candidates, DFA outcomes, scatters — and its measured
+//! traffic must equal the analytic pairwise volumes the cost models charge.
+
+use hetmmm::mmm::{kij_serial, multiply_partitioned, Matrix};
+use hetmmm::partition::pairwise_volumes;
+use hetmmm::prelude::*;
+use hetmmm::shapes::candidates::all_feasible;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_candidates_multiply_correctly() {
+    let n = 36;
+    let mut rng = StdRng::seed_from_u64(100);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let reference = kij_serial(&a, &b);
+    for ratio in [Ratio::new(2, 1, 1), Ratio::new(5, 2, 1), Ratio::new(10, 1, 1)] {
+        for c in all_feasible(n, ratio) {
+            let (product, stats) = multiply_partitioned(&a, &b, &c.partition);
+            assert!(
+                product.max_abs_diff(&reference) < 1e-9,
+                "{} at {ratio}",
+                c.ty
+            );
+            let analytic: u64 = pairwise_volumes(&c.partition).iter().flatten().sum();
+            assert_eq!(stats.total_sent(), analytic, "{} at {ratio}", c.ty);
+        }
+    }
+}
+
+#[test]
+fn dfa_outcome_partitions_multiply_correctly() {
+    let n = 24;
+    let runner = DfaRunner::new(DfaConfig::new(n, Ratio::new(3, 2, 1)));
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let reference = kij_serial(&a, &b);
+    for out in runner.run_many(0..4u64) {
+        let (product, stats) = multiply_partitioned(&a, &b, &out.partition);
+        assert!(product.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(stats.total_sent(), out.partition.voc());
+    }
+}
+
+#[test]
+fn executor_workload_split_follows_areas() {
+    let n = 30;
+    let ratio = Ratio::new(5, 2, 1);
+    let c = &all_feasible(n, ratio)[0];
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let (_, stats) = multiply_partitioned(&a, &b, &c.partition);
+    for p in Proc::ALL {
+        assert_eq!(
+            stats.per_proc[p.idx()].updates,
+            (n * c.partition.elems(p)) as u64,
+            "{p}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random scatters: correctness and exact traffic accounting.
+    #[test]
+    fn random_partitions_multiply_correctly(seed in 0u64..1_000, n in 4usize..20) {
+        let ratio = Ratio::new(3, 2, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = random_partition(n, ratio, &mut rng);
+        let a = Matrix::random(n, &mut rng);
+        let b = Matrix::random(n, &mut rng);
+        let (product, stats) = multiply_partitioned(&a, &b, &part);
+        prop_assert!(product.max_abs_diff(&kij_serial(&a, &b)) < 1e-9);
+        prop_assert_eq!(stats.total_sent(), part.voc());
+        // Receive totals equal send totals (conservation).
+        let recv: u64 = stats.per_proc.iter().map(|p| p.elems_recv).sum();
+        prop_assert_eq!(recv, stats.total_sent());
+    }
+}
+
+#[test]
+fn push_improves_executor_traffic() {
+    // The whole point: condensing a partition with the Push DFA reduces the
+    // traffic the real execution moves.
+    let n = 24;
+    let ratio = Ratio::new(4, 1, 1);
+    let mut rng = StdRng::seed_from_u64(33);
+    let scatter = random_partition(n, ratio, &mut rng);
+    let mut condensed = scatter.clone();
+    beautify(&mut condensed);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let (_, before) = multiply_partitioned(&a, &b, &scatter);
+    let (_, after) = multiply_partitioned(&a, &b, &condensed);
+    assert!(
+        after.total_sent() < before.total_sent(),
+        "condensed {} !< scatter {}",
+        after.total_sent(),
+        before.total_sent()
+    );
+}

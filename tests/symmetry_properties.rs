@@ -1,0 +1,85 @@
+//! Symmetry properties across crates: the paper's Section IX-A note that
+//! "a partition shape falls under the given type if it fulfills the listed
+//! criteria or can be rotated to meet the criteria" requires the whole
+//! analysis stack to be invariant under the square's dihedral group.
+
+use hetmmm::partition::{dihedral_images, transpose};
+use hetmmm::prelude::*;
+use hetmmm::shapes::corner_count;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Condensed shapes classify identically under all eight symmetries.
+#[test]
+fn archetype_classification_is_dihedral_invariant() {
+    let runner = DfaRunner::new(DfaConfig::new(24, Ratio::new(3, 1, 1)));
+    for out in runner.run_many(0..10u64) {
+        let mut part = out.partition;
+        beautify(&mut part);
+        let arch = classify(&part);
+        for image in dihedral_images(&part) {
+            assert_eq!(
+                classify(&image),
+                arch,
+                "classification changed under a symmetry"
+            );
+        }
+    }
+}
+
+/// Corner counts are geometric: invariant under every symmetry.
+#[test]
+fn corner_counts_are_dihedral_invariant() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let part = random_partition(15, Ratio::new(3, 2, 1), &mut rng);
+    for proc in Proc::ALL {
+        let c = corner_count(&part, proc);
+        for image in dihedral_images(&part) {
+            assert_eq!(corner_count(&image, proc), c, "{proc}");
+        }
+    }
+}
+
+/// SCB execution time depends only on VoC and areas, both symmetric, so
+/// the model must price every image identically.
+#[test]
+fn scb_cost_is_dihedral_invariant() {
+    let ratio = Ratio::new(4, 2, 1);
+    let plat = Platform::new(ratio, 1e9, 8e-9);
+    let mut rng = StdRng::seed_from_u64(5);
+    let part = random_partition(18, ratio, &mut rng);
+    let t = evaluate(Algorithm::Scb, &part, &plat).total;
+    for image in dihedral_images(&part) {
+        let ti = evaluate(Algorithm::Scb, &image, &plat).total;
+        assert!((t - ti).abs() < 1e-15);
+    }
+}
+
+/// The simulator's SCB totals are likewise placement-independent.
+#[test]
+fn simulated_comm_is_transpose_invariant() {
+    let ratio = Ratio::new(5, 2, 1);
+    let plat = Platform::new(ratio, 1e9, 8e-9);
+    let c = CandidateType::BlockRectangle.construct(36, ratio).unwrap();
+    let a = simulate(&c.partition, &SimConfig::new(plat, Algorithm::Scb));
+    let b = simulate(&transpose(&c.partition), &SimConfig::new(plat, Algorithm::Scb));
+    assert!((a.comm_time - b.comm_time).abs() < 1e-15);
+    assert_eq!(a.elems_sent, b.elems_sent);
+}
+
+/// Theorem 8.1 through the symmetry lens: translating the combined R∪S
+/// region of a condensed shape anywhere in the matrix leaves VoC fixed.
+#[test]
+fn translation_invariance_on_candidates() {
+    use hetmmm::shapes::translate_combined;
+    let ratio = Ratio::new(10, 1, 1);
+    let c = CandidateType::SquareCorner.construct(30, ratio).unwrap();
+    // The Square-Corner occupies opposite corners; pull both inward.
+    let rr = c.partition.enclosing_rect(Proc::R).unwrap();
+    let _ = rr;
+    for (di, dj) in [(1isize, 1isize), (2, 0), (0, 3)] {
+        if let Some(moved) = translate_combined(&c.partition, di, dj) {
+            assert_eq!(moved.voc(), c.partition.voc(), "({di},{dj})");
+        }
+    }
+}

@@ -42,5 +42,10 @@ fn bench_recommend(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_construct_all, bench_single_candidate, bench_recommend);
+criterion_group!(
+    benches,
+    bench_construct_all,
+    bench_single_candidate,
+    bench_recommend
+);
 criterion_main!(benches);

@@ -66,5 +66,10 @@ fn bench_shapes_traffic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serial_kij, bench_partitioned, bench_shapes_traffic);
+criterion_group!(
+    benches,
+    bench_serial_kij,
+    bench_partitioned,
+    bench_shapes_traffic
+);
 criterion_main!(benches);

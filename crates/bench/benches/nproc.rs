@@ -36,7 +36,11 @@ fn bench_npartition_set(c: &mut Criterion) {
 fn bench_nproc_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("nproc_search_run");
     group.sample_size(10);
-    for (label, weights) in [("k3", vec![2u32, 1, 1]), ("k4", vec![6, 3, 2, 1]), ("k5", vec![8, 4, 2, 1, 1])] {
+    for (label, weights) in [
+        ("k3", vec![2u32, 1, 1]),
+        ("k4", vec![6, 3, 2, 1]),
+        ("k5", vec![8, 4, 2, 1, 1]),
+    ] {
         let runner = NDfaRunner::new(NDfaConfig::new(40, weights));
         group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
             let mut seed = 0u64;

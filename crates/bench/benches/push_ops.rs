@@ -62,5 +62,10 @@ fn bench_beautify(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_push, bench_dfa_convergence, bench_beautify);
+criterion_group!(
+    benches,
+    bench_single_push,
+    bench_dfa_convergence,
+    bench_beautify
+);
 criterion_main!(benches);

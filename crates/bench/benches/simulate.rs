@@ -54,5 +54,10 @@ fn bench_simulate_pio(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_models, bench_simulate_scb, bench_simulate_pio);
+criterion_group!(
+    benches,
+    bench_cost_models,
+    bench_simulate_scb,
+    bench_simulate_pio
+);
 criterion_main!(benches);

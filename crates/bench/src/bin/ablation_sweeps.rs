@@ -32,7 +32,10 @@ fn main() {
         .unwrap()
         .partition;
     let widths = [8, 14, 14, 14];
-    print_row(&["block", "comm (s)", "comp (s)", "total (s)"].map(String::from), &widths);
+    print_row(
+        &["block", "comm (s)", "comp (s)", "total (s)"].map(String::from),
+        &widths,
+    );
     let mut best = (1usize, f64::MAX);
     for block in [1usize, 2, 4, 8, 16, 32, n] {
         let t = evaluate_pio_blocked(&part, &platform, block);
@@ -49,13 +52,19 @@ fn main() {
             &widths,
         );
     }
-    println!("best block size: {} (latency amortization vs interleaving loss)\n", best.0);
+    println!(
+        "best block size: {} (latency amortization vs interleaving loss)\n",
+        best.0
+    );
 
     // --- 2. latency sweep: does the recommended shape flip? ---------
     println!("== ablation 2: per-message latency vs recommended shape (SCB, ratio 12:1:1) ==");
     let ratio = Ratio::new(12, 1, 1);
     let widths = [12, 24, 14];
-    print_row(&["alpha (s)", "recommended", "predicted (s)"].map(String::from), &widths);
+    print_row(
+        &["alpha (s)", "recommended", "predicted (s)"].map(String::from),
+        &widths,
+    );
     for alpha in [0.0, 1e-6, 1e-4, 1e-2] {
         let mut plat = Platform::new(ratio, base_speed, 8.0 / base_speed);
         plat.network = plat.network.with_latency(alpha);
@@ -77,7 +86,10 @@ fn main() {
     // --- 3. communication-weight sweep ------------------------------
     println!("== ablation 3: comm/comp weight vs best-vs-worst spread (SCB, ratio 12:1:1) ==");
     let widths = [12, 24, 12];
-    print_row(&["weight", "recommended", "spread (%)"].map(String::from), &widths);
+    print_row(
+        &["weight", "recommended", "spread (%)"].map(String::from),
+        &widths,
+    );
     for weight in [0.01f64, 0.1, 1.0, 10.0, 100.0] {
         let plat = Platform::new(ratio, base_speed, weight / base_speed);
         let rec = hetmmm::recommend(n, ratio, &plat, Algorithm::Scb);

@@ -17,12 +17,20 @@ use hetmmm_bench::{print_row, Args};
 fn main() {
     let args = Args::parse();
     let n = args.get("n", 60usize);
-    let ratio = Ratio::new(args.get("p", 5u32), args.get("r", 2u32), args.get("s", 1u32));
+    let ratio = Ratio::new(
+        args.get("p", 5u32),
+        args.get("r", 2u32),
+        args.get("s", 1u32),
+    );
 
     println!("E5 / Figs. 10-12 — candidate canonical shapes at ratio {ratio}, N = {n}");
     println!(
         "Theorem 9.1: Square-Corner feasible iff √(R_r/T) + √(S_r/T) <= 1 → {}\n",
-        if square_corner_feasible(ratio) { "feasible" } else { "INFEASIBLE" }
+        if square_corner_feasible(ratio) {
+            "feasible"
+        } else {
+            "INFEASIBLE"
+        }
     );
 
     let feasible = all_feasible(n, ratio);

@@ -52,7 +52,11 @@ fn main() {
                     writeln!(
                         csv,
                         "{p},{r},true,{sc:.4},{br:.4},{}",
-                        if sc < br { "square-corner" } else { "block-rectangle" }
+                        if sc < br {
+                            "square-corner"
+                        } else {
+                            "block-rectangle"
+                        }
                     )
                     .unwrap();
                 }

@@ -26,7 +26,15 @@ fn main() {
     let widths = [8, 6, 6, 6, 6, 10, 12, 12, 10];
     print_row(
         &[
-            "ratio", "A", "B", "C", "D", "unclass", "voc0(mean)", "vocF(mean)", "steps",
+            "ratio",
+            "A",
+            "B",
+            "C",
+            "D",
+            "unclass",
+            "voc0(mean)",
+            "vocF(mean)",
+            "steps",
         ]
         .map(String::from),
         &widths,

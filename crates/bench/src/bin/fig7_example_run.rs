@@ -12,8 +12,8 @@
 //!
 //! ASCII snapshots go to stdout; PGM images land in `results/`.
 
-use hetmmm::prelude::*;
 use hetmmm::partition::{render_ascii, render_pgm};
+use hetmmm::prelude::*;
 use hetmmm_bench::{results_dir, Args};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,11 +48,7 @@ fn main() {
     let out = runner.run_with(start, plan, &mut rng);
 
     let dir = results_dir();
-    let mut shots: Vec<(usize, &Partition)> = out
-        .snapshots
-        .iter()
-        .map(|(s, p)| (*s, p))
-        .collect();
+    let mut shots: Vec<(usize, &Partition)> = out.snapshots.iter().map(|(s, p)| (*s, p)).collect();
     shots.push((out.steps, &out.partition));
 
     for (step, part) in shots {

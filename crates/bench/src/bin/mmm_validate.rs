@@ -23,7 +23,11 @@ use rand::SeedableRng;
 fn main() {
     let args = Args::parse();
     let n = args.get("n", 96usize);
-    let ratio = Ratio::new(args.get("p", 5u32), args.get("r", 2u32), args.get("s", 1u32));
+    let ratio = Ratio::new(
+        args.get("p", 5u32),
+        args.get("r", 2u32),
+        args.get("s", 1u32),
+    );
     let seed = args.get("seed", 42u64);
 
     println!("E8 — threaded kij executor validation, N = {n}, ratio {ratio}\n");
@@ -35,7 +39,14 @@ fn main() {
 
     let widths = [24, 14, 14, 14, 8];
     print_row(
-        &["partition", "max |err|", "elems sent", "analytic VoC", "check"].map(String::from),
+        &[
+            "partition",
+            "max |err|",
+            "elems sent",
+            "analytic VoC",
+            "check",
+        ]
+        .map(String::from),
         &widths,
     );
 
@@ -49,11 +60,15 @@ fn main() {
     ));
 
     for (name, part) in cases {
-        let (c, stats) = multiply_partitioned(&a, &b, &part);
+        let (c, stats) = multiply_partitioned(&a, &b, &part).expect("executor failed");
         let err = c.max_abs_diff(&reference);
         let analytic: u64 = pairwise_volumes(&part).iter().flatten().sum();
         let ok = err < 1e-9 && stats.total_sent() == analytic;
-        assert!(ok, "{name}: err {err}, sent {} vs {analytic}", stats.total_sent());
+        assert!(
+            ok,
+            "{name}: err {err}, sent {} vs {analytic}",
+            stats.total_sent()
+        );
         print_row(
             &[
                 name,

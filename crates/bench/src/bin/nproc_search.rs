@@ -40,7 +40,14 @@ fn run_config(label: &str, n: usize, weights: Vec<u32>, runs: u64) {
     // Aggregate per-processor shape statistics over all fixed points.
     let widths = [6, 12, 12, 12, 14];
     print_row(
-        &["proc", "mean fill", "min fill", "mean corners", "rect-like (%)"].map(String::from),
+        &[
+            "proc",
+            "mean fill",
+            "min fill",
+            "mean corners",
+            "rect-like (%)",
+        ]
+        .map(String::from),
         &widths,
     );
     for p in 1..k {
@@ -57,8 +64,7 @@ fn run_config(label: &str, n: usize, weights: Vec<u32>, runs: u64) {
         }
         let mean_fill: f64 = fills.iter().sum::<f64>() / fills.len() as f64;
         let min_fill = fills.iter().copied().fold(f64::MAX, f64::min);
-        let mean_corners: f64 =
-            corners.iter().sum::<usize>() as f64 / corners.len() as f64;
+        let mean_corners: f64 = corners.iter().sum::<usize>() as f64 / corners.len() as f64;
         print_row(
             &[
                 format!("P{p}"),

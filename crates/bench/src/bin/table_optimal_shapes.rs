@@ -46,7 +46,11 @@ fn main() {
 
     let mut csv = String::from("topology,algorithm,p_r,r_r,winner,predicted_s\n");
     for star in [false, true] {
-        let topo_name = if star { "star (hub = P)" } else { "fully connected" };
+        let topo_name = if star {
+            "star (hub = P)"
+        } else {
+            "fully connected"
+        };
         for algo in Algorithm::ALL {
             println!("--- {algo} on {topo_name} ---");
             print!("P_r \\ R_r |");

@@ -25,6 +25,7 @@ impl Args {
     }
 
     /// Parse an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // not a `FromIterator`: takes owned Strings, never fails
     pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
         let mut flags = HashMap::new();
         let mut iter = iter.into_iter().peekable();

@@ -1,0 +1,238 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`benchmark_group` API
+//! shape the workspace's benches use, but measures with a plain
+//! wall-clock loop: a short warm-up, then `sample_size` timed samples of
+//! an adaptively chosen iteration batch, reporting the median per-iteration
+//! time. Good enough for before/after comparisons on one machine, which is
+//! what the benches exist for; not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, ignored).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A parameterized benchmark name, e.g. `group/64`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Just the parameter (the group name provides the rest).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the printed name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Measurement driver handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration nanoseconds, filled by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` and record the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch calibration: aim for samples of >= ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= (1 << 20) {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
+
+    /// Like `iter`, with a fresh input built by `setup` for every call.
+    /// Setup time is excluded by timing the routine calls individually.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, result_ns: 0.0 };
+        f(&mut bencher);
+        report(&self.name, &id.into_id(), bencher.result_ns);
+        self
+    }
+
+    /// Run one benchmark with an auxiliary input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, result_ns: 0.0 };
+        f(&mut bencher, input);
+        report(&self.name, &id.into_id(), bencher.result_ns);
+        self
+    }
+
+    /// End the group (printing already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{group}/{id:<24} time: {value:>10.3} {unit}/iter");
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accept (and ignore) CLI arguments, like the real harness.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, _criterion: self }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: 20, result_ns: 0.0 };
+        f(&mut bencher);
+        report("bench", &id.into_id(), bencher.result_ns);
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

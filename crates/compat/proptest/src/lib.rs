@@ -1,0 +1,287 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! `name in strategy` parameter bindings, range and tuple strategies,
+//! [`Strategy::prop_map`], and the `prop_assert!`/`prop_assert_eq!`
+//! assertions. Each test runs `cases` deterministic seeded cases (no
+//! shrinking); failures report the case's values through the normal assert
+//! message, and re-runs are reproducible because case seeds are fixed.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod test_runner {
+    //! Case execution machinery used by the generated tests.
+
+    use super::*;
+
+    /// Per-case RNG: deterministic for a given `(test, case)` pair.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// The RNG for one numbered case.
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng { inner: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ (case << 1)) }
+        }
+
+        /// Uniform `u64` in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.inner.random_range(0..bound.max(1))
+        }
+
+        /// Uniform `f64` in `[low, high)`.
+        pub fn unit_range(&mut self, low: f64, high: f64) -> f64 {
+            self.inner.random_range(low..high)
+        }
+    }
+
+    /// Run configuration (`ProptestConfig` in real proptest).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of seeded cases to execute.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u64 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.unit_range(self.start, self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod prelude {
+    //! Import surface mirroring `proptest::prelude::*`.
+
+    pub use super::strategy::{Just, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property (panics with the case's message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Bind one `name in strategy` parameter list entry after another.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_bind {
+    (@munch $rng:ident) => {};
+    (@munch $rng:ident $name:ident in $($rest:tt)+) => {
+        $crate::__pt_take!{@scan $rng $name [] $($rest)+}
+    };
+}
+
+/// Accumulate strategy tokens for one parameter up to a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_take {
+    (@scan $rng:ident $name:ident [$($s:tt)*] , $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($($s)*), &mut $rng);
+        $crate::__pt_bind!{@munch $rng $($rest)*}
+    };
+    (@scan $rng:ident $name:ident [$($s:tt)*]) => {
+        let $name = $crate::strategy::Strategy::generate(&($($s)*), &mut $rng);
+    };
+    (@scan $rng:ident $name:ident [$($s:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__pt_take!{@scan $rng $name [$($s)* $t] $($rest)*}
+    };
+}
+
+/// Expand the `proptest!` item list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            for __case in 0..u64::from(__cfg.cases) {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $crate::__pt_bind!(@munch __rng $($params)*);
+                $body
+            }
+        }
+        $crate::__pt_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// The `proptest!` macro: seeded-case property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__pt_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__pt_items!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..=6, 1u32..=6).prop_map(|(a, b)| (a.max(b), a.min(b)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect bounds and multiple params bind independently.
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, n in 8usize..32, p in arb_pair()) {
+            prop_assert!(x < 100);
+            prop_assert!((8..32).contains(&n));
+            prop_assert!(p.0 >= p.1);
+        }
+    }
+
+    proptest! {
+        /// Default config path works too.
+        #[test]
+        fn default_config_runs(v in 1i64..=3) {
+            prop_assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..10).map(|c| s.generate(&mut TestRng::for_case(c))).collect();
+        let b: Vec<u64> = (0..10).map(|c| s.generate(&mut TestRng::for_case(c))).collect();
+        assert_eq!(a, b);
+    }
+}

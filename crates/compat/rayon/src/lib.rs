@@ -1,0 +1,143 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one shape the workspace uses — `slice.par_iter().map(f)
+//! .collect::<Vec<_>>()` — with real parallelism: the items are split into
+//! contiguous chunks, one per available core, each chunk is mapped on a
+//! scoped OS thread, and the per-chunk outputs are concatenated in order,
+//! so results are position-stable exactly like rayon's.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    //! Import surface mirroring `rayon::prelude::*`.
+    pub use super::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// `par_iter` entry point for slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item reference type.
+    type Item: Sync + 'a;
+
+    /// A position-stable parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&T`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every item through `f` (applied on worker threads).
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> O + Sync,
+        O: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map across threads and collect the outputs in input order.
+    pub fn collect<O, C>(self) -> C
+    where
+        F: Fn(&'a T) -> O + Sync,
+        O: Send,
+        C: FromParallel<O>,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        let chunk_len = self.items.len().div_ceil(threads);
+        let f = &self.f;
+        let mut results: Vec<O> = Vec::with_capacity(self.items.len());
+        if chunk_len == 0 {
+            return C::from_ordered(results);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("parallel map worker panicked"));
+            }
+        });
+        C::from_ordered(results)
+    }
+}
+
+/// Collection target of [`ParMap::collect`].
+pub trait FromParallel<O> {
+    /// Build from outputs already in input order.
+    fn from_ordered(items: Vec<O>) -> Self;
+}
+
+impl<O> FromParallel<O> for Vec<O> {
+    fn from_ordered(items: Vec<O>) -> Vec<O> {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let input: Vec<u64> = (0..64).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let n = ids.lock().unwrap().len();
+        assert!(n >= 1);
+        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) > 1 {
+            assert!(n > 1, "expected fan-out across threads");
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-repo serde stand-in.
+//!
+//! Implements exactly the derive coverage the hetmmm workspace needs:
+//! structs with named fields, unit structs, and enums whose variants are
+//! unit or struct-like (named fields), optionally with explicit
+//! discriminants. Tuple structs, tuple variants and generic types are
+//! rejected with a compile error — the workspace has none.
+//!
+//! No `syn`/`quote` (unavailable offline): the input item is parsed
+//! directly from the token stream and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<(String, Vec<String>)> },
+}
+
+/// Skip attributes (`#[...]`, covering doc comments) and visibility.
+fn skip_meta(tokens: &[TokenTree], mut pos: usize) -> usize {
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                pos += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return pos,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parse `name: Type, ...` named fields, tracking `<...>` nesting so commas
+/// inside generic arguments are not treated as separators.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_meta(&tokens, pos);
+        let Some(name) = ident_at(&tokens, pos) else { break };
+        fields.push(name);
+        pos += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Parse enum variants: `Name`, `Name { fields }`, `Name = expr`.
+fn parse_variants(group: TokenStream) -> Result<Vec<(String, Vec<String>)>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_meta(&tokens, pos);
+        let Some(name) = ident_at(&tokens, pos) else { break };
+        pos += 1;
+        let mut fields = Vec::new();
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = parse_named_fields(g.stream());
+                pos += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple variant `{name}` is not supported"));
+            }
+            _ => {}
+        }
+        // Skip an optional discriminant and the trailing comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_meta(&tokens, 0);
+    let kind = ident_at(&tokens, pos).ok_or("expected `struct` or `enum`")?;
+    pos += 1;
+    let name = ident_at(&tokens, pos).ok_or("expected item name")?;
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported"));
+        }
+    }
+    match (kind.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Struct { name, fields: parse_named_fields(g.stream()) })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Ok(Item::UnitStruct { name })
+        }
+        ("struct", _) => Err(format!("tuple struct `{name}` is not supported")),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+        }
+        _ => Err(format!("cannot derive for `{kind} {name}`")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{}])\n}}\n}}",
+                pairs.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Value::Map(Vec::new())\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!(
+                            "{name}::{v} => ::serde::Value::Str(String::from({v:?})),"
+                        )
+                    } else {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![\
+                             (String::from({v:?}), ::serde::Value::Map(vec![{}]))]),",
+                            pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(v, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{ {} }})\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             Ok({name})\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(v, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::map_get(inner, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{v:?} => {{ let inner = &pairs[0].1; \
+                         Ok({name}::{v} {{ {} }}) }}",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 other => Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(pairs) if pairs.len() == 1 => \
+                 match pairs[0].0.as_str() {{\n\
+                 {data}\n\
+                 other => Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 other => Err(::serde::DeError::new(format!(\
+                 \"expected {name} variant, found {{other:?}}\"))),\n\
+                 }}\n}}\n}}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    out.parse().unwrap()
+}

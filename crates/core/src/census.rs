@@ -26,7 +26,13 @@ pub struct CensusConfig {
 impl CensusConfig {
     /// Defaults: 64 runs from seed 0, 10-block granularity.
     pub fn new(n: usize, ratio: Ratio) -> CensusConfig {
-        CensusConfig { n, ratio, runs: 64, seed0: 0, blocks: 10 }
+        CensusConfig {
+            n,
+            ratio,
+            runs: 64,
+            seed0: 0,
+            blocks: 10,
+        }
     }
 
     /// Set the number of runs.

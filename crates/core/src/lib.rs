@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use hetmmm_cost as cost;
+pub use hetmmm_error as error;
 pub use hetmmm_mmm as mmm;
 pub use hetmmm_partition as partition;
 pub use hetmmm_push as push;
@@ -51,9 +52,9 @@ pub use hetmmm_sim as sim;
 pub use hetmmm_twoproc as twoproc;
 
 mod census;
-mod recommend;
 pub mod paper;
 pub mod prelude;
+mod recommend;
 
 pub use census::{census, CensusConfig, CensusReport};
 pub use recommend::{recommend, Recommendation};

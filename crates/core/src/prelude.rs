@@ -1,18 +1,24 @@
 //! One-stop imports for the common types.
 
-pub use hetmmm_cost::{evaluate, evaluate_all, AlgoTime, Algorithm, HockneyModel, Platform, Topology};
-pub use hetmmm_mmm::{kij_serial, multiply_partitioned, Matrix};
+pub use hetmmm_cost::{
+    evaluate, evaluate_all, AlgoTime, Algorithm, HockneyModel, Platform, Topology,
+};
+pub use hetmmm_error::{HetmmmError, NonConvergence};
+pub use hetmmm_mmm::{
+    kij_serial, multiply_partitioned, multiply_partitioned_with, ExecConfig, FaultKind, FaultPlan,
+    Matrix, RecoveryStats,
+};
 pub use hetmmm_partition::{
     random_partition, CommMetrics, Partition, PartitionBuilder, Proc, Ratio, Rect,
 };
 pub use hetmmm_push::{
     beautify, is_condensed, try_push, try_push_any_type, DfaConfig, DfaOutcome, DfaRunner,
-    Direction, PushPlan, PushType,
+    Direction, PushPlan, PushType, Termination,
 };
 pub use hetmmm_shapes::{
     classify, classify_coarse, reduce_to_archetype_a, Archetype, Candidate, CandidateType,
 };
 pub use hetmmm_sim::{simulate, simulate_all, SimConfig, SimResult};
-pub use hetmmm_twoproc::TwoProcShape;
+pub use hetmmm_twoproc::{degrade_partition, DegradeOutcome, TwoProcShape};
 
 pub use crate::{census, recommend, CensusConfig, CensusReport, Recommendation};

@@ -26,12 +26,7 @@ pub struct Recommendation {
 ///
 /// Panics if no candidate is feasible (cannot happen for `n ≥ 4` and valid
 /// ratios: the Traditional-Rectangle always exists).
-pub fn recommend(
-    n: usize,
-    ratio: Ratio,
-    platform: &Platform,
-    algo: Algorithm,
-) -> Recommendation {
+pub fn recommend(n: usize, ratio: Ratio, platform: &Platform, algo: Algorithm) -> Recommendation {
     let mut scored: Vec<(Candidate, f64)> = candidates::all_feasible(n, ratio)
         .into_iter()
         .map(|c| {
@@ -39,11 +34,18 @@ pub fn recommend(
             (c, t)
         })
         .collect();
-    assert!(!scored.is_empty(), "no feasible candidate shape for n={n}, ratio={ratio}");
+    assert!(
+        !scored.is_empty(),
+        "no feasible candidate shape for n={n}, ratio={ratio}"
+    );
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
     let ranking = scored.iter().map(|(c, t)| (c.ty, *t)).collect();
     let (candidate, predicted_total) = scored.swap_remove(0);
-    Recommendation { candidate, predicted_total, ranking }
+    Recommendation {
+        candidate,
+        predicted_total,
+        ranking,
+    }
 }
 
 #[cfg(test)]

@@ -58,7 +58,6 @@ pub fn sc_beats_br(ratio: Ratio) -> Option<bool> {
     Some(sc < br)
 }
 
-
 /// Normalized SCB communication volume for *any* of the six candidates
 /// (extending the Section X-A analysis beyond the two shapes the paper
 /// works out). Eq. 1 weights each line by `c − 1` (distinct owners minus
@@ -246,11 +245,20 @@ mod tests {
         let n = 400;
         let map = [
             (CandidateKind::SquareCorner, CandidateType::SquareCorner),
-            (CandidateKind::RectangleCorner, CandidateType::RectangleCorner),
-            (CandidateKind::SquareRectangle, CandidateType::SquareRectangle),
+            (
+                CandidateKind::RectangleCorner,
+                CandidateType::RectangleCorner,
+            ),
+            (
+                CandidateKind::SquareRectangle,
+                CandidateType::SquareRectangle,
+            ),
             (CandidateKind::BlockRectangle, CandidateType::BlockRectangle),
             (CandidateKind::LRectangle, CandidateType::LRectangle),
-            (CandidateKind::TraditionalRectangle, CandidateType::TraditionalRectangle),
+            (
+                CandidateKind::TraditionalRectangle,
+                CandidateType::TraditionalRectangle,
+            ),
         ];
         for &(p, r, s) in &[(10u32, 1u32, 1u32), (5, 2, 1), (20, 3, 1), (3, 2, 1)] {
             let ratio = Ratio::new(p, r, s);
@@ -258,7 +266,9 @@ mod tests {
                 let Some(closed) = scb_comm_norm_candidate(kind, ratio) else {
                     continue;
                 };
-                let Some(c) = ty.construct(n, ratio) else { continue };
+                let Some(c) = ty.construct(n, ratio) else {
+                    continue;
+                };
                 let grid = c.partition.voc() as f64 / (n * n) as f64;
                 assert!(
                     (grid - closed).abs() < 0.05,

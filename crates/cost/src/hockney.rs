@@ -20,7 +20,10 @@ impl HockneyModel {
     /// A latency-free model with the given per-element time (the paper's
     /// analytic sections use `T_send` alone).
     pub fn per_element(t_send: f64) -> HockneyModel {
-        HockneyModel { alpha: 0.0, beta: t_send }
+        HockneyModel {
+            alpha: 0.0,
+            beta: t_send,
+        }
     }
 
     /// Build from link bandwidth in bytes/second and element size in bytes

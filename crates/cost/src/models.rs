@@ -189,13 +189,23 @@ pub fn evaluate(algo: Algorithm, part: &Partition, plat: &Platform) -> AlgoTime 
             let (elems, messages) = traffic(part, plat.topology);
             let comm = plat.network.beta * elems as f64 + plat.network.alpha * messages as f64;
             let comp = max3(comp_times(&metrics, plat));
-            AlgoTime { comm, overlap: 0.0, comp, total: comm + comp }
+            AlgoTime {
+                comm,
+                overlap: 0.0,
+                comp,
+                total: comm + comp,
+            }
         }
         Algorithm::Pcb => {
             let metrics = CommMetrics::from_partition_comm_only(part);
             let comm = max3(d_times(part, &metrics, plat));
             let comp = max3(comp_times(&metrics, plat));
-            AlgoTime { comm, overlap: 0.0, comp, total: comm + comp }
+            AlgoTime {
+                comm,
+                overlap: 0.0,
+                comp,
+                total: comm + comp,
+            }
         }
         Algorithm::Sco | Algorithm::Pco => {
             let metrics = CommMetrics::from_partition(part);
@@ -205,22 +215,24 @@ pub fn evaluate(algo: Algorithm, part: &Partition, plat: &Platform) -> AlgoTime 
             } else {
                 max3(d_times(part, &metrics, plat))
             };
-            let overlap = max3(
-                Proc::ALL.map(|x| plat.compute_time(x, metrics.proc(x).local_updates)),
+            let overlap =
+                max3(Proc::ALL.map(|x| plat.compute_time(x, metrics.proc(x).local_updates)));
+            let comp = max3(
+                Proc::ALL.map(|x| plat.compute_time(x, metrics.proc(x).remote_updates(metrics.n))),
             );
-            let comp = max3(Proc::ALL.map(|x| {
-                plat.compute_time(x, metrics.proc(x).remote_updates(metrics.n))
-            }));
-            AlgoTime { comm, overlap, comp, total: comm.max(overlap) + comp }
+            AlgoTime {
+                comm,
+                overlap,
+                comp,
+                total: comm.max(overlap) + comp,
+            }
         }
         Algorithm::Pio => {
             let metrics = CommMetrics::from_partition_comm_only(part);
             let n = part.n();
             // Per-step computation: each pivot step applies one update to
             // every owned element.
-            let kcomp = max3(Proc::ALL.map(|x| {
-                plat.compute_time(x, metrics.proc(x).elems as u64)
-            }));
+            let kcomp = max3(Proc::ALL.map(|x| plat.compute_time(x, metrics.proc(x).elems as u64)));
             let step_comm = |k: usize| -> f64 {
                 let units =
                     u64::from(part.procs_in_row(k) - 1) + u64::from(part.procs_in_col(k) - 1);
@@ -238,11 +250,15 @@ pub fn evaluate(algo: Algorithm, part: &Partition, plat: &Platform) -> AlgoTime 
                 total += c.max(kcomp);
             }
             total += kcomp; // pipeline drain: compute the final step
-            AlgoTime { comm: comm_sum, overlap: 0.0, comp: kcomp * n as f64, total }
+            AlgoTime {
+                comm: comm_sum,
+                overlap: 0.0,
+                comp: kcomp * n as f64,
+                total,
+            }
         }
     }
 }
-
 
 /// PIO with block interleaving: the paper's "(or k rows and columns) at a
 /// time" variant of Eq. 9. Pivot steps are grouped `block` at a time: each
@@ -256,14 +272,12 @@ pub fn evaluate_pio_blocked(part: &Partition, plat: &Platform, block: usize) -> 
     let metrics = CommMetrics::from_partition_comm_only(part);
     let n = part.n();
     // Per-super-step computation: `block` updates per owned element.
-    let kcomp = max3(Proc::ALL.map(|x| {
-        plat.compute_time(x, (block * metrics.proc(x).elems) as u64)
-    }));
+    let kcomp =
+        max3(Proc::ALL.map(|x| plat.compute_time(x, (block * metrics.proc(x).elems) as u64)));
     let super_comm = |s: usize| -> f64 {
         let mut units = 0u64;
         for k in (s * block)..((s + 1) * block).min(n) {
-            units += u64::from(part.procs_in_row(k) - 1)
-                + u64::from(part.procs_in_col(k) - 1);
+            units += u64::from(part.procs_in_row(k) - 1) + u64::from(part.procs_in_col(k) - 1);
         }
         if units == 0 {
             0.0
@@ -280,7 +294,12 @@ pub fn evaluate_pio_blocked(part: &Partition, plat: &Platform, block: usize) -> 
         total += c.max(kcomp);
     }
     total += kcomp;
-    AlgoTime { comm: comm_sum, overlap: 0.0, comp: kcomp * steps as f64, total }
+    AlgoTime {
+        comm: comm_sum,
+        overlap: 0.0,
+        comp: kcomp * steps as f64,
+        total,
+    }
 }
 
 /// Evaluate all five algorithms.
@@ -364,11 +383,7 @@ mod tests {
         let part = strips(9);
         let ratio = Ratio::new(1, 1, 1);
         let full = evaluate(Algorithm::Scb, &part, &plat(ratio));
-        let star = evaluate(
-            Algorithm::Scb,
-            &part,
-            &plat(ratio).with_star(Proc::P),
-        );
+        let star = evaluate(Algorithm::Scb, &part, &plat(ratio).with_star(Proc::P));
         assert!(star.comm > full.comm, "relayed traffic must cost more");
     }
 
@@ -379,8 +394,7 @@ mod tests {
         let p = plat(ratio).with_star(Proc::P);
         let out = out_volumes(&part, p.topology);
         let vol = pairwise_volumes(&part);
-        let relay =
-            vol[Proc::R.idx()][Proc::S.idx()] + vol[Proc::S.idx()][Proc::R.idx()];
+        let relay = vol[Proc::R.idx()][Proc::S.idx()] + vol[Proc::S.idx()][Proc::R.idx()];
         let direct: u64 = Proc::ALL
             .iter()
             .filter(|&&y| y != Proc::P)
@@ -421,7 +435,10 @@ mod tests {
         use hetmmm_shapes::CandidateType;
         let ratio = Ratio::new(25, 1, 1);
         let n = 60;
-        let sc = CandidateType::SquareCorner.construct(n, ratio).unwrap().partition;
+        let sc = CandidateType::SquareCorner
+            .construct(n, ratio)
+            .unwrap()
+            .partition;
         let tr = CandidateType::TraditionalRectangle
             .construct(n, ratio)
             .unwrap()

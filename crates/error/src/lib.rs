@@ -1,0 +1,190 @@
+//! # hetmmm-error
+//!
+//! The workspace-wide typed error enum. Public APIs that used to panic or
+//! `expect` (the threaded executor, the DFA runner's checked entry points,
+//! the partition builder) return [`HetmmmError`] instead, so callers can
+//! distinguish misuse (dimension mismatches, out-of-bounds rectangles)
+//! from runtime conditions (worker loss, search non-convergence) and react
+//! — the executor's survivor re-partitioning being the flagship reaction.
+//!
+//! `thiserror` is not vendorable in this offline build, so the `Display`
+//! and `Error` impls are written by hand in the same one-variant-one-message
+//! style a `#[derive(Error)]` would generate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a DFA run stopped without reaching a fixed point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NonConvergence {
+    /// The hard cap on applied pushes was exhausted.
+    StepCapExhausted,
+    /// The cap on consecutive VoC-neutral pushes was exhausted.
+    ZeroDeltaCapExhausted,
+}
+
+impl fmt::Display for NonConvergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonConvergence::StepCapExhausted => write!(f, "step cap exhausted"),
+            NonConvergence::ZeroDeltaCapExhausted => {
+                write!(f, "zero-delta (VoC-neutral) cap exhausted")
+            }
+        }
+    }
+}
+
+/// The workspace-wide error type.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum HetmmmError {
+    /// Two sizes that must agree do not (e.g. matrix vs matrix, matrix vs
+    /// partition).
+    DimensionMismatch {
+        /// What was being compared (e.g. `"A vs B"`).
+        what: String,
+        /// Left-hand dimension.
+        left: usize,
+        /// Right-hand dimension.
+        right: usize,
+    },
+    /// A rectangle exceeds the partition bounds.
+    RectOutOfBounds {
+        /// Display form of the offending rectangle.
+        rect: String,
+        /// The partition dimension it violates.
+        n: usize,
+    },
+    /// A DFA run hit a safety cap instead of a fixed point.
+    NonConverged {
+        /// Which cap stopped the run.
+        kind: NonConvergence,
+        /// Pushes applied before the cap.
+        steps: usize,
+        /// VoC of the random start state.
+        voc_initial: u64,
+        /// VoC when the run was stopped.
+        voc_final: u64,
+    },
+    /// A DFA run ended with a higher VoC than it started with — a bug in
+    /// the push engine (checked even in release builds by the `*_checked`
+    /// entry points).
+    VocIncreased {
+        /// VoC of the start state.
+        voc_initial: u64,
+        /// VoC of the final state.
+        voc_final: u64,
+    },
+    /// A worker thread failed (crashed, hung past the timeout, or
+    /// disappeared) during a partitioned multiply.
+    WorkerFailure {
+        /// `q`-encoding of the failed processor (0 = R, 1 = S, 2 = P).
+        proc_q: u8,
+        /// Pivot step at which the failure was detected, if known.
+        step: Option<usize>,
+        /// Human-readable detail (detection path, fault kind).
+        detail: String,
+    },
+    /// Every worker failed; no survivor set remains to re-partition onto.
+    NoSurvivors {
+        /// Recovery attempts made before giving up.
+        retries: u64,
+    },
+}
+
+impl HetmmmError {
+    /// Convenience constructor for dimension mismatches.
+    pub fn dimension_mismatch(what: &str, left: usize, right: usize) -> HetmmmError {
+        HetmmmError::DimensionMismatch {
+            what: what.to_string(),
+            left,
+            right,
+        }
+    }
+}
+
+impl fmt::Display for HetmmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HetmmmError::DimensionMismatch { what, left, right } => {
+                write!(f, "dimension mismatch ({what}): {left} != {right}")
+            }
+            HetmmmError::RectOutOfBounds { rect, n } => {
+                write!(f, "rect {rect} out of bounds for n = {n}")
+            }
+            HetmmmError::NonConverged {
+                kind,
+                steps,
+                voc_initial,
+                voc_final,
+            } => write!(
+                f,
+                "DFA run did not converge ({kind} after {steps} steps; \
+                 VoC {voc_initial} -> {voc_final})"
+            ),
+            HetmmmError::VocIncreased {
+                voc_initial,
+                voc_final,
+            } => write!(
+                f,
+                "DFA run increased VoC ({voc_initial} -> {voc_final}); \
+                 push engine invariant violated"
+            ),
+            HetmmmError::WorkerFailure {
+                proc_q,
+                step,
+                detail,
+            } => {
+                let name = match proc_q {
+                    0 => "R",
+                    1 => "S",
+                    _ => "P",
+                };
+                match step {
+                    Some(k) => write!(f, "worker {name} failed at step {k}: {detail}"),
+                    None => write!(f, "worker {name} failed: {detail}"),
+                }
+            }
+            HetmmmError::NoSurvivors { retries } => {
+                write!(f, "all workers failed (after {retries} recovery retries)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HetmmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_context() {
+        let e = HetmmmError::dimension_mismatch("A vs B", 8, 9);
+        assert_eq!(e.to_string(), "dimension mismatch (A vs B): 8 != 9");
+
+        let e = HetmmmError::NonConverged {
+            kind: NonConvergence::StepCapExhausted,
+            steps: 800,
+            voc_initial: 100,
+            voc_final: 60,
+        };
+        assert!(e.to_string().contains("step cap exhausted"));
+        assert!(e.to_string().contains("800"));
+
+        let e = HetmmmError::WorkerFailure {
+            proc_q: 1,
+            step: Some(12),
+            detail: "injected crash".into(),
+        };
+        assert_eq!(e.to_string(), "worker S failed at step 12: injected crash");
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(HetmmmError::NoSurvivors { retries: 2 });
+        assert!(e.to_string().contains("all workers failed"));
+    }
+}

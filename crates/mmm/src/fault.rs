@@ -1,0 +1,151 @@
+//! Deterministic fault injection for the threaded executor.
+//!
+//! A [`FaultPlan`] scripts worker failures ahead of a run: which processor
+//! misbehaves, how ([`FaultKind`]), and at which pivot step. Plans are
+//! plain data — fully deterministic and serializable — so a failing
+//! recovery scenario can be replayed exactly from its plan (or from the
+//! seed that generated it via [`FaultPlan::random_crash`]).
+//!
+//! Injection lives entirely behind `ExecConfig::fault_plan`
+//! (an `Option`): with `None` the per-step check the workers perform is a
+//! lookup in an empty slice, so the production path pays nothing
+//! measurable.
+
+use hetmmm_partition::Proc;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// One scripted worker fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The worker exits before sending anything at pivot step `step`,
+    /// dropping its channel endpoints — peers observe a disconnect.
+    CrashAt {
+        /// Pivot step at which the worker dies.
+        step: usize,
+    },
+    /// The worker silently skips its sends at pivot step `step` but keeps
+    /// running — peers observe a receive timeout (a lost message).
+    DropMessageAt {
+        /// Pivot step whose outgoing fragments are lost.
+        step: usize,
+    },
+    /// The worker sleeps before sending at pivot step `step`. A delay
+    /// shorter than the receive timeout must *not* trigger recovery.
+    DelaySendAt {
+        /// Pivot step whose sends are delayed.
+        step: usize,
+        /// Delay duration in milliseconds.
+        millis: u64,
+    },
+}
+
+impl FaultKind {
+    /// The pivot step this fault fires at.
+    pub fn step(self) -> usize {
+        match self {
+            FaultKind::CrashAt { step }
+            | FaultKind::DropMessageAt { step }
+            | FaultKind::DelaySendAt { step, .. } => step,
+        }
+    }
+}
+
+/// A scripted set of `(processor, fault)` pairs for one executor run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scripted faults. Multiple faults per processor are allowed;
+    /// each fires at its own step.
+    pub faults: Vec<(Proc, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder-style: add one fault.
+    pub fn with_fault(mut self, proc: Proc, kind: FaultKind) -> FaultPlan {
+        self.faults.push((proc, kind));
+        self
+    }
+
+    /// Convenience: a single crash of `proc` at pivot step `step`.
+    pub fn crash(proc: Proc, step: usize) -> FaultPlan {
+        FaultPlan::new().with_fault(proc, FaultKind::CrashAt { step })
+    }
+
+    /// A single crash of a random processor at a random pivot step of an
+    /// `n x n` multiply, drawn deterministically from `rng`.
+    pub fn random_crash<R: Rng>(n: usize, rng: &mut R) -> FaultPlan {
+        let proc = Proc::ALL[rng.random_range(0..3usize)];
+        let step = rng.random_range(0..n.max(1));
+        FaultPlan::crash(proc, step)
+    }
+
+    /// The faults scripted for one processor.
+    pub fn faults_for(&self, proc: Proc) -> Vec<FaultKind> {
+        self.faults
+            .iter()
+            .filter(|(p, _)| *p == proc)
+            .map(|&(_, k)| k)
+            .collect()
+    }
+
+    /// Is the plan empty?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn faults_for_filters_by_proc() {
+        let plan = FaultPlan::new()
+            .with_fault(Proc::R, FaultKind::CrashAt { step: 3 })
+            .with_fault(Proc::S, FaultKind::DropMessageAt { step: 1 })
+            .with_fault(
+                Proc::R,
+                FaultKind::DelaySendAt {
+                    step: 5,
+                    millis: 10,
+                },
+            );
+        assert_eq!(plan.faults_for(Proc::R).len(), 2);
+        assert_eq!(
+            plan.faults_for(Proc::S),
+            vec![FaultKind::DropMessageAt { step: 1 }]
+        );
+        assert!(plan.faults_for(Proc::P).is_empty());
+    }
+
+    #[test]
+    fn random_crash_is_deterministic_and_in_range() {
+        let n = 16;
+        let a = FaultPlan::random_crash(n, &mut StdRng::seed_from_u64(9));
+        let b = FaultPlan::random_crash(n, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let (_, kind) = a.faults[0];
+        assert!(kind.step() < n);
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan::crash(Proc::S, 7).with_fault(
+            Proc::P,
+            FaultKind::DelaySendAt {
+                step: 2,
+                millis: 50,
+            },
+        );
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -13,16 +13,26 @@
 //!
 //! [`parallel::multiply_partitioned`] runs one OS thread per processor.
 //! Each worker holds **only the matrix elements its partition assigns to
-//! it**; pivot fragments travel through crossbeam channels, so the
+//! it**; pivot fragments travel through bounded channels, so the
 //! communication the cost models count actually happens (and is counted by
 //! the executor's [`parallel::ExecStats`]). The result is verified against
 //! the serial reference in tests for arbitrary partitions.
+//!
+//! The executor is fault-tolerant: worker failures (scripted through
+//! [`fault::FaultPlan`] or real) are detected via channel disconnects and
+//! receive timeouts, the dead processor's C cells are re-assigned onto the
+//! survivors with [`hetmmm_twoproc::degrade_partition`], and the multiply
+//! restarts on the degraded partition — see DESIGN.md's "Failure model".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod matrix;
 pub mod parallel;
 
+pub use fault::{FaultKind, FaultPlan};
 pub use matrix::{kij_serial, naive_multiply, Matrix};
-pub use parallel::{multiply_partitioned, ExecStats};
+pub use parallel::{
+    multiply_partitioned, multiply_partitioned_with, ExecConfig, ExecStats, RecoveryStats,
+};

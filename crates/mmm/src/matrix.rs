@@ -13,7 +13,10 @@ impl Matrix {
     /// An all-zeros matrix.
     pub fn zeros(n: usize) -> Matrix {
         assert!(n > 0);
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// The identity matrix.

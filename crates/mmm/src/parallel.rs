@@ -1,4 +1,4 @@
-//! Partition-driven threaded kij executor.
+//! Partition-driven threaded kij executor with fault tolerance.
 //!
 //! One OS thread per processor plays the role of the paper's three MPI
 //! nodes (Section X-B). Each worker holds only the A/B elements its
@@ -9,11 +9,30 @@
 //! are exactly the quantities the analytic models charge for, so the
 //! integration tests can check executor-counted traffic against
 //! `pairwise_volumes` for any partition.
+//!
+//! ## Failure model
+//!
+//! Fragments travel through *bounded* channels and every receive carries a
+//! timeout, so a worker that crashes (channel disconnect) or stops sending
+//! (receive timeout) is detected rather than deadlocking the run. Workers
+//! never panic on peer loss: they return a verdict naming the peer, the
+//! supervisor aggregates the verdicts into a single culprit, re-assigns
+//! the dead processor's C cells onto the two survivors with
+//! [`hetmmm_twoproc::degrade_partition`] (the paper's two-processor
+//! degenerate case: Straight-Line below a 3:1 survivor ratio,
+//! Square-Corner above), and restarts the multiply on the degraded
+//! partition. Failures are scripted deterministically through
+//! [`FaultPlan`] for testing; recovery activity is reported in
+//! [`RecoveryStats`].
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::matrix::Matrix;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use hetmmm_error::HetmmmError;
 use hetmmm_partition::{Partition, Proc};
+use hetmmm_twoproc::degrade_partition;
 use serde::{Deserialize, Serialize};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
 
 /// Per-worker execution counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,11 +47,27 @@ pub struct ProcExec {
     pub messages: u64,
 }
 
+/// Counters describing what the fault-tolerance layer did during a run.
+/// All zero when no failure occurred.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Worker failures detected (injected or real).
+    pub faults_detected: u64,
+    /// C elements whose owner changed during survivor re-partitioning.
+    pub elems_reassigned: u64,
+    /// Times the multiply was restarted on a degraded partition.
+    pub retries: u64,
+}
+
 /// Aggregate execution statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecStats {
-    /// Counters per processor, indexed by [`Proc::idx`].
+    /// Counters per processor, indexed by [`Proc::idx`]. After a recovery
+    /// these describe the final (successful) attempt; a dead processor's
+    /// slot is all zeros.
     pub per_proc: [ProcExec; 3],
+    /// What the fault-tolerance layer did (all zero on a clean run).
+    pub recovery: RecoveryStats,
 }
 
 impl ExecStats {
@@ -59,14 +94,8 @@ impl ExecStats {
     /// and its update counts equal `N · ∈X`, this reproduces the
     /// `hetmmm_cost::evaluate(Scb, ..)` total exactly up to the latency
     /// term's message granularity — asserted in the integration tests.
-    pub fn virtual_scb_time(
-        &self,
-        speeds: [f64; 3],
-        alpha: f64,
-        beta: f64,
-    ) -> f64 {
-        let comm = alpha * self.total_messages() as f64
-            + beta * self.total_sent() as f64;
+    pub fn virtual_scb_time(&self, speeds: [f64; 3], alpha: f64, beta: f64) -> f64 {
+        let comm = alpha * self.total_messages() as f64 + beta * self.total_sent() as f64;
         let comp = self
             .per_proc
             .iter()
@@ -77,9 +106,96 @@ impl ExecStats {
     }
 }
 
-/// One step's fragments from one sender: `(row, value)` pairs of A-column
-/// `k` and `(col, value)` pairs of B-row `k` that the receiver needs.
-type StepMessage = (Vec<(u32, f64)>, Vec<(u32, f64)>);
+/// Tunables of the threaded executor.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Capacity (in messages) of each worker-to-worker channel. Small and
+    /// bounded: a healthy run stays in lockstep, so a handful of steps of
+    /// slack is plenty, and a dead receiver can only absorb this much
+    /// before its peers notice.
+    pub channel_capacity: usize,
+    /// How long a worker waits on a peer (per receive, and per stalled
+    /// send) before declaring it lost.
+    pub recv_timeout: Duration,
+    /// Recovery attempts before giving up with
+    /// [`HetmmmError::WorkerFailure`]. The default allows the full
+    /// degradation chain three → two → one worker.
+    pub max_retries: u64,
+    /// Scripted faults for deterministic testing. `None` (the default)
+    /// injects nothing and costs nothing on the hot path.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            channel_capacity: 4,
+            recv_timeout: Duration::from_secs(1),
+            max_retries: 3,
+            fault_plan: None,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Builder-style: set the fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> ExecConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style: set the peer-loss detection timeout.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> ExecConfig {
+        self.recv_timeout = timeout;
+        self
+    }
+}
+
+/// One step's fragments from one sender: the pivot step `k`, `(row,
+/// value)` pairs of A-column `k` and `(col, value)` pairs of B-row `k`
+/// that the receiver needs. The step tag lets a receiver detect a lost
+/// message immediately (the next message arrives out of step) instead of
+/// silently consuming shifted fragments.
+type StepMessage = (usize, Vec<(u32, f64)>, Vec<(u32, f64)>);
+
+/// How a worker's run ended. Workers never panic on peer failure — they
+/// report, and the supervisor decides.
+enum Verdict {
+    /// Finished all `n` steps; carries the owned C cells and counters.
+    Completed(Vec<(u32, u32, f64)>, ProcExec),
+    /// An injected [`FaultKind::CrashAt`] fired.
+    Crashed { step: usize },
+    /// A peer disconnected or went silent past the timeout.
+    PeerLost {
+        peer: Proc,
+        step: usize,
+        detail: &'static str,
+    },
+}
+
+/// `try_send` with a deadline: a full channel is retried until `timeout`
+/// elapses, so a stalled (but connected) receiver is eventually treated as
+/// lost instead of blocking the sender forever.
+fn send_with_deadline(
+    tx: &SyncSender<StepMessage>,
+    mut msg: StepMessage,
+    timeout: Duration,
+) -> Result<(), &'static str> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match tx.try_send(msg) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected(_)) => return Err("channel disconnected"),
+            Err(TrySendError::Full(m)) => {
+                if Instant::now() >= deadline {
+                    return Err("send timed out (peer stalled)");
+                }
+                msg = m;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
 
 struct Worker {
     proc: Proc,
@@ -94,14 +210,18 @@ struct Worker {
     row_needed: [Vec<bool>; 3],
     /// `col_needed[Y][j]`.
     col_needed: [Vec<bool>; 3],
-    /// Outgoing channels to the two other workers.
-    out: Vec<(Proc, Sender<StepMessage>)>,
-    /// Incoming channels from the two other workers.
-    inbox: Vec<Receiver<StepMessage>>,
+    /// Outgoing channels to the other active workers.
+    out: Vec<(Proc, SyncSender<StepMessage>)>,
+    /// Incoming channels from the other active workers.
+    inbox: Vec<(Proc, Receiver<StepMessage>)>,
+    /// This worker's scripted faults (empty outside injection tests).
+    faults: Vec<FaultKind>,
+    /// Peer-loss detection timeout.
+    timeout: Duration,
 }
 
 impl Worker {
-    fn run(mut self) -> (Vec<(u32, u32, f64)>, ProcExec) {
+    fn run(mut self) -> Verdict {
         let n = self.n;
         let mut stats = ProcExec::default();
         let mut a_col = vec![0.0f64; n];
@@ -110,24 +230,53 @@ impl Worker {
         let mut acc = vec![0.0f64; self.c_cells.len()];
 
         for k in 0..n {
-            // Send the needed slices of our fragments to each peer.
-            for (peer, tx) in &self.out {
-                let a_part: Vec<(u32, f64)> = self.a_frags[k]
-                    .iter()
-                    .copied()
-                    .filter(|&(i, _)| self.row_needed[peer.idx()][i as usize])
-                    .collect();
-                let b_part: Vec<(u32, f64)> = self.b_frags[k]
-                    .iter()
-                    .copied()
-                    .filter(|&(j, _)| self.col_needed[peer.idx()][j as usize])
-                    .collect();
-                let payload = (a_part.len() + b_part.len()) as u64;
-                stats.elems_sent += payload;
-                if payload > 0 {
-                    stats.messages += 1;
+            // Injected faults scripted for this step.
+            let mut drop_sends = false;
+            for &fault in &self.faults {
+                match fault {
+                    FaultKind::CrashAt { step } if step == k => {
+                        // Exiting drops our channel endpoints; peers see a
+                        // disconnect.
+                        return Verdict::Crashed { step: k };
+                    }
+                    FaultKind::DropMessageAt { step } if step == k => drop_sends = true,
+                    FaultKind::DelaySendAt { step, millis } if step == k => {
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                    _ => {}
                 }
-                tx.send((a_part, b_part)).expect("peer hung up");
+            }
+
+            // Send the needed slices of our fragments to each peer.
+            if !drop_sends {
+                for (peer, tx) in &self.out {
+                    let a_part: Vec<(u32, f64)> = self.a_frags[k]
+                        .iter()
+                        .copied()
+                        .filter(|&(i, _)| self.row_needed[peer.idx()][i as usize])
+                        .collect();
+                    let b_part: Vec<(u32, f64)> = self.b_frags[k]
+                        .iter()
+                        .copied()
+                        .filter(|&(j, _)| self.col_needed[peer.idx()][j as usize])
+                        .collect();
+                    let payload = (a_part.len() + b_part.len()) as u64;
+                    match send_with_deadline(tx, (k, a_part, b_part), self.timeout) {
+                        Ok(()) => {
+                            stats.elems_sent += payload;
+                            if payload > 0 {
+                                stats.messages += 1;
+                            }
+                        }
+                        Err(detail) => {
+                            return Verdict::PeerLost {
+                                peer: *peer,
+                                step: k,
+                                detail,
+                            }
+                        }
+                    }
+                }
             }
             // Own fragments.
             for &(i, v) in &self.a_frags[k] {
@@ -136,15 +285,39 @@ impl Worker {
             for &(j, v) in &self.b_frags[k] {
                 b_row[j as usize] = v;
             }
-            // Receive both peers' fragments.
-            for rx in &self.inbox {
-                let (a_part, b_part) = rx.recv().expect("peer died");
-                stats.elems_recv += (a_part.len() + b_part.len()) as u64;
-                for (i, v) in a_part {
-                    a_col[i as usize] = v;
-                }
-                for (j, v) in b_part {
-                    b_row[j as usize] = v;
+            // Receive every active peer's fragments.
+            for (peer, rx) in &self.inbox {
+                match rx.recv_timeout(self.timeout) {
+                    Ok((msg_step, a_part, b_part)) => {
+                        if msg_step != k {
+                            return Verdict::PeerLost {
+                                peer: *peer,
+                                step: k,
+                                detail: "out-of-step message (lost message upstream)",
+                            };
+                        }
+                        stats.elems_recv += (a_part.len() + b_part.len()) as u64;
+                        for (i, v) in a_part {
+                            a_col[i as usize] = v;
+                        }
+                        for (j, v) in b_part {
+                            b_row[j as usize] = v;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Verdict::PeerLost {
+                            peer: *peer,
+                            step: k,
+                            detail: "receive timed out",
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Verdict::PeerLost {
+                            peer: *peer,
+                            step: k,
+                            detail: "channel disconnected",
+                        }
+                    }
                 }
             }
             // Update every owned C element.
@@ -161,41 +334,43 @@ impl Worker {
             .zip(acc)
             .map(|((i, j), v)| (i, j, v))
             .collect();
-        (result, stats)
+        Verdict::Completed(result, stats)
     }
 }
 
-/// Multiply `A x B` with ownership given by `part`, one thread per
-/// processor, fragments exchanged through channels. Returns the assembled
-/// C and the executor statistics.
-///
-/// Panics if the matrices and partition disagree on `n`.
-///
-/// ```
-/// use hetmmm_mmm::{kij_serial, multiply_partitioned, Matrix};
-/// use hetmmm_partition::{Partition, Proc};
-///
-/// let a = Matrix::from_fn(8, |i, j| (i + j) as f64);
-/// let b = Matrix::identity(8);
-/// let part = Partition::from_fn(8, |i, _| if i < 4 { Proc::P } else { Proc::S });
-/// let (c, stats) = multiply_partitioned(&a, &b, &part);
-/// assert!(c.max_abs_diff(&a) < 1e-12); // A x I = A
-/// assert_eq!(stats.total_sent(), part.voc());
-/// ```
-pub fn multiply_partitioned(a: &Matrix, b: &Matrix, part: &Partition) -> (Matrix, ExecStats) {
-    let n = a.n();
-    assert_eq!(n, b.n(), "A and B must agree");
-    assert_eq!(n, part.n(), "partition must match the matrices");
+/// One worker's completed contribution: its processor, C updates, stats.
+type WorkerDone = (Proc, Vec<(u32, u32, f64)>, ProcExec);
 
-    // Channels between each ordered pair of workers.
-    let mut txs: Vec<Vec<Option<Sender<StepMessage>>>> = vec![vec![None, None, None]; 3];
-    let mut rxs: Vec<Vec<Option<Receiver<StepMessage>>>> = vec![vec![None, None, None]; 3];
-    for x in Proc::ALL {
-        for y in Proc::ALL {
+/// What one attempt (one spawn of the active workers) produced.
+enum Attempt {
+    Done(Vec<WorkerDone>),
+    Failed {
+        dead: Proc,
+        step: Option<usize>,
+        detail: String,
+    },
+}
+
+/// Run the active workers once over `part` and aggregate their verdicts.
+fn run_attempt(
+    a: &Matrix,
+    b: &Matrix,
+    part: &Partition,
+    active: &[Proc],
+    config: &ExecConfig,
+) -> Attempt {
+    let n = part.n();
+
+    // Bounded channels between each ordered pair of active workers.
+    let mut txs: Vec<Vec<Option<SyncSender<StepMessage>>>> = vec![vec![None, None, None]; 3];
+    let mut rxs: Vec<Vec<Option<Receiver<StepMessage>>>> =
+        (0..3).map(|_| vec![None, None, None]).collect();
+    for &x in active {
+        for &y in active {
             if x == y {
                 continue;
             }
-            let (tx, rx) = unbounded();
+            let (tx, rx) = sync_channel(config.channel_capacity);
             txs[x.idx()][y.idx()] = Some(tx);
             rxs[y.idx()][x.idx()] = Some(rx);
         }
@@ -207,32 +382,33 @@ pub fn multiply_partitioned(a: &Matrix, b: &Matrix, part: &Partition) -> (Matrix
     let col_needed: [Vec<bool>; 3] =
         Proc::ALL.map(|y| (0..n).map(|j| part.col_has(y, j)).collect());
 
-    let mut workers: Vec<Worker> = Vec::with_capacity(3);
-    for x in Proc::ALL {
+    let mut workers: Vec<Worker> = Vec::with_capacity(active.len());
+    for &x in active {
         let mut a_frags = vec![Vec::new(); n];
         let mut b_frags = vec![Vec::new(); n];
         let mut c_cells = Vec::with_capacity(part.elems(x));
-        for i in 0..n {
-            for j in 0..n {
-                if part.get(i, j) == x {
-                    // A element (i, j) belongs to column-fragment j.
-                    a_frags[j].push((i as u32, a.get(i, j)));
-                    // B element (i, j) belongs to row-fragment i.
-                    b_frags[i].push((j as u32, b.get(i, j)));
-                    c_cells.push((i as u32, j as u32));
-                }
-            }
+        for (i, j) in part.cells_of(x) {
+            // A element (i, j) belongs to column-fragment j; B element
+            // (i, j) belongs to row-fragment i.
+            a_frags[j].push((i as u32, a.get(i, j)));
+            b_frags[i].push((j as u32, b.get(i, j)));
+            c_cells.push((i as u32, j as u32));
         }
-        let out: Vec<(Proc, Sender<StepMessage>)> = x
+        let out: Vec<(Proc, SyncSender<StepMessage>)> = x
             .others()
             .into_iter()
-            .map(|y| (y, txs[x.idx()][y.idx()].take().expect("channel wired")))
+            .filter_map(|y| txs[x.idx()][y.idx()].take().map(|tx| (y, tx)))
             .collect();
-        let inbox: Vec<Receiver<StepMessage>> = x
+        let inbox: Vec<(Proc, Receiver<StepMessage>)> = x
             .others()
             .into_iter()
-            .map(|y| rxs[x.idx()][y.idx()].take().expect("channel wired"))
+            .filter_map(|y| rxs[x.idx()][y.idx()].take().map(|rx| (y, rx)))
             .collect();
+        let faults = config
+            .fault_plan
+            .as_ref()
+            .map(|plan| plan.faults_for(x))
+            .unwrap_or_default();
         workers.push(Worker {
             proc: x,
             n,
@@ -243,11 +419,12 @@ pub fn multiply_partitioned(a: &Matrix, b: &Matrix, part: &Partition) -> (Matrix
             col_needed: col_needed.clone(),
             out,
             inbox,
+            faults,
+            timeout: config.recv_timeout,
         });
     }
 
-    let mut c = Matrix::zeros(n);
-    let mut stats = ExecStats::default();
+    let mut verdicts: Vec<(Proc, Verdict)> = Vec::with_capacity(active.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = workers
             .into_iter()
@@ -257,14 +434,186 @@ pub fn multiply_partitioned(a: &Matrix, b: &Matrix, part: &Partition) -> (Matrix
             })
             .collect();
         for (proc, handle) in handles {
-            let (cells, proc_stats) = handle.join().expect("worker panicked");
-            stats.per_proc[proc.idx()] = proc_stats;
-            for (i, j, v) in cells {
-                c.set(i as usize, j as usize, v);
-            }
+            // Workers return verdicts instead of panicking; a panic here
+            // is a genuine bug, not a modeled fault.
+            let verdict = handle.join().expect("worker panicked");
+            verdicts.push((proc, verdict));
         }
     });
-    (c, stats)
+
+    if verdicts
+        .iter()
+        .all(|(_, v)| matches!(v, Verdict::Completed(..)))
+    {
+        return Attempt::Done(
+            verdicts
+                .into_iter()
+                .map(|(proc, v)| match v {
+                    Verdict::Completed(cells, stats) => (proc, cells, stats),
+                    _ => unreachable!("checked above"),
+                })
+                .collect(),
+        );
+    }
+
+    // Blame aggregation, weighted by how conclusive each report is. An
+    // explicit crash is a confession (+100). An out-of-step message proves
+    // the named sender skipped or lost a send (+10). A receive timeout is
+    // strong evidence of a stall (+3). A bare disconnect is weak (+1): it
+    // is often just the cascade from an innocent peer that already exited
+    // after detecting the real failure. Without the weighting, the first
+    // detector's early exit can out-vote the actual culprit. Ties break
+    // toward the lower processor index, deterministically.
+    let mut blame = [0u32; 3];
+    let mut dead_step: [Option<usize>; 3] = [None; 3];
+    let mut dead_detail: [Option<String>; 3] = [None, None, None];
+    for (proc, verdict) in &verdicts {
+        match verdict {
+            Verdict::Completed(..) => {}
+            Verdict::Crashed { step } => {
+                blame[proc.idx()] += 100;
+                dead_step[proc.idx()] = Some(*step);
+                dead_detail[proc.idx()] = Some("injected crash".to_string());
+            }
+            Verdict::PeerLost { peer, step, detail } => {
+                blame[peer.idx()] += if detail.contains("out-of-step") {
+                    10
+                } else if detail.contains("timed out") {
+                    3
+                } else {
+                    1
+                };
+                let slot = &mut dead_step[peer.idx()];
+                if slot.is_none_or(|s| *step < s) {
+                    *slot = Some(*step);
+                    dead_detail[peer.idx()] = Some(format!("reported lost by {proc}: {detail}"));
+                }
+            }
+        }
+    }
+    // `max_by_key` keeps the last maximum, so reverse to prefer the lower
+    // processor index on ties.
+    let dead_idx = (0..3).rev().max_by_key(|&i| blame[i]).expect("three slots");
+    let dead = Proc::ALL[dead_idx];
+    Attempt::Failed {
+        dead,
+        step: dead_step[dead_idx],
+        detail: dead_detail[dead_idx]
+            .take()
+            .unwrap_or_else(|| "unknown".to_string()),
+    }
+}
+
+/// Multiply `A x B` with ownership given by `part`, one thread per
+/// processor, fragments exchanged through bounded channels. Returns the
+/// assembled C and the executor statistics.
+///
+/// Fails with [`HetmmmError::DimensionMismatch`] if the matrices and
+/// partition disagree on `n`, and with [`HetmmmError::WorkerFailure`] /
+/// [`HetmmmError::NoSurvivors`] if workers die beyond what survivor
+/// re-partitioning can absorb (see [`multiply_partitioned_with`] to
+/// configure that behaviour and to inject faults).
+///
+/// ```
+/// use hetmmm_mmm::{kij_serial, multiply_partitioned, Matrix};
+/// use hetmmm_partition::{Partition, Proc};
+///
+/// let a = Matrix::from_fn(8, |i, j| (i + j) as f64);
+/// let b = Matrix::identity(8);
+/// let part = Partition::from_fn(8, |i, _| if i < 4 { Proc::P } else { Proc::S });
+/// let (c, stats) = multiply_partitioned(&a, &b, &part).unwrap();
+/// assert!(c.max_abs_diff(&a) < 1e-12); // A x I = A
+/// assert_eq!(stats.total_sent(), part.voc());
+/// assert_eq!(stats.recovery.faults_detected, 0);
+/// ```
+pub fn multiply_partitioned(
+    a: &Matrix,
+    b: &Matrix,
+    part: &Partition,
+) -> Result<(Matrix, ExecStats), HetmmmError> {
+    multiply_partitioned_with(a, b, part, &ExecConfig::default())
+}
+
+/// [`multiply_partitioned`] with explicit executor configuration —
+/// channel capacity, peer-loss timeout, retry budget and (for tests) a
+/// deterministic [`FaultPlan`].
+///
+/// On worker failure the dead processor's C cells are re-assigned onto
+/// the survivors ([`hetmmm_twoproc::degrade_partition`]; with a single
+/// survivor left, it inherits everything) and the multiply restarts on
+/// the degraded partition. `stats.recovery` reports the activity; the
+/// returned C is always verified-correct in tests against `kij_serial`.
+pub fn multiply_partitioned_with(
+    a: &Matrix,
+    b: &Matrix,
+    part: &Partition,
+    config: &ExecConfig,
+) -> Result<(Matrix, ExecStats), HetmmmError> {
+    let n = part.n();
+    if a.n() != n {
+        return Err(HetmmmError::dimension_mismatch("A vs partition", a.n(), n));
+    }
+    if b.n() != n {
+        return Err(HetmmmError::dimension_mismatch("B vs partition", b.n(), n));
+    }
+
+    let mut active: Vec<Proc> = Proc::ALL.to_vec();
+    let mut current = part.clone();
+    let mut recovery = RecoveryStats::default();
+
+    loop {
+        match run_attempt(a, b, &current, &active, config) {
+            Attempt::Done(results) => {
+                let mut c = Matrix::zeros(n);
+                let mut stats = ExecStats {
+                    recovery,
+                    ..ExecStats::default()
+                };
+                for (proc, cells, proc_stats) in results {
+                    stats.per_proc[proc.idx()] = proc_stats;
+                    for (i, j, v) in cells {
+                        c.set(i as usize, j as usize, v);
+                    }
+                }
+                return Ok((c, stats));
+            }
+            Attempt::Failed { dead, step, detail } => {
+                recovery.faults_detected += 1;
+                active.retain(|&p| p != dead);
+                if active.is_empty() {
+                    return Err(HetmmmError::NoSurvivors {
+                        retries: recovery.retries,
+                    });
+                }
+                if recovery.retries >= config.max_retries {
+                    return Err(HetmmmError::WorkerFailure {
+                        proc_q: dead.q(),
+                        step,
+                        detail: format!("{detail} (retry budget exhausted)"),
+                    });
+                }
+                recovery.retries += 1;
+                if active.len() == 2 {
+                    let degraded = degrade_partition(&current, dead);
+                    recovery.elems_reassigned += degraded.reassigned as u64;
+                    current = degraded.partition;
+                } else {
+                    // Last survivor inherits everything that is not
+                    // already its own.
+                    let survivor = active[0];
+                    let orphans: Vec<(usize, usize)> = Proc::ALL
+                        .into_iter()
+                        .filter(|&p| p != survivor)
+                        .flat_map(|p| current.cells_of(p).collect::<Vec<_>>())
+                        .collect();
+                    recovery.elems_reassigned += orphans.len() as u64;
+                    for (i, j) in orphans {
+                        current.set(i, j, survivor);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +629,11 @@ mod tests {
         (Matrix::random(n, &mut rng), Matrix::random(n, &mut rng))
     }
 
+    /// Short detection timeout so drop-message tests stay fast.
+    fn fast_config() -> ExecConfig {
+        ExecConfig::default().with_recv_timeout(Duration::from_millis(200))
+    }
+
     #[test]
     fn matches_serial_on_strips() {
         let n = 24;
@@ -293,10 +647,11 @@ mod tests {
                 Proc::S
             }
         });
-        let (c, stats) = multiply_partitioned(&a, &b, &part);
+        let (c, stats) = multiply_partitioned(&a, &b, &part).unwrap();
         let reference = kij_serial(&a, &b);
         assert!(c.max_abs_diff(&reference) < 1e-10);
         assert_eq!(stats.total_updates(), (n * n * n) as u64);
+        assert_eq!(stats.recovery, RecoveryStats::default());
     }
 
     #[test]
@@ -307,7 +662,7 @@ mod tests {
             .rect(Rect::new(0, 5, 0, 5), Proc::R)
             .rect(Rect::new(14, 19, 14, 19), Proc::S)
             .build();
-        let (c, _) = multiply_partitioned(&a, &b, &part);
+        let (c, _) = multiply_partitioned(&a, &b, &part).unwrap();
         assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
     }
 
@@ -321,8 +676,26 @@ mod tests {
             1 => Proc::S,
             _ => Proc::P,
         });
-        let (c, _) = multiply_partitioned(&a, &b, &part);
+        let (c, _) = multiply_partitioned(&a, &b, &part).unwrap();
         assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_mismatched_dimensions() {
+        let (a, _) = random_matrices(8, 13);
+        let (_, b) = random_matrices(9, 13);
+        let part = Partition::new(8, Proc::P);
+        match multiply_partitioned(&a, &b, &part) {
+            Err(HetmmmError::DimensionMismatch { left, right, .. }) => {
+                assert_eq!((left, right), (9, 8));
+            }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        let part = Partition::new(10, Proc::P);
+        assert!(matches!(
+            multiply_partitioned(&a, &a, &part),
+            Err(HetmmmError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -336,7 +709,7 @@ mod tests {
             .rect(Rect::new(0, 8, 0, 5), Proc::R)
             .rect(Rect::new(10, 17, 9, 17), Proc::S)
             .build();
-        let (_, stats) = multiply_partitioned(&a, &b, &part);
+        let (_, stats) = multiply_partitioned(&a, &b, &part).unwrap();
         let vol = pairwise_volumes(&part);
         let expect: u64 = vol.iter().flatten().sum();
         assert_eq!(stats.total_sent(), expect);
@@ -353,7 +726,7 @@ mod tests {
         let n = 8;
         let (a, b) = random_matrices(n, 11);
         let part = Partition::new(n, Proc::P);
-        let (c, stats) = multiply_partitioned(&a, &b, &part);
+        let (c, stats) = multiply_partitioned(&a, &b, &part).unwrap();
         assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
         assert_eq!(stats.total_sent(), 0);
         assert_eq!(stats.per_proc[Proc::P.idx()].updates, (n * n * n) as u64);
@@ -366,7 +739,7 @@ mod tests {
         let part = PartitionBuilder::new(n)
             .rect(Rect::new(0, 5, 0, 11), Proc::R)
             .build();
-        let (_, stats) = multiply_partitioned(&a, &b, &part);
+        let (_, stats) = multiply_partitioned(&a, &b, &part).unwrap();
         assert_eq!(
             stats.per_proc[Proc::R.idx()].updates,
             (n * part.elems(Proc::R)) as u64
@@ -385,24 +758,19 @@ mod tests {
             .rect(Rect::new(0, 8, 0, 5), Proc::R)
             .rect(Rect::new(10, 17, 9, 17), Proc::S)
             .build();
-        let (_, stats) = multiply_partitioned(&a, &b, &part);
+        let (_, stats) = multiply_partitioned(&a, &b, &part).unwrap();
         // Speeds indexed [R, S, P] to match Proc::idx.
         let beta = 1e-9;
         let speeds = [2e9, 1e9, 4e9];
         let virt = stats.virtual_scb_time(speeds, 0.0, beta);
-        // Manual SCB: voc * beta + max(N * elems / speed).
+        // Manual SCB: voc * beta + max over processors of
+        // (N * elems) updates at the processor's speed.
         let comm = part.voc() as f64 * beta;
         let comp = [Proc::R, Proc::S, Proc::P]
             .iter()
-            .map(|&p| (n * part.elems(p)) as f64 * n as f64 / (n as f64) / speeds[p.idx()])
-            .fold(0.0f64, f64::max);
-        // (N * elems) updates per processor.
-        let comp_exact = [Proc::R, Proc::S, Proc::P]
-            .iter()
             .map(|&p| (n * part.elems(p)) as f64 / speeds[p.idx()])
             .fold(0.0f64, f64::max);
-        let _ = comp;
-        assert!((virt - (comm + comp_exact)).abs() < 1e-15);
+        assert!((virt - (comm + comp)).abs() < 1e-15);
     }
 
     #[test]
@@ -412,11 +780,144 @@ mod tests {
         let part = PartitionBuilder::new(n)
             .rect(Rect::new(0, 5, 0, 11), Proc::R)
             .build();
-        let (_, stats) = multiply_partitioned(&a, &b, &part);
+        let (_, stats) = multiply_partitioned(&a, &b, &part).unwrap();
         // Each worker sends at most 2 peers x n steps non-empty messages.
         for p in Proc::ALL {
             assert!(stats.per_proc[p.idx()].messages <= (2 * n) as u64);
         }
         assert!(stats.total_messages() > 0);
+    }
+
+    // ---- fault-tolerance tests ----
+
+    fn three_way(n: usize) -> Partition {
+        PartitionBuilder::new(n)
+            .rect(Rect::new(0, n / 3 - 1, 0, n - 1), Proc::R)
+            .rect(Rect::new(n / 3, 2 * n / 3 - 1, 0, n - 1), Proc::S)
+            .build()
+    }
+
+    #[test]
+    fn injected_crash_recovers_with_correct_result() {
+        let n = 18;
+        let (a, b) = random_matrices(n, 31);
+        let part = three_way(n);
+        let dead_elems = part.elems(Proc::S) as u64;
+        let config = fast_config().with_fault_plan(FaultPlan::crash(Proc::S, n / 2));
+        let (c, stats) = multiply_partitioned_with(&a, &b, &part, &config).unwrap();
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+        assert_eq!(stats.recovery.faults_detected, 1);
+        assert_eq!(stats.recovery.retries, 1);
+        assert_eq!(stats.recovery.elems_reassigned, dead_elems);
+        // The dead worker contributed nothing to the final attempt.
+        assert_eq!(stats.per_proc[Proc::S.idx()], ProcExec::default());
+    }
+
+    #[test]
+    fn crash_at_step_zero_recovers() {
+        let n = 12;
+        let (a, b) = random_matrices(n, 32);
+        let part = three_way(n);
+        let config = fast_config().with_fault_plan(FaultPlan::crash(Proc::R, 0));
+        let (c, stats) = multiply_partitioned_with(&a, &b, &part, &config).unwrap();
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+        assert_eq!(stats.recovery.faults_detected, 1);
+    }
+
+    #[test]
+    fn dropped_message_detected_by_timeout_and_recovered() {
+        let n = 12;
+        let (a, b) = random_matrices(n, 33);
+        let part = three_way(n);
+        let plan = FaultPlan::new().with_fault(Proc::P, FaultKind::DropMessageAt { step: 3 });
+        let config = fast_config().with_fault_plan(plan);
+        let (c, stats) = multiply_partitioned_with(&a, &b, &part, &config).unwrap();
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+        assert!(stats.recovery.faults_detected >= 1);
+        assert_eq!(stats.per_proc[Proc::P.idx()], ProcExec::default());
+    }
+
+    #[test]
+    fn short_delay_does_not_trigger_recovery() {
+        let n = 10;
+        let (a, b) = random_matrices(n, 34);
+        let part = three_way(n);
+        let plan = FaultPlan::new().with_fault(
+            Proc::S,
+            FaultKind::DelaySendAt {
+                step: 2,
+                millis: 20,
+            },
+        );
+        let config = ExecConfig::default().with_fault_plan(plan);
+        let (c, stats) = multiply_partitioned_with(&a, &b, &part, &config).unwrap();
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+        assert_eq!(stats.recovery, RecoveryStats::default());
+    }
+
+    #[test]
+    fn two_crashes_degrade_to_single_survivor() {
+        let n = 15;
+        let (a, b) = random_matrices(n, 35);
+        let part = three_way(n);
+        let plan = FaultPlan::new()
+            .with_fault(Proc::R, FaultKind::CrashAt { step: 2 })
+            .with_fault(Proc::S, FaultKind::CrashAt { step: 5 });
+        let config = fast_config().with_fault_plan(plan);
+        let (c, stats) = multiply_partitioned_with(&a, &b, &part, &config).unwrap();
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+        assert_eq!(stats.recovery.faults_detected, 2);
+        assert_eq!(stats.recovery.retries, 2);
+        // Everything ended up on P: N * N^2 updates.
+        assert_eq!(stats.per_proc[Proc::P.idx()].updates, (n * n * n) as u64);
+        assert_eq!(stats.total_sent(), 0);
+    }
+
+    #[test]
+    fn all_workers_dead_reports_no_survivors() {
+        let n = 9;
+        let (a, b) = random_matrices(n, 36);
+        let part = three_way(n);
+        let plan = FaultPlan::new()
+            .with_fault(Proc::R, FaultKind::CrashAt { step: 0 })
+            .with_fault(Proc::S, FaultKind::CrashAt { step: 1 })
+            .with_fault(Proc::P, FaultKind::CrashAt { step: 2 });
+        let config = fast_config().with_fault_plan(plan);
+        match multiply_partitioned_with(&a, &b, &part, &config) {
+            Err(HetmmmError::NoSurvivors { retries }) => assert_eq!(retries, 2),
+            other => panic!("expected NoSurvivors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_worker_failure() {
+        let n = 9;
+        let (a, b) = random_matrices(n, 37);
+        let part = three_way(n);
+        let plan = FaultPlan::new()
+            .with_fault(Proc::R, FaultKind::CrashAt { step: 0 })
+            .with_fault(Proc::S, FaultKind::CrashAt { step: 1 });
+        let mut config = fast_config().with_fault_plan(plan);
+        config.max_retries = 1;
+        match multiply_partitioned_with(&a, &b, &part, &config) {
+            Err(HetmmmError::WorkerFailure { proc_q, .. }) => {
+                assert_eq!(proc_q, Proc::S.q());
+            }
+            other => panic!("expected WorkerFailure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_of_sole_owner_is_survivable() {
+        // P owns every cell and dies: the empty survivors inherit all of
+        // it, split between them.
+        let n = 10;
+        let (a, b) = random_matrices(n, 38);
+        let part = Partition::new(n, Proc::P);
+        let config = fast_config().with_fault_plan(FaultPlan::crash(Proc::P, 4));
+        let (c, stats) = multiply_partitioned_with(&a, &b, &part, &config).unwrap();
+        assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+        assert_eq!(stats.recovery.elems_reassigned, (n * n) as u64);
+        assert_eq!(stats.per_proc[Proc::P.idx()], ProcExec::default());
     }
 }

@@ -28,7 +28,11 @@ impl NDfaConfig {
             weights.windows(2).all(|w| w[0] >= w[1]),
             "weights must be non-increasing (fastest first)"
         );
-        NDfaConfig { n, weights, step_cap: 100 * n.max(8) }
+        NDfaConfig {
+            n,
+            weights,
+            step_cap: 100 * n.max(8),
+        }
     }
 }
 
@@ -118,7 +122,14 @@ impl NDfaRunner {
 
         let voc_final = part.voc();
         debug_assert!(voc_final <= voc_initial);
-        NDfaOutcome { partition: part, steps, voc_initial, voc_final, converged, cycled }
+        NDfaOutcome {
+            partition: part,
+            steps,
+            voc_initial,
+            voc_final,
+            converged,
+            cycled,
+        }
     }
 
     /// Fan seeds out over rayon.
@@ -138,7 +149,10 @@ mod tests {
         for seed in 0..6u64 {
             let out = runner.run_seed(seed);
             assert!(out.converged, "seed {seed}");
-            assert!(out.voc_final < out.voc_initial, "seed {seed} made no progress");
+            assert!(
+                out.voc_final < out.voc_initial,
+                "seed {seed} made no progress"
+            );
             out.partition.assert_invariants();
         }
     }
@@ -158,7 +172,9 @@ mod tests {
         // that every run improves and the best run at least halves VoC.
         let runner = NDfaRunner::new(NDfaConfig::new(30, vec![4, 1]));
         let outs = runner.run_many(0..8u64);
-        assert!(outs.iter().all(|o| o.converged && o.voc_final < o.voc_initial));
+        assert!(outs
+            .iter()
+            .all(|o| o.converged && o.voc_final < o.voc_initial));
         let best = outs.iter().map(|o| o.voc_final).min().unwrap();
         let start = outs[0].voc_initial;
         assert!(best * 2 < start, "best {best} vs start {start}");

@@ -109,14 +109,12 @@ impl NPartition {
         assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
         let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
         // Quotas for processors 1..k; processor 0 keeps the remainder.
-        let mut cells: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| (0..n).map(move |j| (i, j)))
-            .collect();
+        let mut cells: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
         cells.shuffle(rng);
         let mut cursor = 0usize;
-        for p in 1..k {
-            let quota =
-                ((n * n) as u64 * u64::from(weights[p]) / total) as usize;
+        for (p, &w) in weights.iter().enumerate().skip(1) {
+            let quota = ((n * n) as u64 * u64::from(w) / total) as usize;
             for &(i, j) in cells.iter().skip(cursor).take(quota) {
                 part.set(i, j, p as u8);
             }
@@ -248,7 +246,12 @@ impl NPartition {
         let bottom = rows.iter().rposition(|&c| c > 0)?;
         let left = cols.iter().position(|&c| c > 0)?;
         let right = cols.iter().rposition(|&c| c > 0)?;
-        Some(NRect { top, bottom, left, right })
+        Some(NRect {
+            top,
+            bottom,
+            left,
+            right,
+        })
     }
 
     /// Recompute everything from the raw cells and panic on drift.

@@ -204,10 +204,8 @@ pub fn try_push_mode(
                 }
                 cnt > 0
             };
-            let cost =
-                usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
-            let cleans = view.row_count_canon(owner, g) == 1
-                || view.col_count(owner, h) == 1;
+            let cost = usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
+            let cleans = view.row_count_canon(owner, g) == 1 || view.col_count(owner, h) == 1;
             let bucket = cost * 2 + usize::from(!cleans);
             let vec = &mut buckets[slot_of(owner)][bucket];
             if vec.len() < cap {
@@ -291,8 +289,7 @@ pub fn try_push_mode(
                 }
                 cnt > 0
             };
-            let cost =
-                usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
+            let cost = usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
             let admissible = match mode {
                 PushMode::Strict => cost == 0 || dirty_used + cost <= 1,
                 PushMode::Budgeted | PushMode::Relaxed => true,

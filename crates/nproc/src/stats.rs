@@ -69,7 +69,11 @@ pub fn outcome_stats(part: &NPartition) -> OutcomeStats {
             let fill = part
                 .enclosing_rect(p)
                 .map_or(0.0, |r| elems as f64 / r.area() as f64);
-            ProcShapeStats { elems, fill, corners: corner_count_n(part, p) }
+            ProcShapeStats {
+                elems,
+                fill,
+                corners: corner_count_n(part, p),
+            }
         })
         .collect();
     let rects: Vec<_> = (0..k as u8).map(|p| part.enclosing_rect(p)).collect();
@@ -83,7 +87,11 @@ pub fn outcome_stats(part: &NPartition) -> OutcomeStats {
                 .collect()
         })
         .collect();
-    OutcomeStats { per_proc, overlaps, voc: part.voc() }
+    OutcomeStats {
+        per_proc,
+        overlaps,
+        voc: part.voc(),
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 use crate::grid::Partition;
 use crate::proc_::{Proc, Ratio};
 use crate::rect::Rect;
+use hetmmm_error::HetmmmError;
 use rand::seq::SliceRandom;
 use rand::{Rng, RngExt};
 
@@ -36,18 +37,34 @@ pub struct PartitionBuilder {
 impl PartitionBuilder {
     /// Start a builder for an `n x n` matrix, background processor `P`.
     pub fn new(n: usize) -> PartitionBuilder {
-        PartitionBuilder { n, layers: Vec::new() }
+        PartitionBuilder {
+            n,
+            layers: Vec::new(),
+        }
     }
 
     /// Paint `rect` with `proc` (later rectangles overwrite earlier ones).
-    pub fn rect(mut self, rect: Rect, proc: Proc) -> PartitionBuilder {
-        assert!(
-            rect.bottom < self.n && rect.right < self.n,
-            "rect {rect} out of bounds for n = {}",
-            self.n
-        );
+    ///
+    /// Panics if the rectangle is out of bounds; [`PartitionBuilder::try_rect`]
+    /// is the non-panicking equivalent.
+    pub fn rect(self, rect: Rect, proc: Proc) -> PartitionBuilder {
+        match self.try_rect(rect, proc) {
+            Ok(builder) => builder,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`PartitionBuilder::rect`]: returns
+    /// [`HetmmmError::RectOutOfBounds`] instead of panicking.
+    pub fn try_rect(mut self, rect: Rect, proc: Proc) -> Result<PartitionBuilder, HetmmmError> {
+        if rect.bottom >= self.n || rect.right >= self.n {
+            return Err(HetmmmError::RectOutOfBounds {
+                rect: rect.to_string(),
+                n: self.n,
+            });
+        }
         self.layers.push((rect, proc));
-        self
+        Ok(self)
     }
 
     /// Materialize the partition.
@@ -124,6 +141,19 @@ mod tests {
     }
 
     #[test]
+    fn builder_try_rect_reports_typed_error() {
+        let err = PartitionBuilder::new(4)
+            .try_rect(Rect::new(0, 4, 0, 3), Proc::R)
+            .unwrap_err();
+        match err {
+            HetmmmError::RectOutOfBounds { n, .. } => assert_eq!(n, 4),
+            other => panic!("unexpected error variant: {other:?}"),
+        }
+        let ok = PartitionBuilder::new(5).try_rect(Rect::new(0, 4, 0, 3), Proc::R);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
     fn random_partition_exact_areas() {
         let mut rng = StdRng::seed_from_u64(42);
         for &(p, r, s) in &[(2, 1, 1), (5, 4, 1), (10, 1, 1)] {
@@ -165,6 +195,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let part = random_partition(1, ratio, &mut rng);
         // Single element goes to whichever processor won the rounding.
-        assert_eq!(part.elems(Proc::P) + part.elems(Proc::R) + part.elems(Proc::S), 1);
+        assert_eq!(
+            part.elems(Proc::P) + part.elems(Proc::R) + part.elems(Proc::S),
+            1
+        );
     }
 }

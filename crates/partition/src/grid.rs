@@ -65,7 +65,11 @@ impl Partition {
         assert!(n > 0, "matrix size must be positive");
         let counts_full = vec![n as u32; n];
         let counts_zero = vec![0u32; n];
-        let mut row_count = [counts_zero.clone(), counts_zero.clone(), counts_zero.clone()];
+        let mut row_count = [
+            counts_zero.clone(),
+            counts_zero.clone(),
+            counts_zero.clone(),
+        ];
         let mut col_count = row_count.clone();
         row_count[fill.idx()] = counts_full.clone();
         col_count[fill.idx()] = counts_full;
@@ -220,12 +224,18 @@ impl Partition {
     /// `i_X`: the number of rows containing elements of `proc`
     /// (used by the PCB model, Eq. 6).
     pub fn rows_occupied(&self, proc: Proc) -> usize {
-        self.row_count[proc.idx()].iter().filter(|&&c| c > 0).count()
+        self.row_count[proc.idx()]
+            .iter()
+            .filter(|&&c| c > 0)
+            .count()
     }
 
     /// `j_X`: the number of columns containing elements of `proc`.
     pub fn cols_occupied(&self, proc: Proc) -> usize {
-        self.col_count[proc.idx()].iter().filter(|&&c| c > 0).count()
+        self.col_count[proc.idx()]
+            .iter()
+            .filter(|&&c| c > 0)
+            .count()
     }
 
     /// `Σ_i (c_i - 1) + Σ_j (c_j - 1)`, the volume of communication in units
@@ -274,7 +284,10 @@ impl Partition {
 
     /// Assign every cell of `rect` to `proc`.
     pub fn fill_rect(&mut self, rect: Rect, proc: Proc) {
-        assert!(rect.bottom < self.n && rect.right < self.n, "rect out of bounds");
+        assert!(
+            rect.bottom < self.n && rect.right < self.n,
+            "rect out of bounds"
+        );
         for (i, j) in rect.cells() {
             self.set(i, j, proc);
         }
@@ -291,6 +304,7 @@ impl Partition {
 
     /// Fully recompute every derived count from the raw cells and panic on
     /// any mismatch. Test/debug aid; `O(N²)`.
+    #[allow(clippy::needless_range_loop)] // index math mirrors the derivation being checked
     pub fn assert_invariants(&self) {
         let n = self.n;
         let mut row_count = [vec![0u32; n], vec![0u32; n], vec![0u32; n]];
@@ -309,12 +323,18 @@ impl Partition {
         assert_eq!(elems, self.elems, "elems drift");
         let mut voc_units = 0u64;
         for i in 0..n {
-            let c_i = Proc::ALL.iter().filter(|p| row_count[p.idx()][i] > 0).count() as u8;
+            let c_i = Proc::ALL
+                .iter()
+                .filter(|p| row_count[p.idx()][i] > 0)
+                .count() as u8;
             assert_eq!(c_i, self.row_procs[i], "row_procs drift at row {i}");
             voc_units += u64::from(c_i) - 1;
         }
         for j in 0..n {
-            let c_j = Proc::ALL.iter().filter(|p| col_count[p.idx()][j] > 0).count() as u8;
+            let c_j = Proc::ALL
+                .iter()
+                .filter(|p| col_count[p.idx()][j] > 0)
+                .count() as u8;
             assert_eq!(c_j, self.col_procs[j], "col_procs drift at col {j}");
             voc_units += u64::from(c_j) - 1;
         }

@@ -43,8 +43,8 @@ pub mod sym;
 
 pub use builder::{random_partition, PartitionBuilder};
 pub use grid::Partition;
-pub use render::{downsample, render_ascii, render_pgm};
 pub use metrics::{local_updates, pairwise_volumes, CommMetrics, ProcMetrics};
 pub use proc_::{Proc, Ratio};
 pub use rect::Rect;
+pub use render::{downsample, render_ascii, render_pgm};
 pub use sym::{canonical_image, dihedral_images, mirror_h, mirror_v, rotate_cw, transpose};

@@ -245,11 +245,7 @@ mod tests {
             let ratio = Ratio::new(p, r, s);
             for n in [1usize, 7, 10, 99, 100, 1000] {
                 let areas = ratio.areas(n);
-                assert_eq!(
-                    areas.iter().sum::<usize>(),
-                    n * n,
-                    "ratio {ratio} n {n}"
-                );
+                assert_eq!(areas.iter().sum::<usize>(), n * n, "ratio {ratio} n {n}");
             }
         }
     }

@@ -29,14 +29,22 @@ impl Rect {
     pub fn new(top: usize, bottom: usize, left: usize, right: usize) -> Rect {
         assert!(top <= bottom, "Rect: top {top} > bottom {bottom}");
         assert!(left <= right, "Rect: left {left} > right {right}");
-        Rect { top, bottom, left, right }
+        Rect {
+            top,
+            bottom,
+            left,
+            right,
+        }
     }
 
     /// A rectangle spanning rows `rows` and columns `cols` given as
     /// half-open ranges, e.g. `Rect::from_ranges(0..4, 2..6)`.
     /// Panics if either range is empty.
     pub fn from_ranges(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Rect {
-        assert!(!rows.is_empty() && !cols.is_empty(), "Rect ranges must be non-empty");
+        assert!(
+            !rows.is_empty() && !cols.is_empty(),
+            "Rect ranges must be non-empty"
+        );
         Rect::new(rows.start, rows.end - 1, cols.start, cols.end - 1)
     }
 

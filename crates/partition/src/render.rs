@@ -64,6 +64,21 @@ pub fn render_pgm(part: &Partition) -> String {
     out
 }
 
+/// Downsample to a `blocks x blocks` partition of majority owners — the
+/// granularity at which the paper's figures (and, evidently, its shape
+/// grouping) view a partition. Used by the coarse archetype classifier.
+pub fn downsample(part: &Partition, blocks: usize) -> Partition {
+    let n = part.n();
+    let blocks = blocks.clamp(1, n);
+    Partition::from_fn(blocks, |bi, bj| {
+        let i0 = bi * n / blocks;
+        let i1 = ((bi + 1) * n / blocks).max(i0 + 1);
+        let j0 = bj * n / blocks;
+        let j1 = ((bj + 1) * n / blocks).max(j0 + 1);
+        majority_owner(part, i0, i1, j0, j1)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,23 +114,12 @@ mod tests {
         let part = Partition::new(2, Proc::S);
         let s = render_pgm(&part);
         assert!(s.starts_with("P2\n2 2\n255\n"));
-        let pixels: Vec<&str> = s.lines().skip(3).flat_map(|l| l.split_whitespace()).collect();
+        let pixels: Vec<&str> = s
+            .lines()
+            .skip(3)
+            .flat_map(|l| l.split_whitespace())
+            .collect();
         assert_eq!(pixels.len(), 4);
         assert!(pixels.iter().all(|&p| p == "0"));
     }
-}
-
-/// Downsample to a `blocks x blocks` partition of majority owners — the
-/// granularity at which the paper's figures (and, evidently, its shape
-/// grouping) view a partition. Used by the coarse archetype classifier.
-pub fn downsample(part: &Partition, blocks: usize) -> Partition {
-    let n = part.n();
-    let blocks = blocks.clamp(1, n);
-    Partition::from_fn(blocks, |bi, bj| {
-        let i0 = bi * n / blocks;
-        let i1 = ((bi + 1) * n / blocks).max(i0 + 1);
-        let j0 = bj * n / blocks;
-        let j1 = ((bj + 1) * n / blocks).max(j0 + 1);
-        majority_owner(part, i0, i1, j0, j1)
-    })
 }

@@ -15,6 +15,7 @@
 //! processors" of a cluster for the same reason.
 
 use crate::op::{try_push_any_type, would_push, Direction, PushType};
+use hetmmm_error::{HetmmmError, NonConvergence};
 use hetmmm_partition::{random_partition, Partition, Proc, Ratio};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -113,6 +114,34 @@ impl DfaConfig {
     }
 }
 
+/// Why a DFA run stopped. `StepCapExhausted` and `ZeroDeltaCapExhausted`
+/// are the two distinct non-converged outcomes (previously collapsed into a
+/// single `converged = false`); the checked entry points turn them into
+/// [`HetmmmError::NonConverged`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// No push in the plan applies — a genuine fixed point.
+    FixedPoint,
+    /// The run revisited a state with no VoC improvement in between — a
+    /// VoC-neutral cycle, an accept state for practical purposes.
+    NeutralCycle,
+    /// The hard cap on applied pushes was exhausted.
+    StepCapExhausted,
+    /// The cap on consecutive VoC-neutral pushes was exhausted.
+    ZeroDeltaCapExhausted,
+}
+
+impl Termination {
+    /// The non-convergence kind, if this termination is one.
+    pub fn non_convergence(self) -> Option<NonConvergence> {
+        match self {
+            Termination::FixedPoint | Termination::NeutralCycle => None,
+            Termination::StepCapExhausted => Some(NonConvergence::StepCapExhausted),
+            Termination::ZeroDeltaCapExhausted => Some(NonConvergence::ZeroDeltaCapExhausted),
+        }
+    }
+}
+
 /// Result of one DFA run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DfaOutcome {
@@ -135,6 +164,9 @@ pub struct DfaOutcome {
     /// push cycle. The state is then an accept state for practical
     /// purposes: no sequence of plan moves the run explored can improve it.
     pub cycled: bool,
+    /// Exactly why the run stopped; refines `converged`/`cycled` by
+    /// distinguishing the two safety caps.
+    pub termination: Termination,
     /// `(step, partition)` snapshots at the configured steps.
     pub snapshots: Vec<(usize, Partition)>,
     /// How many pushes of each type (index 0 = Type One) were applied.
@@ -189,6 +221,7 @@ impl DfaRunner {
         let mut zero_streak = 0usize;
         let mut converged = false;
         let mut cycled = false;
+        let termination;
         let mut snapshots = Vec::new();
         let mut pushes_by_type = [0usize; 6];
         let mut order: Vec<usize> = (0..plan.entries.len()).collect();
@@ -222,6 +255,7 @@ impl DfaRunner {
                     if !seen.insert(part.state_hash()) {
                         cycled = true;
                         converged = true;
+                        termination = Termination::NeutralCycle;
                         if self.config.snapshot_steps.contains(&steps) {
                             snapshots.push((steps, part.clone()));
                         }
@@ -230,8 +264,12 @@ impl DfaRunner {
                     if self.config.snapshot_steps.contains(&steps) {
                         snapshots.push((steps, part.clone()));
                     }
-                    if steps >= self.config.step_cap || zero_streak > self.config.zero_delta_cap
-                    {
+                    if steps >= self.config.step_cap {
+                        termination = Termination::StepCapExhausted;
+                        break 'outer;
+                    }
+                    if zero_streak > self.config.zero_delta_cap {
+                        termination = Termination::ZeroDeltaCapExhausted;
                         break 'outer;
                     }
                     break; // re-randomize the interleaving after each push
@@ -239,6 +277,7 @@ impl DfaRunner {
             }
             if !progressed {
                 converged = true;
+                termination = Termination::FixedPoint;
                 break;
             }
         }
@@ -259,16 +298,54 @@ impl DfaRunner {
             voc_final,
             converged,
             cycled,
+            termination,
             snapshots,
             pushes_by_type,
             residual_pushes,
         }
     }
 
+    /// Checked [`DfaRunner::run_seed`]: returns `Err` if the run hit a
+    /// safety cap ([`HetmmmError::NonConverged`], carrying which cap) or —
+    /// checked even in release builds, unlike the `debug_assert!` in
+    /// `run_with` — if the final VoC exceeds the initial
+    /// ([`HetmmmError::VocIncreased`]).
+    pub fn run(&self, seed: u64) -> Result<DfaOutcome, HetmmmError> {
+        Self::check(self.run_seed(seed))
+    }
+
+    fn check(out: DfaOutcome) -> Result<DfaOutcome, HetmmmError> {
+        if out.voc_final > out.voc_initial {
+            return Err(HetmmmError::VocIncreased {
+                voc_initial: out.voc_initial,
+                voc_final: out.voc_final,
+            });
+        }
+        if let Some(kind) = out.termination.non_convergence() {
+            return Err(HetmmmError::NonConverged {
+                kind,
+                steps: out.steps,
+                voc_initial: out.voc_initial,
+                voc_final: out.voc_final,
+            });
+        }
+        Ok(out)
+    }
+
     /// Run many independent seeds in parallel (rayon).
     pub fn run_many(&self, seeds: impl IntoIterator<Item = u64>) -> Vec<DfaOutcome> {
         let seeds: Vec<u64> = seeds.into_iter().collect();
         seeds.par_iter().map(|&s| self.run_seed(s)).collect()
+    }
+
+    /// Checked [`DfaRunner::run_many`]: every outcome passes the same
+    /// release-mode checks as [`DfaRunner::run`]; the first failure (in
+    /// seed order) is returned as `Err`.
+    pub fn run_many_checked(
+        &self,
+        seeds: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<DfaOutcome>, HetmmmError> {
+        self.run_many(seeds).into_iter().map(Self::check).collect()
     }
 }
 
@@ -305,12 +382,67 @@ mod tests {
     }
 
     #[test]
+    fn termination_refines_converged() {
+        let runner = DfaRunner::new(DfaConfig::new(24, Ratio::new(2, 1, 1)));
+        let out = runner.run_seed(17);
+        match out.termination {
+            Termination::FixedPoint => assert!(out.converged && !out.cycled),
+            Termination::NeutralCycle => assert!(out.converged && out.cycled),
+            Termination::StepCapExhausted | Termination::ZeroDeltaCapExhausted => {
+                assert!(!out.converged)
+            }
+        }
+        assert_eq!(out.termination.non_convergence().is_some(), !out.converged);
+    }
+
+    #[test]
+    fn checked_run_ok_on_convergent_seed() {
+        let runner = DfaRunner::new(DfaConfig::new(24, Ratio::new(2, 1, 1)));
+        let out = runner.run(17).expect("seed 17 converges");
+        assert!(out.converged);
+        assert!(out.voc_final <= out.voc_initial);
+    }
+
+    #[test]
+    fn checked_run_reports_step_cap_exhaustion() {
+        // A step cap of 1 cannot reach a fixed point from a random start.
+        let mut config = DfaConfig::new(24, Ratio::new(2, 1, 1));
+        config.step_cap = 1;
+        let runner = DfaRunner::new(config);
+        let err = runner.run(17).unwrap_err();
+        match err {
+            HetmmmError::NonConverged { kind, steps, .. } => {
+                assert_eq!(kind, NonConvergence::StepCapExhausted);
+                assert_eq!(steps, 1);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn checked_run_many_propagates_first_failure() {
+        let mut config = DfaConfig::new(16, Ratio::new(2, 1, 1));
+        config.step_cap = 1;
+        let runner = DfaRunner::new(config);
+        assert!(runner.run_many_checked(0..4u64).is_err());
+
+        let runner = DfaRunner::new(DfaConfig::new(16, Ratio::new(2, 1, 1)));
+        let outs = runner
+            .run_many_checked(0..4u64)
+            .expect("all seeds converge");
+        assert_eq!(outs.len(), 4);
+    }
+
+    #[test]
     fn run_converges_and_voc_decreases() {
         let runner = DfaRunner::new(DfaConfig::new(24, Ratio::new(2, 1, 1)));
         let out = runner.run_seed(17);
         assert!(out.converged, "run should reach a fixed point");
         assert!(out.voc_final <= out.voc_initial);
-        assert!(out.steps > 0, "a random start should admit at least one push");
+        assert!(
+            out.steps > 0,
+            "a random start should admit at least one push"
+        );
         out.partition.assert_invariants();
         // Element counts must be preserved through the whole run.
         let areas = Ratio::new(2, 1, 1).areas(24);

@@ -33,5 +33,5 @@ pub mod op;
 pub mod view;
 
 pub use beautify::{beautify, is_condensed};
-pub use dfa::{DfaConfig, DfaOutcome, DfaRunner, PushPlan};
+pub use dfa::{DfaConfig, DfaOutcome, DfaRunner, PushPlan, Termination};
 pub use op::{try_push, try_push_any_type, AppliedPush, Direction, PushType};

@@ -203,7 +203,10 @@ pub fn try_push(
     let cleaned: Vec<usize> = (rect.left..=rect.right)
         .filter(|&v| view.get(k, v) == proc)
         .collect();
-    debug_assert!(!cleaned.is_empty(), "edge line of enclosing rect must contain proc");
+    debug_assert!(
+        !cleaned.is_empty(),
+        "edge line of enclosing rect must contain proc"
+    );
 
     let active_side = ty.active_side();
     let displaced_strict = ty.displaced_strict();
@@ -251,8 +254,7 @@ pub fn try_push(
                     cnt > 0
                 };
                 let cost = usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
-                let cleans =
-                    view.row_count(owner, g) == 1 || view.col_count(owner, h) == 1;
+                let cleans = view.row_count(owner, g) == 1 || view.col_count(owner, h) == 1;
                 let bucket = cost * 2 + usize::from(!cleans);
                 let vec = &mut buckets[slot][bucket];
                 if vec.len() < cap {
@@ -261,8 +263,8 @@ pub fn try_push(
             }
         }
         for slot in 0..2 {
-            for bucket in 0..6 {
-                owner_targets[slot].extend(buckets[slot][bucket].iter().copied());
+            for bucket in &buckets[slot] {
+                owner_targets[slot].extend(bucket.iter().copied());
             }
         }
     }
@@ -394,7 +396,11 @@ pub fn try_push(
         for &(a, b) in journal.iter().rev() {
             view.swap(a, b);
         }
-        debug_assert_eq!(view.voc_units() as i64, voc_before, "rollback must restore VoC");
+        debug_assert_eq!(
+            view.voc_units() as i64,
+            voc_before,
+            "rollback must restore VoC"
+        );
         return None;
     }
 
@@ -472,8 +478,8 @@ mod tests {
             .build();
         part.assert_invariants();
         let voc_before = part.voc();
-        let applied = try_push_any_type(&mut part, Proc::R, Direction::Down)
-            .expect("push should be legal");
+        let applied =
+            try_push_any_type(&mut part, Proc::R, Direction::Down).expect("push should be legal");
         assert_eq!(applied.swaps, 1);
         assert_eq!(applied.ty, PushType::One);
         assert!(applied.delta_voc_units < 0);
@@ -552,12 +558,10 @@ mod tests {
     #[test]
     fn voc_never_increases_for_any_type() {
         // Deterministic scattered grid.
-        let mut part = hetmmm_partition::Partition::from_fn(12, |i, j| {
-            match (i * 7 + j * 5) % 6 {
-                0 | 1 | 2 => Proc::P,
-                3 | 4 => Proc::R,
-                _ => Proc::S,
-            }
+        let mut part = hetmmm_partition::Partition::from_fn(12, |i, j| match (i * 7 + j * 5) % 6 {
+            0..=2 => Proc::P,
+            3 | 4 => Proc::R,
+            _ => Proc::S,
         });
         for _ in 0..50 {
             let before = part.voc();

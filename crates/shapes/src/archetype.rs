@@ -121,10 +121,7 @@ pub fn classify_profiles(part: &Partition, pr: &RegionProfile, ps: &RegionProfil
     // D: one enclosing rectangle inside the other, inner processor
     // rectangular, outer (≥ 8 corners) wrapped around it.
     let d_candidate = |outer: &RegionProfile, inner: &RegionProfile, ro: &Rect, ri: &Rect| {
-        ro.contains_rect(ri)
-            && inner.is_rect_like()
-            && !outer.is_rect_like()
-            && outer.corners >= 8
+        ro.contains_rect(ri) && inner.is_rect_like() && !outer.is_rect_like() && outer.corners >= 8
     };
     if d_candidate(pr, ps, &rr, &rs) || d_candidate(ps, pr, &rs, &rr) {
         return Archetype::D;
@@ -179,10 +176,7 @@ pub fn classify_tolerant(part: &Partition) -> Archetype {
     if exact != Archetype::NonShape {
         return exact;
     }
-    let (Some(rr), Some(rs)) = (
-        part.enclosing_rect(Proc::R),
-        part.enclosing_rect(Proc::S),
-    ) else {
+    let (Some(rr), Some(rs)) = (part.enclosing_rect(Proc::R), part.enclosing_rect(Proc::S)) else {
         return Archetype::NonShape;
     };
     let e_r = part.elems(Proc::R);

@@ -94,7 +94,10 @@ impl CandidateType {
         };
         debug_assert_eq!(part.elems(Proc::R), e_r, "{self:?} R area");
         debug_assert_eq!(part.elems(Proc::S), e_s, "{self:?} S area");
-        Some(Candidate { ty: self, partition: part })
+        Some(Candidate {
+            ty: self,
+            partition: part,
+        })
     }
 }
 
@@ -423,8 +426,8 @@ mod tests {
                 if let Some(c) = ty.construct(40, ratio) {
                     for proc in [Proc::R, Proc::S] {
                         let prof = RegionProfile::new(&c.partition, proc);
-                        let fill = c.partition.elems(proc) as f64
-                            / prof.rect.unwrap().area() as f64;
+                        let fill =
+                            c.partition.elems(proc) as f64 / prof.rect.unwrap().area() as f64;
                         // Strictly one-line ragged, or (for the slack-column
                         // Traditional-Rectangle cases) dense two-line ragged.
                         assert!(
@@ -446,12 +449,7 @@ mod tests {
                 // Strict classification where the discretization allows it,
                 // tolerant for the slack-column Traditional-Rectangle cases.
                 let arch = classify_tolerant(&c.partition);
-                assert_eq!(
-                    arch,
-                    Archetype::A,
-                    "{} at {ratio} classified {arch}",
-                    c.ty
-                );
+                assert_eq!(arch, Archetype::A, "{} at {ratio} classified {arch}", c.ty);
             }
         }
     }
@@ -464,9 +462,8 @@ mod tests {
             let analytic = square_corner_feasible(ratio);
             let grid = CandidateType::SquareCorner.construct(200, ratio).is_some();
             let t = f64::from(ratio.total());
-            let margin = ((f64::from(ratio.r) / t).sqrt() + (f64::from(ratio.s) / t).sqrt()
-                - 1.0)
-                .abs();
+            let margin =
+                ((f64::from(ratio.r) / t).sqrt() + (f64::from(ratio.s) / t).sqrt() - 1.0).abs();
             if margin > 0.05 {
                 assert_eq!(analytic, grid, "ratio {ratio}");
             }
@@ -477,10 +474,14 @@ mod tests {
     fn square_corner_infeasible_when_slow_procs_dominate() {
         // 2:2:1 → √(2/5) + √(1/5) ≈ 1.08 > 1: infeasible.
         assert!(!square_corner_feasible(Ratio::new(2, 2, 1)));
-        assert!(CandidateType::SquareCorner.construct(100, Ratio::new(2, 2, 1)).is_none());
+        assert!(CandidateType::SquareCorner
+            .construct(100, Ratio::new(2, 2, 1))
+            .is_none());
         // 10:1:1 → √(1/12) + √(1/12) ≈ 0.58: feasible.
         assert!(square_corner_feasible(Ratio::new(10, 1, 1)));
-        assert!(CandidateType::SquareCorner.construct(100, Ratio::new(10, 1, 1)).is_some());
+        assert!(CandidateType::SquareCorner
+            .construct(100, Ratio::new(10, 1, 1))
+            .is_some());
     }
 
     #[test]

@@ -21,8 +21,8 @@
 #![warn(missing_docs)]
 
 pub mod archetype;
-pub mod canonical;
 pub mod candidates;
+pub mod canonical;
 pub mod corners;
 pub mod region;
 pub mod transform;

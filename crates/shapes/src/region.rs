@@ -112,7 +112,11 @@ impl RegionProfile {
                 let cols = interval.expect("contiguous profile has no gaps");
                 match bands.last_mut() {
                     Some(b) if b.cols == cols && b.bottom + 1 == i => b.bottom = i,
-                    _ => bands.push(Band { top: i, bottom: i, cols }),
+                    _ => bands.push(Band {
+                        top: i,
+                        bottom: i,
+                        cols,
+                    }),
                 }
             }
             bands

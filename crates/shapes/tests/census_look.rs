@@ -1,8 +1,8 @@
 //! Diagnostic: print coarse NonShape outcomes.
+use hetmmm_partition::Proc;
 use hetmmm_partition::{downsample, Ratio};
 use hetmmm_push::{beautify, DfaConfig, DfaRunner};
 use hetmmm_shapes::{classify_coarse, Archetype, RegionProfile};
-use hetmmm_partition::Proc;
 
 #[test]
 #[ignore = "diagnostic"]

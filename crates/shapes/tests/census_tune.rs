@@ -17,7 +17,9 @@ fn census_quality() {
                 let mut part = out.partition;
                 beautify(&mut part);
                 *exact.entry(format!("{:?}", classify(&part))).or_insert(0) += 1;
-                *coarse.entry(format!("{:?}", classify_coarse(&part, 10))).or_insert(0) += 1;
+                *coarse
+                    .entry(format!("{:?}", classify_coarse(&part, 10)))
+                    .or_insert(0) += 1;
             }
             eprintln!("n={n} ratio={ratio}: exact={exact:?} coarse={coarse:?}");
         }

@@ -57,11 +57,21 @@ pub fn build_messages(part: &Partition, topology: Topology, mode: CommMode) -> V
                     let elems = vol[x.idx()][y.idx()];
                     match topology {
                         Topology::FullyConnected => {
-                            messages.push(Message { from: x, to: y, elems, relay_of: None });
+                            messages.push(Message {
+                                from: x,
+                                to: y,
+                                elems,
+                                relay_of: None,
+                            });
                         }
                         Topology::Star { center } => {
                             if x == center || y == center {
-                                messages.push(Message { from: x, to: y, elems, relay_of: None });
+                                messages.push(Message {
+                                    from: x,
+                                    to: y,
+                                    elems,
+                                    relay_of: None,
+                                });
                             } else {
                                 let first = messages.len();
                                 messages.push(Message {
@@ -141,9 +151,7 @@ mod tests {
         // Square-Corner shape.
         let part = square_corner();
         let msgs = build_messages(&part, Topology::FullyConnected, CommMode::Unicast);
-        assert!(msgs
-            .iter()
-            .all(|m| m.from == Proc::P || m.to == Proc::P));
+        assert!(msgs.iter().all(|m| m.from == Proc::P || m.to == Proc::P));
         assert!(!msgs.is_empty());
     }
 
@@ -160,11 +168,7 @@ mod tests {
             }
         });
         let full = build_messages(&part, Topology::FullyConnected, CommMode::Unicast);
-        let star = build_messages(
-            &part,
-            Topology::Star { center: Proc::P },
-            CommMode::Unicast,
-        );
+        let star = build_messages(&part, Topology::Star { center: Proc::P }, CommMode::Unicast);
         assert!(star.len() > full.len());
         let relayed: Vec<&Message> = star.iter().filter(|m| m.relay_of.is_some()).collect();
         assert_eq!(relayed.len(), 2, "R→S and S→R each relayed once");
@@ -191,7 +195,11 @@ mod tests {
     #[should_panic(expected = "fully connected")]
     fn broadcast_on_star_rejected() {
         let part = square_corner();
-        let _ = build_messages(&part, Topology::Star { center: Proc::P }, CommMode::Broadcast);
+        let _ = build_messages(
+            &part,
+            Topology::Star { center: Proc::P },
+            CommMode::Broadcast,
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ fn schedule_bulk(
                 spans.push(Span {
                     start,
                     end,
-                    phase: Phase::Transfer { from: m.from, to: m.to, elems: m.elems },
+                    phase: Phase::Transfer {
+                        from: m.from,
+                        to: m.to,
+                        elems: m.elems,
+                    },
                 });
             }
         }
@@ -108,7 +112,11 @@ fn schedule_bulk(
                     spans.push(Span {
                         start,
                         end,
-                        phase: Phase::Transfer { from: m.from, to: m.to, elems: m.elems },
+                        phase: Phase::Transfer {
+                            from: m.from,
+                            to: m.to,
+                            elems: m.elems,
+                        },
                     });
                 }
                 done = false;
@@ -144,10 +152,8 @@ pub fn simulate(part: &Partition, config: &SimConfig) -> SimResult {
     let plat = &config.platform;
     match config.algorithm {
         Algorithm::Scb | Algorithm::Pcb | Algorithm::Sco | Algorithm::Pco => {
-            let serial =
-                matches!(config.algorithm, Algorithm::Scb | Algorithm::Sco);
-            let overlapped =
-                matches!(config.algorithm, Algorithm::Sco | Algorithm::Pco);
+            let serial = matches!(config.algorithm, Algorithm::Scb | Algorithm::Sco);
+            let overlapped = matches!(config.algorithm, Algorithm::Sco | Algorithm::Pco);
             let messages = build_messages(part, plat.topology, config.comm_mode);
             let (comm_time, mut spans) =
                 schedule_bulk(&messages, plat, serial, config.record_spans);
@@ -161,11 +167,9 @@ pub fn simulate(part: &Partition, config: &SimConfig) -> SimResult {
             let n = metrics.n as u64;
 
             let (overlap_time, compute_time) = if overlapped {
-                let o = Proc::ALL
-                    .map(|x| plat.compute_time(x, metrics.proc(x).local_updates));
-                let c = Proc::ALL.map(|x| {
-                    plat.compute_time(x, metrics.proc(x).remote_updates(metrics.n))
-                });
+                let o = Proc::ALL.map(|x| plat.compute_time(x, metrics.proc(x).local_updates));
+                let c = Proc::ALL
+                    .map(|x| plat.compute_time(x, metrics.proc(x).remote_updates(metrics.n)));
                 if config.record_spans {
                     for x in Proc::ALL {
                         if o[x.idx()] > 0.0 {
@@ -182,8 +186,7 @@ pub fn simulate(part: &Partition, config: &SimConfig) -> SimResult {
                     c.into_iter().fold(0.0f64, f64::max),
                 )
             } else {
-                let c = Proc::ALL
-                    .map(|x| plat.compute_time(x, n * metrics.proc(x).elems as u64));
+                let c = Proc::ALL.map(|x| plat.compute_time(x, n * metrics.proc(x).elems as u64));
                 (0.0, c.into_iter().fold(0.0f64, f64::max))
             };
 
@@ -335,10 +338,7 @@ mod tests {
     fn pcb_broadcast_sim_matches_eq6_model() {
         let part = strips(12);
         let p = plat();
-        let sim = simulate(
-            &part,
-            &SimConfig::new(p, Algorithm::Pcb).with_broadcast(),
-        );
+        let sim = simulate(&part, &SimConfig::new(p, Algorithm::Pcb).with_broadcast());
         let model = evaluate(Algorithm::Pcb, &part, &p);
         assert!((sim.comm_time - model.comm).abs() < 1e-12);
         assert!((sim.exe_time - model.total).abs() < 1e-12);
@@ -401,10 +401,7 @@ mod tests {
         // start no earlier than R's hop to the hub ends.
         let part = strips(9);
         let p = Platform::new(Ratio::new(1, 1, 1), 1e9, 1e-9).with_star(Proc::P);
-        let sim = simulate(
-            &part,
-            &SimConfig::new(p, Algorithm::Pcb).with_spans(),
-        );
+        let sim = simulate(&part, &SimConfig::new(p, Algorithm::Pcb).with_spans());
         sim.assert_spans_consistent();
         // Find a relayed span: hub sends to a rim processor data that the
         // rim pair exchanged.
@@ -494,9 +491,7 @@ mod utilization_tests {
         }
         // The slowest processor's compute phase dominates the barrier
         // epilogue; the fast processor idles more.
-        assert!(
-            sim.compute_utilization(Proc::S) > sim.compute_utilization(Proc::P)
-        );
+        assert!(sim.compute_utilization(Proc::S) > sim.compute_utilization(Proc::P));
     }
 
     #[test]

@@ -78,8 +78,8 @@ mod tests {
     fn scb_crossover_is_just_above_3_to_1() {
         // Prior work: SC optimal for ratios > 3:1 under the barrier
         // algorithms. At integer granularity the first win is at 4:1.
-        let cross = crossover_ratio(Algorithm::Scb, 120, 20, COMM_HEAVY)
-            .expect("a crossover must exist");
+        let cross =
+            crossover_ratio(Algorithm::Scb, 120, 20, COMM_HEAVY).expect("a crossover must exist");
         assert_eq!(cross, 4, "SCB crossover");
     }
 
@@ -155,15 +155,14 @@ mod tests {
             // PCO shares PCB's Eq. 6 communication term, which penalizes
             // the Square-Corner at low heterogeneity; the all-ratio claim
             // holds for SCO (and for PCO under unicast accounting).
-            for algo in [Algorithm::Sco] {
-                let c = sc_vs_sl(algo, 120, fast, COMM_HEAVY);
-                assert!(
-                    c.sc_total <= c.sl_total * 1.001,
-                    "{algo} at {fast}:1 — SC {} vs SL {}",
-                    c.sc_total,
-                    c.sl_total
-                );
-            }
+            let algo = Algorithm::Sco;
+            let c = sc_vs_sl(algo, 120, fast, COMM_HEAVY);
+            assert!(
+                c.sc_total <= c.sl_total * 1.001,
+                "{algo} at {fast}:1 — SC {} vs SL {}",
+                c.sc_total,
+                c.sl_total
+            );
         }
     }
 

@@ -32,17 +32,10 @@ pub enum TwoProcOutcome {
 
 /// Random two-processor start state: `slow/(fast+slow)` of the elements go
 /// to `S`, uniformly; `R` stays empty.
-pub fn random_two_proc(
-    n: usize,
-    fast: u32,
-    slow: u32,
-    rng: &mut StdRng,
-) -> Partition {
+pub fn random_two_proc(n: usize, fast: u32, slow: u32, rng: &mut StdRng) -> Partition {
     let total = u64::from(fast) + u64::from(slow);
     let quota = ((n * n) as u64 * u64::from(slow) / total) as usize;
-    let mut cells: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (0..n).map(move |j| (i, j)))
-        .collect();
+    let mut cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
     cells.shuffle(rng);
     let mut part = Partition::new(n, Proc::P);
     for &(i, j) in cells.iter().take(quota) {
@@ -61,9 +54,10 @@ pub fn run_two_proc_search(n: usize, fast: u32, slow: u32, seed: u64) -> DfaOutc
     let mut dirs = hetmmm_push::Direction::ALL;
     dirs.shuffle(&mut rng);
     let plan = PushPlan::scripted(&[], &dirs[..count]);
-    let runner = DfaRunner::new(DfaConfig::new(n, hetmmm_partition::Ratio::new(
-        fast.max(slow), slow.min(fast).max(1), 1,
-    )));
+    let runner = DfaRunner::new(DfaConfig::new(
+        n,
+        hetmmm_partition::Ratio::new(fast.max(slow), slow.min(fast).max(1), 1),
+    ));
     let mut out = runner.run_with(part, plan, &mut rng);
     beautify(&mut out.partition);
     out.voc_final = out.partition.voc();

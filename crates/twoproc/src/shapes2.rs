@@ -42,8 +42,7 @@ impl TwoProcShape {
             TwoProcShape::RectangleCorner { num, den } => {
                 assert!(num > 0 && den > 0);
                 let side = (e_s as f64).sqrt();
-                let width = ((side * f64::from(num) / f64::from(den)).ceil() as usize)
-                    .clamp(1, n);
+                let width = ((side * f64::from(num) / f64::from(den)).ceil() as usize).clamp(1, n);
                 fill_corner_block(&mut part, e_s, width);
             }
         }

@@ -112,7 +112,10 @@ fn main() {
         .expect("runs");
     println!("search best VoC            : {}\n", best.voc_final);
 
-    println!("best fixed point (0 = fastest):\n{}", render(&best.partition, 20));
+    println!(
+        "best fixed point (0 = fastest):\n{}",
+        render(&best.partition, 20)
+    );
 
     let stats = outcome_stats(&best.partition);
     for (p, ps) in stats.per_proc.iter().enumerate().skip(1) {

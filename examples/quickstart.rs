@@ -43,7 +43,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let a = Matrix::random(n, &mut rng);
     let b = Matrix::random(n, &mut rng);
-    let (c, stats) = multiply_partitioned(&a, &b, &rec.candidate.partition);
+    let (c, stats) =
+        multiply_partitioned(&a, &b, &rec.candidate.partition).expect("executor failed");
     let err = c.max_abs_diff(&kij_serial(&a, &b));
     println!(
         "\nthreaded kij executor: max |err| = {err:.2e}, {} elements exchanged \

@@ -29,7 +29,9 @@ fn pick_type(name: &str) -> CandidateType {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "square-corner".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "square-corner".into());
     let ty = pick_type(&name);
     let n = 60;
     let ratio = Ratio::new(6, 2, 1);
@@ -53,12 +55,19 @@ fn main() {
         );
     }
     println!("archetype: {}", classify(&part));
-    println!("VoC: {} elements ({:.3} x N^2)\n", part.voc(), part.voc() as f64 / (n * n) as f64);
+    println!(
+        "VoC: {} elements ({:.3} x N^2)\n",
+        part.voc(),
+        part.voc() as f64 / (n * n) as f64
+    );
 
     println!("execution-time models (base 1 Gupdate/s, 8 ns/element):");
     let full = Platform::new(ratio, 1e9, 8e-9);
     let star = full.with_star(Proc::P);
-    println!("{:>6} {:>14} {:>14}", "algo", "fully-conn (s)", "star@P (s)");
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "algo", "fully-conn (s)", "star@P (s)"
+    );
     for algo in Algorithm::ALL {
         let a = evaluate(algo, &part, &full);
         let b = evaluate(algo, &part, &star);

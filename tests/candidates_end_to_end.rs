@@ -85,12 +85,16 @@ fn candidate_voc_ordering_respects_fig13_regions() {
     let n = 200;
     let sc_region = Ratio::new(20, 1, 1);
     let sc = CandidateType::SquareCorner.construct(n, sc_region).unwrap();
-    let br = CandidateType::BlockRectangle.construct(n, sc_region).unwrap();
+    let br = CandidateType::BlockRectangle
+        .construct(n, sc_region)
+        .unwrap();
     assert!(sc.partition.voc() < br.partition.voc());
 
     let br_region = Ratio::new(5, 4, 1);
     if let Some(sc) = CandidateType::SquareCorner.construct(n, br_region) {
-        let br = CandidateType::BlockRectangle.construct(n, br_region).unwrap();
+        let br = CandidateType::BlockRectangle
+            .construct(n, br_region)
+            .unwrap();
         assert!(br.partition.voc() < sc.partition.voc());
     }
 }

@@ -14,7 +14,11 @@ fn platform(ratio: Ratio) -> Platform {
 
 #[test]
 fn sim_equals_model_for_scb_on_all_candidates() {
-    for ratio in [Ratio::new(2, 1, 1), Ratio::new(5, 2, 1), Ratio::new(10, 1, 1)] {
+    for ratio in [
+        Ratio::new(2, 1, 1),
+        Ratio::new(5, 2, 1),
+        Ratio::new(10, 1, 1),
+    ] {
         let plat = platform(ratio);
         for c in all_feasible(48, ratio) {
             let model = evaluate(Algorithm::Scb, &c.partition, &plat);
@@ -36,10 +40,7 @@ fn sim_equals_model_for_pcb_pco_in_broadcast_mode() {
     for c in all_feasible(48, ratio) {
         for algo in [Algorithm::Pcb, Algorithm::Pco] {
             let model = evaluate(algo, &c.partition, &plat);
-            let sim = simulate(
-                &c.partition,
-                &SimConfig::new(plat, algo).with_broadcast(),
-            );
+            let sim = simulate(&c.partition, &SimConfig::new(plat, algo).with_broadcast());
             assert!(
                 (sim.exe_time - model.total).abs() < 1e-9,
                 "{algo} {} : sim {} model {}",

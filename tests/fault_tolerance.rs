@@ -1,0 +1,125 @@
+//! Fault-tolerance integration: for *any* partition, a single worker
+//! crash at *any* pivot step must be absorbed by survivor
+//! re-partitioning — the recovered product matches the serial reference
+//! exactly, and the recovery counters account for every re-assigned cell.
+
+use hetmmm::error::HetmmmError;
+use hetmmm::mmm::{
+    kij_serial, multiply_partitioned, multiply_partitioned_with, ExecConfig, FaultKind, FaultPlan,
+    Matrix,
+};
+use hetmmm::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random partitions, random victim, random crash step: the executor
+    /// must return `Ok` with a correct C, one detected fault, one retry,
+    /// and exactly the dead worker's cells re-assigned.
+    #[test]
+    fn any_single_crash_is_survivable(
+        seed in 0u64..10_000,
+        n in 6usize..24,
+        proc_idx in 0usize..3,
+        step_seed in 0usize..1_000,
+    ) {
+        let ratio = Ratio::new(3, 2, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = random_partition(n, ratio, &mut rng);
+        let a = Matrix::random(n, &mut rng);
+        let b = Matrix::random(n, &mut rng);
+        let dead = Proc::ALL[proc_idx];
+        let step = step_seed % n;
+        let config = ExecConfig::default()
+            .with_fault_plan(FaultPlan::crash(dead, step))
+            .with_recv_timeout(Duration::from_millis(500));
+        let (c, stats) = multiply_partitioned_with(&a, &b, &part, &config)
+            .expect("a single crash must be survivable");
+        prop_assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+        prop_assert_eq!(stats.recovery.faults_detected, 1);
+        prop_assert_eq!(stats.recovery.retries, 1);
+        prop_assert_eq!(stats.recovery.elems_reassigned, part.elems(dead) as u64);
+        // The dead worker contributes nothing to the final attempt; the
+        // survivors between them still perform the full N^3 workload.
+        prop_assert_eq!(stats.per_proc[dead.idx()].updates, 0);
+        prop_assert_eq!(stats.total_updates(), (n * n * n) as u64);
+        // Recovery is deterministic: the final attempt's traffic equals
+        // the analytic VoC of the independently computed degraded
+        // partition.
+        let degraded = degrade_partition(&part, dead);
+        prop_assert_eq!(stats.total_sent(), degraded.partition.voc());
+    }
+}
+
+#[test]
+fn dropped_message_recovers_end_to_end() {
+    let n = 16;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let part = random_partition(n, Ratio::new(4, 2, 1), &mut rng);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let plan = FaultPlan::new().with_fault(Proc::R, FaultKind::DropMessageAt { step: 5 });
+    let config = ExecConfig::default()
+        .with_fault_plan(plan)
+        .with_recv_timeout(Duration::from_millis(200));
+    let (c, stats) =
+        multiply_partitioned_with(&a, &b, &part, &config).expect("lost message is survivable");
+    assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+    assert!(stats.recovery.faults_detected >= 1);
+    assert_eq!(stats.recovery.elems_reassigned, part.elems(Proc::R) as u64);
+}
+
+#[test]
+fn fault_free_run_reports_zero_recovery() {
+    let n = 20;
+    let mut rng = StdRng::seed_from_u64(77);
+    let part = random_partition(n, Ratio::new(5, 2, 1), &mut rng);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let (c, stats) = multiply_partitioned(&a, &b, &part).unwrap();
+    assert!(c.max_abs_diff(&kij_serial(&a, &b)) < 1e-10);
+    assert_eq!(stats.recovery.faults_detected, 0);
+    assert_eq!(stats.recovery.elems_reassigned, 0);
+    assert_eq!(stats.recovery.retries, 0);
+}
+
+#[test]
+fn recovery_stats_roundtrip_through_json() {
+    let n = 12;
+    let mut rng = StdRng::seed_from_u64(88);
+    let part = random_partition(n, Ratio::new(3, 2, 1), &mut rng);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let config = ExecConfig::default()
+        .with_fault_plan(FaultPlan::crash(Proc::S, 3))
+        .with_recv_timeout(Duration::from_millis(300));
+    let (_, stats) = multiply_partitioned_with(&a, &b, &part, &config).unwrap();
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: hetmmm::mmm::ExecStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, stats);
+    assert!(json.contains("elems_reassigned"));
+}
+
+#[test]
+fn total_loss_surfaces_no_survivors() {
+    let n = 10;
+    let mut rng = StdRng::seed_from_u64(99);
+    let part = random_partition(n, Ratio::new(2, 1, 1), &mut rng);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let plan = FaultPlan::new()
+        .with_fault(Proc::R, FaultKind::CrashAt { step: 0 })
+        .with_fault(Proc::S, FaultKind::CrashAt { step: 0 })
+        .with_fault(Proc::P, FaultKind::CrashAt { step: 1 });
+    let config = ExecConfig::default()
+        .with_fault_plan(plan)
+        .with_recv_timeout(Duration::from_millis(200));
+    match multiply_partitioned_with(&a, &b, &part, &config) {
+        Err(HetmmmError::NoSurvivors { .. }) => {}
+        other => panic!("expected NoSurvivors, got {other:?}"),
+    }
+}

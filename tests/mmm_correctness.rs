@@ -17,9 +17,14 @@ fn all_candidates_multiply_correctly() {
     let a = Matrix::random(n, &mut rng);
     let b = Matrix::random(n, &mut rng);
     let reference = kij_serial(&a, &b);
-    for ratio in [Ratio::new(2, 1, 1), Ratio::new(5, 2, 1), Ratio::new(10, 1, 1)] {
+    for ratio in [
+        Ratio::new(2, 1, 1),
+        Ratio::new(5, 2, 1),
+        Ratio::new(10, 1, 1),
+    ] {
         for c in all_feasible(n, ratio) {
-            let (product, stats) = multiply_partitioned(&a, &b, &c.partition);
+            let (product, stats) =
+                multiply_partitioned(&a, &b, &c.partition).expect("executor failed");
             assert!(
                 product.max_abs_diff(&reference) < 1e-9,
                 "{} at {ratio}",
@@ -40,7 +45,8 @@ fn dfa_outcome_partitions_multiply_correctly() {
     let b = Matrix::random(n, &mut rng);
     let reference = kij_serial(&a, &b);
     for out in runner.run_many(0..4u64) {
-        let (product, stats) = multiply_partitioned(&a, &b, &out.partition);
+        let (product, stats) =
+            multiply_partitioned(&a, &b, &out.partition).expect("executor failed");
         assert!(product.max_abs_diff(&reference) < 1e-9);
         assert_eq!(stats.total_sent(), out.partition.voc());
     }
@@ -54,7 +60,7 @@ fn executor_workload_split_follows_areas() {
     let mut rng = StdRng::seed_from_u64(8);
     let a = Matrix::random(n, &mut rng);
     let b = Matrix::random(n, &mut rng);
-    let (_, stats) = multiply_partitioned(&a, &b, &c.partition);
+    let (_, stats) = multiply_partitioned(&a, &b, &c.partition).expect("executor failed");
     for p in Proc::ALL {
         assert_eq!(
             stats.per_proc[p.idx()].updates,
@@ -75,7 +81,7 @@ proptest! {
         let part = random_partition(n, ratio, &mut rng);
         let a = Matrix::random(n, &mut rng);
         let b = Matrix::random(n, &mut rng);
-        let (product, stats) = multiply_partitioned(&a, &b, &part);
+        let (product, stats) = multiply_partitioned(&a, &b, &part).unwrap();
         prop_assert!(product.max_abs_diff(&kij_serial(&a, &b)) < 1e-9);
         prop_assert_eq!(stats.total_sent(), part.voc());
         // Receive totals equal send totals (conservation).
@@ -96,8 +102,8 @@ fn push_improves_executor_traffic() {
     beautify(&mut condensed);
     let a = Matrix::random(n, &mut rng);
     let b = Matrix::random(n, &mut rng);
-    let (_, before) = multiply_partitioned(&a, &b, &scatter);
-    let (_, after) = multiply_partitioned(&a, &b, &condensed);
+    let (_, before) = multiply_partitioned(&a, &b, &scatter).unwrap();
+    let (_, after) = multiply_partitioned(&a, &b, &condensed).unwrap();
     assert!(
         after.total_sent() < before.total_sent(),
         "condensed {} !< scatter {}",

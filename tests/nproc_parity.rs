@@ -45,7 +45,10 @@ fn enclosing_rects_agree() {
     for (proc, id) in [(Proc::P, 0u8), (Proc::R, 1), (Proc::S, 2)] {
         let a = part.enclosing_rect(proc).expect("non-empty");
         let b = npart.enclosing_rect(id).expect("non-empty");
-        assert_eq!((a.top, a.bottom, a.left, a.right), (b.top, b.bottom, b.left, b.right));
+        assert_eq!(
+            (a.top, a.bottom, a.left, a.right),
+            (b.top, b.bottom, b.left, b.right)
+        );
     }
 }
 

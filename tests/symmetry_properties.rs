@@ -62,7 +62,10 @@ fn simulated_comm_is_transpose_invariant() {
     let plat = Platform::new(ratio, 1e9, 8e-9);
     let c = CandidateType::BlockRectangle.construct(36, ratio).unwrap();
     let a = simulate(&c.partition, &SimConfig::new(plat, Algorithm::Scb));
-    let b = simulate(&transpose(&c.partition), &SimConfig::new(plat, Algorithm::Scb));
+    let b = simulate(
+        &transpose(&c.partition),
+        &SimConfig::new(plat, Algorithm::Scb),
+    );
     assert!((a.comm_time - b.comm_time).abs() < 1e-15);
     assert_eq!(a.elems_sent, b.elems_sent);
 }

@@ -15,10 +15,11 @@
 
 use hetmmm::cost::evaluate_pio_blocked;
 use hetmmm::prelude::*;
-use hetmmm_bench::{print_row, Args};
+use hetmmm_bench::{print_row, Args, BinSession};
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("ablation_sweeps", &args);
     let n = args.get("n", 120usize);
     let base_speed = 1e9;
 

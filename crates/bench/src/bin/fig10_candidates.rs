@@ -12,10 +12,11 @@
 use hetmmm::partition::render_ascii;
 use hetmmm::prelude::*;
 use hetmmm::shapes::candidates::{all_feasible, square_corner_feasible};
-use hetmmm_bench::{print_row, Args};
+use hetmmm_bench::{print_row, Args, BinSession};
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("fig10_candidates", &args);
     let n = args.get("n", 60usize);
     let ratio = Ratio::new(
         args.get("p", 5u32),

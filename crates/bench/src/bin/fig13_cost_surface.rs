@@ -12,10 +12,12 @@
 use hetmmm::cost::closed::ShapeCost;
 use hetmmm::cost::scb_comm_norm;
 use hetmmm::prelude::*;
-use hetmmm_bench::results_dir;
+use hetmmm_bench::{results_dir, Args, BinSession};
 use std::fmt::Write as _;
 
 fn main() {
+    let args = Args::parse();
+    let _session = BinSession::start("fig13_cost_surface", &args);
     println!("E3 / Fig. 13 — normalized SCB communication cost surfaces");
     println!("(cells: SC = Square-Corner wins, br = Block-Rectangle wins, ·· = SC infeasible)\n");
 

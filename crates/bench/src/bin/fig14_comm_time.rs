@@ -13,11 +13,12 @@
 //! ```
 
 use hetmmm::prelude::*;
-use hetmmm_bench::{print_row, results_dir, Args};
+use hetmmm_bench::{print_row, results_dir, Args, BinSession};
 use std::fmt::Write as _;
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("fig14_comm_time", &args);
     let n = args.get("n", 5000usize);
 
     // Fig. 14 setup: 1000 MB/s, 8-byte elements.

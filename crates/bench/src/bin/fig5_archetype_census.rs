@@ -12,10 +12,11 @@
 
 use hetmmm::prelude::*;
 use hetmmm::{census, CensusConfig};
-use hetmmm_bench::{print_row, Args};
+use hetmmm_bench::{print_row, Args, BinSession};
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("fig5_archetype_census", &args);
     let n = args.get("n", 100usize);
     let runs = args.get("runs", 200u64);
     let seed0 = args.get("seed0", 0u64);

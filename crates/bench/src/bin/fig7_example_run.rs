@@ -14,12 +14,13 @@
 
 use hetmmm::partition::{render_ascii, render_pgm};
 use hetmmm::prelude::*;
-use hetmmm_bench::{results_dir, Args};
+use hetmmm_bench::{results_dir, Args, BinSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("fig7_example_run", &args);
     let n = args.get("n", 300usize);
     let seed = args.get("seed", 1u64);
     let ratio = Ratio::new(2, 1, 1);

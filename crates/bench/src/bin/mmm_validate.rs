@@ -16,12 +16,13 @@ use hetmmm::mmm::{kij_serial, multiply_partitioned, Matrix};
 use hetmmm::partition::pairwise_volumes;
 use hetmmm::prelude::*;
 use hetmmm::shapes::candidates::all_feasible;
-use hetmmm_bench::{print_row, Args};
+use hetmmm_bench::{print_row, Args, BinSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("mmm_validate", &args);
     let n = args.get("n", 96usize);
     let ratio = Ratio::new(
         args.get("p", 5u32),

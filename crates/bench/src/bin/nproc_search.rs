@@ -13,7 +13,7 @@
 //! cargo run --release -p hetmmm-bench --bin nproc_search -- [--n 60] [--runs 32]
 //! ```
 
-use hetmmm_bench::{print_row, Args};
+use hetmmm_bench::{print_row, Args, BinSession};
 use hetmmm_nproc::stats::outcome_stats;
 use hetmmm_nproc::{NDfaConfig, NDfaRunner};
 
@@ -103,6 +103,7 @@ fn run_config(label: &str, n: usize, weights: Vec<u32>, runs: u64) {
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("nproc_search", &args);
     let n = args.get("n", 60usize);
     let runs = args.get("runs", 32u64);
 

@@ -1,0 +1,130 @@
+//! Schema validator for observability artifacts.
+//!
+//! Reads an event JSONL file (written by a `JsonlSink`) and checks that
+//! every line parses as an `EventRecord` with the current schema version
+//! and that span start/end events pair up. Optionally validates a
+//! manifest JSONL (`results/manifests.jsonl`) the same way. CI runs this
+//! after a small `fig5_archetype_census` run to guard the wire format.
+//!
+//! Usage:
+//!   obs_verify --file results/fig5_events.jsonl [--manifest results/manifests.jsonl]
+
+use hetmmm_bench::Args;
+use hetmmm_obs::{EventKind, EventRecord, RunManifest, MANIFEST_VERSION, SCHEMA_VERSION};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn verify_events(path: &str) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut open_spans: HashMap<u64, String> = HashMap::new();
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let record: EventRecord = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: unparseable record: {e}", lineno + 1))?;
+        if record.v != SCHEMA_VERSION {
+            return Err(format!(
+                "{path}:{}: schema version {} != expected {SCHEMA_VERSION}",
+                lineno + 1,
+                record.v
+            ));
+        }
+        match &record.event {
+            EventKind::SpanStart { span, name, .. } => {
+                if open_spans.insert(*span, name.clone()).is_some() {
+                    return Err(format!(
+                        "{path}:{}: span id {span} opened twice",
+                        lineno + 1
+                    ));
+                }
+                spans += 1;
+            }
+            EventKind::SpanEnd { span, name, .. } => match open_spans.remove(span) {
+                Some(open_name) if &open_name == name => {}
+                Some(open_name) => {
+                    return Err(format!(
+                        "{path}:{}: span id {span} opened as {open_name:?} but closed as {name:?}",
+                        lineno + 1
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "{path}:{}: span id {span} closed but never opened",
+                        lineno + 1
+                    ));
+                }
+            },
+            _ => {}
+        }
+        events += 1;
+    }
+    if !open_spans.is_empty() {
+        let mut names: Vec<&String> = open_spans.values().collect();
+        names.sort();
+        return Err(format!(
+            "{path}: {} unclosed span(s): {names:?}",
+            open_spans.len()
+        ));
+    }
+    if events == 0 {
+        return Err(format!(
+            "{path}: no events — instrumentation produced nothing"
+        ));
+    }
+    Ok((events, spans))
+}
+
+fn verify_manifests(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut count = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let manifest: RunManifest = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: unparseable manifest: {e}", lineno + 1))?;
+        if manifest.v != MANIFEST_VERSION {
+            return Err(format!(
+                "{path}:{}: manifest version {} != expected {MANIFEST_VERSION}",
+                lineno + 1,
+                manifest.v
+            ));
+        }
+        if manifest.bin.is_empty() {
+            return Err(format!("{path}:{}: empty binary name", lineno + 1));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err(format!("{path}: no manifest records"));
+    }
+    Ok(count)
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let Some(file) = args.get_str("file") else {
+        eprintln!("usage: obs_verify --file <events.jsonl> [--manifest <manifests.jsonl>]");
+        return ExitCode::FAILURE;
+    };
+    match verify_events(file) {
+        Ok((events, spans)) => {
+            println!(
+                "{file}: OK — {events} events, {spans} balanced span(s), schema v{SCHEMA_VERSION}"
+            );
+        }
+        Err(err) => {
+            eprintln!("obs_verify: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(manifest) = args.get_str("manifest") {
+        match verify_manifests(manifest) {
+            Ok(count) => {
+                println!("{manifest}: OK — {count} manifest record(s), v{MANIFEST_VERSION}");
+            }
+            Err(err) => {
+                eprintln!("obs_verify: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -13,7 +13,7 @@
 //! ```
 
 use hetmmm::prelude::*;
-use hetmmm_bench::{results_dir, Args};
+use hetmmm_bench::{results_dir, Args, BinSession};
 use std::fmt::Write as _;
 
 fn code(ty: CandidateType) -> &'static str {
@@ -29,6 +29,7 @@ fn code(ty: CandidateType) -> &'static str {
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("table_optimal_shapes", &args);
     let n = args.get("n", 120usize);
     let comm = args.get("comm", 50.0f64);
     let pmax = args.get("pmax", 20u32);

@@ -10,7 +10,7 @@
 //! ```
 
 use hetmmm::prelude::*;
-use hetmmm_bench::{print_row, Args};
+use hetmmm_bench::{print_row, Args, BinSession};
 
 fn constructed_fixtures(n: usize) -> Vec<(&'static str, Partition)> {
     let q = n / 12;
@@ -44,6 +44,7 @@ fn constructed_fixtures(n: usize) -> Vec<(&'static str, Partition)> {
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("thm8_reductions", &args);
     let n = args.get("n", 48usize);
     let runs = args.get("runs", 64u64);
 

@@ -12,10 +12,11 @@
 
 use hetmmm::prelude::*;
 use hetmmm::twoproc::{crossover_ratio, sc_vs_sl};
-use hetmmm_bench::{print_row, Args};
+use hetmmm_bench::{print_row, Args, BinSession};
 
 fn main() {
     let args = Args::parse();
+    let _session = BinSession::start("twoproc_crossover", &args);
     let n = args.get("n", 240usize);
     let max_ratio = args.get("max", 15u32);
     let comm = args.get("comm", 50.0f64);

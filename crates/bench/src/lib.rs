@@ -8,8 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hetmmm_obs as obs;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Tiny `--key value` argument parser (all experiment binaries share the
 /// same conventions; no external CLI dependency needed).
@@ -53,6 +55,17 @@ impl Args {
     pub fn get_str(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
     }
+
+    /// All parsed flags as sorted `(key, value)` pairs (for manifests).
+    pub fn entries(&self) -> Vec<(String, String)> {
+        let mut entries: Vec<(String, String)> = self
+            .flags
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        entries.sort();
+        entries
+    }
 }
 
 /// Directory where experiment binaries drop CSV/PGM artifacts
@@ -66,12 +79,98 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Print a row of fixed-width columns.
+///
+/// Routed through the tracing facade as a `bench.table` message, so the
+/// line lands in every installed sink ([`BinSession::start`] installs a
+/// stdout `FmtSink`, keeping tables visible on the terminal as before) and
+/// in the JSONL artifact when `HETMMM_OBS_JSONL` is set. Falls back to
+/// plain `println!` when no sink is installed.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let mut line = String::new();
     for (cell, width) in cells.iter().zip(widths) {
         line.push_str(&format!("{cell:>width$}  "));
     }
-    println!("{}", line.trim_end());
+    obs::message_or_stdout("bench.table", line.trim_end().to_string());
+}
+
+/// Per-binary observability session: every experiment binary creates one
+/// at startup and holds it for the life of `main`.
+///
+/// On start it installs sinks requested through the environment
+/// (`HETMMM_OBS_JSONL`, `HETMMM_OBS_FMT`), installs a stdout [`obs::FmtSink`]
+/// so routed table output stays visible, and enables metrics recording. On
+/// drop it appends a [`obs::RunManifest`] — binary name, sorted CLI args,
+/// seed, git revision, wall time, events emitted, and the full metrics
+/// snapshot — to `results/manifests.jsonl`, then uninstalls its sinks.
+pub struct BinSession {
+    bin: &'static str,
+    args: Vec<(String, String)>,
+    seed: Option<u64>,
+    started_unix_ms: u64,
+    start_nanos: u64,
+    events_at_start: u64,
+    sink_ids: Vec<obs::SinkId>,
+}
+
+impl BinSession {
+    /// Start a session. Call once at the top of `main`, before any
+    /// instrumented work, and keep the value alive (`let _session = ...`).
+    pub fn start(bin: &'static str, args: &Args) -> BinSession {
+        let mut sink_ids = obs::init_from_env();
+        // Messages-only: bench tables stay readable on the terminal even
+        // when a JSONL sink is also streaming the full event firehose.
+        sink_ids.push(obs::install_sink(Arc::new(
+            obs::FmtSink::stdout().messages_only(),
+        )));
+        obs::metrics().set_enabled(true);
+        obs::metrics().reset();
+        let seed = args
+            .get_str("seed0")
+            .or_else(|| args.get_str("seed"))
+            .and_then(|s| s.parse().ok());
+        let started_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        BinSession {
+            bin,
+            args: args.entries(),
+            seed,
+            started_unix_ms,
+            start_nanos: obs::clock().now_nanos(),
+            events_at_start: obs::events_emitted(),
+            sink_ids,
+        }
+    }
+
+    /// The manifest this session would write if it ended now.
+    pub fn manifest(&self) -> obs::RunManifest {
+        obs::RunManifest {
+            v: obs::MANIFEST_VERSION,
+            bin: self.bin.to_string(),
+            args: self.args.clone(),
+            seed: self.seed,
+            git_rev: obs::git_rev(),
+            started_unix_ms: self.started_unix_ms,
+            wall_nanos: obs::clock().now_nanos().saturating_sub(self.start_nanos),
+            events_emitted: obs::events_emitted().saturating_sub(self.events_at_start),
+            metrics: obs::metrics().snapshot(),
+        }
+    }
+}
+
+impl Drop for BinSession {
+    fn drop(&mut self) {
+        let manifest = self.manifest();
+        let path = results_dir().join("manifests.jsonl");
+        if let Err(err) = obs::append_manifest(&path, &manifest) {
+            eprintln!("hetmmm-bench: cannot write {}: {err}", path.display());
+        }
+        obs::flush_sinks();
+        for id in self.sink_ids.drain(..) {
+            obs::uninstall_sink(id);
+        }
+    }
 }
 
 #[cfg(test)]

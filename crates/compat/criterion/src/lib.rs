@@ -33,12 +33,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
     }
 
     /// Just the parameter (the group name provides the rest).
     pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -145,23 +149,24 @@ impl BenchmarkGroup<'_> {
     where
         F: FnOnce(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: self.sample_size, result_ns: 0.0 };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
         f(&mut bencher);
         report(&self.name, &id.into_id(), bencher.result_ns);
         self
     }
 
     /// Run one benchmark with an auxiliary input.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
     where
         F: FnOnce(&mut Bencher, &I),
     {
-        let mut bencher = Bencher { samples: self.sample_size, result_ns: 0.0 };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
         f(&mut bencher, input);
         report(&self.name, &id.into_id(), bencher.result_ns);
         self
@@ -181,7 +186,12 @@ fn report(group: &str, id: &str, ns: f64) {
     } else {
         (ns, "ns")
     };
-    println!("{group}/{id:<24} time: {value:>10.3} {unit}/iter");
+    // Routed through the tracing facade so a JSONL sink captures bench
+    // results too; prints to stdout as before when no sink is installed.
+    hetmmm_obs::message_or_stdout(
+        "criterion.report",
+        format!("{group}/{id:<24} time: {value:>10.3} {unit}/iter"),
+    );
 }
 
 /// Top-level benchmark context.
@@ -198,7 +208,11 @@ impl Criterion {
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 20, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
     }
 
     /// Run a single ungrouped benchmark.
@@ -206,7 +220,10 @@ impl Criterion {
     where
         F: FnOnce(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: 20, result_ns: 0.0 };
+        let mut bencher = Bencher {
+            samples: 20,
+            result_ns: 0.0,
+        };
         f(&mut bencher);
         report("bench", &id.into_id(), bencher.result_ns);
         self

@@ -26,7 +26,9 @@ pub mod test_runner {
     impl TestRng {
         /// The RNG for one numbered case.
         pub fn for_case(case: u64) -> TestRng {
-            TestRng { inner: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ (case << 1)) }
+            TestRng {
+                inner: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ (case << 1)),
+            }
         }
 
         /// Uniform `u64` in `[0, bound)`.
@@ -280,8 +282,12 @@ mod tests {
         use crate::strategy::Strategy;
         use crate::test_runner::TestRng;
         let s = 0u64..1_000_000;
-        let a: Vec<u64> = (0..10).map(|c| s.generate(&mut TestRng::for_case(c))).collect();
-        let b: Vec<u64> = (0..10).map(|c| s.generate(&mut TestRng::for_case(c))).collect();
+        let a: Vec<u64> = (0..10)
+            .map(|c| s.generate(&mut TestRng::for_case(c)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| s.generate(&mut TestRng::for_case(c)))
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -50,7 +50,10 @@ impl<'a, T: Sync> ParIter<'a, T> {
         F: Fn(&'a T) -> O + Sync,
         O: Send,
     {
-        ParMap { items: self.items, f }
+        ParMap {
+            items: self.items,
+            f,
+        }
     }
 }
 
@@ -136,7 +139,11 @@ mod tests {
             .collect();
         let n = ids.lock().unwrap().len();
         assert!(n >= 1);
-        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) > 1 {
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
             assert!(n > 1, "expected fan-out across threads");
         }
     }

@@ -176,7 +176,9 @@ impl Deserialize for char {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(DeError::new(format!("expected 1-char string, found {other:?}"))),
+            other => Err(DeError::new(format!(
+                "expected 1-char string, found {other:?}"
+            ))),
         }
     }
 }

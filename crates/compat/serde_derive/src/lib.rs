@@ -13,9 +13,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Vec<String> },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<(String, Vec<String>)> },
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Vec<String>)>,
+    },
 }
 
 /// Skip attributes (`#[...]`, covering doc comments) and visibility.
@@ -53,7 +61,9 @@ fn parse_named_fields(group: TokenStream) -> Vec<String> {
     let mut pos = 0;
     while pos < tokens.len() {
         pos = skip_meta(&tokens, pos);
-        let Some(name) = ident_at(&tokens, pos) else { break };
+        let Some(name) = ident_at(&tokens, pos) else {
+            break;
+        };
         fields.push(name);
         pos += 1;
         // Skip `: Type` up to the next top-level comma.
@@ -81,7 +91,9 @@ fn parse_variants(group: TokenStream) -> Result<Vec<(String, Vec<String>)>, Stri
     let mut pos = 0;
     while pos < tokens.len() {
         pos = skip_meta(&tokens, pos);
-        let Some(name) = ident_at(&tokens, pos) else { break };
+        let Some(name) = ident_at(&tokens, pos) else {
+            break;
+        };
         pos += 1;
         let mut fields = Vec::new();
         match tokens.get(pos) {
@@ -123,14 +135,20 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
     match (kind.as_str(), tokens.get(pos)) {
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
-            Ok(Item::Struct { name, fields: parse_named_fields(g.stream()) })
+            Ok(Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            })
         }
         ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
             Ok(Item::UnitStruct { name })
         }
         ("struct", _) => Err(format!("tuple struct `{name}` is not supported")),
         ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
-            Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
         }
         _ => Err(format!("cannot derive for `{kind} {name}`")),
     }
@@ -151,11 +169,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
+                .map(|f| format!("(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"))
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -174,17 +188,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .map(|(v, fields)| {
                     if fields.is_empty() {
-                        format!(
-                            "{name}::{v} => ::serde::Value::Str(String::from({v:?})),"
-                        )
+                        format!("{name}::{v} => ::serde::Value::Str(String::from({v:?})),")
                     } else {
                         let binds = fields.join(", ");
                         let pairs: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "(String::from({f:?}), ::serde::Serialize::to_value({f}))"
-                                )
+                                format!("(String::from({f:?}), ::serde::Serialize::to_value({f}))")
                             })
                             .collect();
                         format!(
@@ -218,9 +228,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(v, {f:?})?)?"
-                    )
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::map_get(v, {f:?})?)?")
                 })
                 .collect();
             format!(

@@ -18,7 +18,10 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 
 /// Parse a JSON string into `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();

@@ -5,8 +5,12 @@ pub use hetmmm_cost::{
 };
 pub use hetmmm_error::{HetmmmError, NonConvergence};
 pub use hetmmm_mmm::{
-    kij_serial, multiply_partitioned, multiply_partitioned_with, ExecConfig, FaultKind, FaultPlan,
-    Matrix, RecoveryStats,
+    kij_serial, multiply_partitioned, multiply_partitioned_with, ExecConfig, ExecStats, FaultKind,
+    FaultPlan, Matrix, ProcExec, RecoveryStats,
+};
+pub use hetmmm_obs::{
+    self as obs, Clock, EventKind, EventRecord, FakeClock, FmtSink, JsonlSink, MetricsSnapshot,
+    MonotonicClock, RunManifest, Sink,
 };
 pub use hetmmm_partition::{
     random_partition, CommMetrics, Partition, PartitionBuilder, Proc, Ratio, Rect,

@@ -34,5 +34,5 @@ pub mod parallel;
 pub use fault::{FaultKind, FaultPlan};
 pub use matrix::{kij_serial, naive_multiply, Matrix};
 pub use parallel::{
-    multiply_partitioned, multiply_partitioned_with, ExecConfig, ExecStats, RecoveryStats,
+    multiply_partitioned, multiply_partitioned_with, ExecConfig, ExecStats, ProcExec, RecoveryStats,
 };

@@ -28,11 +28,13 @@
 use crate::fault::{FaultKind, FaultPlan};
 use crate::matrix::Matrix;
 use hetmmm_error::HetmmmError;
+use hetmmm_obs::{self as obs, Clock};
 use hetmmm_partition::{Partition, Proc};
 use hetmmm_twoproc::degrade_partition;
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Per-worker execution counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -124,6 +126,10 @@ pub struct ExecConfig {
     /// Scripted faults for deterministic testing. `None` (the default)
     /// injects nothing and costs nothing on the hot path.
     pub fault_plan: Option<FaultPlan>,
+    /// Time source for send deadlines and receive-wait measurement. Tests
+    /// inject a [`hetmmm_obs::FakeClock`] for deterministic timings; the
+    /// default is the shared monotonic clock.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ExecConfig {
@@ -133,6 +139,7 @@ impl Default for ExecConfig {
             recv_timeout: Duration::from_secs(1),
             max_retries: 3,
             fault_plan: None,
+            clock: Arc::new(obs::MonotonicClock),
         }
     }
 }
@@ -147,6 +154,12 @@ impl ExecConfig {
     /// Builder-style: set the peer-loss detection timeout.
     pub fn with_recv_timeout(mut self, timeout: Duration) -> ExecConfig {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Builder-style: set the time source.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> ExecConfig {
+        self.clock = clock;
         self
     }
 }
@@ -180,14 +193,17 @@ fn send_with_deadline(
     tx: &SyncSender<StepMessage>,
     mut msg: StepMessage,
     timeout: Duration,
+    clock: &dyn Clock,
 ) -> Result<(), &'static str> {
-    let deadline = Instant::now() + timeout;
+    let deadline = clock
+        .now_nanos()
+        .saturating_add(timeout.as_nanos().min(u64::MAX as u128) as u64);
     loop {
         match tx.try_send(msg) {
             Ok(()) => return Ok(()),
             Err(TrySendError::Disconnected(_)) => return Err("channel disconnected"),
             Err(TrySendError::Full(m)) => {
-                if Instant::now() >= deadline {
+                if clock.now_nanos() >= deadline {
                     return Err("send timed out (peer stalled)");
                 }
                 msg = m;
@@ -218,10 +234,26 @@ struct Worker {
     faults: Vec<FaultKind>,
     /// Peer-loss detection timeout.
     timeout: Duration,
+    /// Time source for send deadlines and receive-wait measurement.
+    clock: Arc<dyn Clock>,
 }
 
 impl Worker {
+    /// Report a lost peer through the facade before returning the verdict.
+    fn peer_lost(&self, peer: Proc, step: usize, detail: &'static str) -> Verdict {
+        if obs::enabled() {
+            obs::emit(obs::EventKind::ExecPeerLost {
+                worker: self.proc.to_string(),
+                peer: peer.to_string(),
+                step: step as u64,
+                detail: detail.to_string(),
+            });
+        }
+        Verdict::PeerLost { peer, step, detail }
+    }
+
     fn run(mut self) -> Verdict {
+        let _span = obs::span_arg("exec.worker", self.proc.idx() as u64);
         let n = self.n;
         let mut stats = ProcExec::default();
         let mut a_col = vec![0.0f64; n];
@@ -261,20 +293,22 @@ impl Worker {
                         .filter(|&(j, _)| self.col_needed[peer.idx()][j as usize])
                         .collect();
                     let payload = (a_part.len() + b_part.len()) as u64;
-                    match send_with_deadline(tx, (k, a_part, b_part), self.timeout) {
+                    match send_with_deadline(tx, (k, a_part, b_part), self.timeout, &*self.clock) {
                         Ok(()) => {
                             stats.elems_sent += payload;
                             if payload > 0 {
                                 stats.messages += 1;
                             }
-                        }
-                        Err(detail) => {
-                            return Verdict::PeerLost {
-                                peer: *peer,
-                                step: k,
-                                detail,
+                            if obs::enabled() && payload > 0 {
+                                obs::emit(obs::EventKind::ExecSend {
+                                    from: self.proc.to_string(),
+                                    to: peer.to_string(),
+                                    step: k as u64,
+                                    elems: payload,
+                                });
                             }
                         }
+                        Err(detail) => return self.peer_lost(*peer, k, detail),
                     }
                 }
             }
@@ -287,16 +321,40 @@ impl Worker {
             }
             // Receive every active peer's fragments.
             for (peer, rx) in &self.inbox {
+                // Measure blocked time only when someone is listening; the
+                // uninstrumented path stays two relaxed loads per receive.
+                let timing = obs::enabled() || obs::metrics_enabled();
+                let wait_start = if timing { self.clock.now_nanos() } else { 0 };
                 match rx.recv_timeout(self.timeout) {
                     Ok((msg_step, a_part, b_part)) => {
                         if msg_step != k {
-                            return Verdict::PeerLost {
-                                peer: *peer,
-                                step: k,
-                                detail: "out-of-step message (lost message upstream)",
-                            };
+                            return self.peer_lost(
+                                *peer,
+                                k,
+                                "out-of-step message (lost message upstream)",
+                            );
                         }
-                        stats.elems_recv += (a_part.len() + b_part.len()) as u64;
+                        let received = (a_part.len() + b_part.len()) as u64;
+                        stats.elems_recv += received;
+                        if timing {
+                            let wait_nanos = self.clock.now_nanos().saturating_sub(wait_start);
+                            if obs::metrics_enabled() {
+                                obs::metrics()
+                                    .histogram("exec.recv_wait_nanos", || {
+                                        obs::Histogram::exponential(1000, 4, 12)
+                                    })
+                                    .observe(wait_nanos);
+                            }
+                            if obs::enabled() {
+                                obs::emit(obs::EventKind::ExecRecv {
+                                    from: peer.to_string(),
+                                    to: self.proc.to_string(),
+                                    step: k as u64,
+                                    elems: received,
+                                    wait_nanos,
+                                });
+                            }
+                        }
                         for (i, v) in a_part {
                             a_col[i as usize] = v;
                         }
@@ -305,18 +363,10 @@ impl Worker {
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {
-                        return Verdict::PeerLost {
-                            peer: *peer,
-                            step: k,
-                            detail: "receive timed out",
-                        }
+                        return self.peer_lost(*peer, k, "receive timed out")
                     }
                     Err(RecvTimeoutError::Disconnected) => {
-                        return Verdict::PeerLost {
-                            peer: *peer,
-                            step: k,
-                            detail: "channel disconnected",
-                        }
+                        return self.peer_lost(*peer, k, "channel disconnected")
                     }
                 }
             }
@@ -337,6 +387,15 @@ impl Worker {
         Verdict::Completed(result, stats)
     }
 }
+
+/// Per-processor metric names, indexed by [`Proc::idx`] (static so call
+/// sites hand the registry `&'static str` keys).
+const UPDATE_COUNTERS: [&str; 3] = ["exec.updates.R", "exec.updates.S", "exec.updates.P"];
+const SENT_COUNTERS: [&str; 3] = [
+    "exec.elems_sent.R",
+    "exec.elems_sent.S",
+    "exec.elems_sent.P",
+];
 
 /// One worker's completed contribution: its processor, C updates, stats.
 type WorkerDone = (Proc, Vec<(u32, u32, f64)>, ProcExec);
@@ -421,6 +480,7 @@ fn run_attempt(
             inbox,
             faults,
             timeout: config.recv_timeout,
+            clock: Arc::clone(&config.clock),
         });
     }
 
@@ -495,6 +555,12 @@ fn run_attempt(
     // processor index on ties.
     let dead_idx = (0..3).rev().max_by_key(|&i| blame[i]).expect("three slots");
     let dead = Proc::ALL[dead_idx];
+    if obs::enabled() {
+        obs::emit(obs::EventKind::ExecBlame {
+            dead: dead.to_string(),
+            weights: blame.iter().map(|&w| w as u64).collect(),
+        });
+    }
     Attempt::Failed {
         dead,
         step: dead_step[dead_idx],
@@ -560,6 +626,7 @@ pub fn multiply_partitioned_with(
     let mut active: Vec<Proc> = Proc::ALL.to_vec();
     let mut current = part.clone();
     let mut recovery = RecoveryStats::default();
+    let _span = obs::span_arg("exec.run", n as u64);
 
     loop {
         match run_attempt(a, b, &current, &active, config) {
@@ -574,6 +641,15 @@ pub fn multiply_partitioned_with(
                     for (i, j, v) in cells {
                         c.set(i as usize, j as usize, v);
                     }
+                }
+                if obs::metrics_enabled() {
+                    let m = obs::metrics();
+                    for p in Proc::ALL {
+                        let pe = &stats.per_proc[p.idx()];
+                        m.counter(UPDATE_COUNTERS[p.idx()]).add(pe.updates);
+                        m.counter(SENT_COUNTERS[p.idx()]).add(pe.elems_sent);
+                    }
+                    m.counter("exec.recoveries").add(recovery.faults_detected);
                 }
                 return Ok((c, stats));
             }
@@ -593,9 +669,10 @@ pub fn multiply_partitioned_with(
                     });
                 }
                 recovery.retries += 1;
+                let reassigned_now;
                 if active.len() == 2 {
                     let degraded = degrade_partition(&current, dead);
-                    recovery.elems_reassigned += degraded.reassigned as u64;
+                    reassigned_now = degraded.reassigned as u64;
                     current = degraded.partition;
                 } else {
                     // Last survivor inherits everything that is not
@@ -606,10 +683,18 @@ pub fn multiply_partitioned_with(
                         .filter(|&p| p != survivor)
                         .flat_map(|p| current.cells_of(p).collect::<Vec<_>>())
                         .collect();
-                    recovery.elems_reassigned += orphans.len() as u64;
+                    reassigned_now = orphans.len() as u64;
                     for (i, j) in orphans {
                         current.set(i, j, survivor);
                     }
+                }
+                recovery.elems_reassigned += reassigned_now;
+                if obs::enabled() {
+                    obs::emit(obs::EventKind::ExecRepartition {
+                        dead: dead.to_string(),
+                        reassigned: reassigned_now,
+                        survivors: active.len() as u64,
+                    });
                 }
             }
         }

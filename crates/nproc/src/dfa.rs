@@ -2,6 +2,7 @@
 
 use crate::grid::NPartition;
 use crate::push::{try_push_n, NDirection};
+use hetmmm_obs as obs;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
@@ -68,6 +69,7 @@ impl NDfaRunner {
     /// One seeded run: random start, random per-processor direction plan,
     /// randomized interleaving, cycle detection.
     pub fn run_seed(&self, seed: u64) -> NDfaOutcome {
+        let _span = obs::span_arg("nproc.run", seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let k = self.config.weights.len();
         let mut part = NPartition::random(self.config.n, &self.config.weights, &mut rng);
@@ -122,6 +124,20 @@ impl NDfaRunner {
 
         let voc_final = part.voc();
         debug_assert!(voc_final <= voc_initial);
+        if obs::enabled() {
+            obs::emit(obs::EventKind::NprocRunEnd {
+                k: k as u64,
+                steps: steps as u64,
+                converged,
+                voc_initial,
+                voc_final,
+            });
+        }
+        if obs::metrics_enabled() {
+            obs::metrics()
+                .histogram("nproc.steps", || obs::Histogram::exponential(1, 2, 16))
+                .observe(steps as u64);
+        }
         NDfaOutcome {
             partition: part,
             steps,

@@ -1,0 +1,243 @@
+//! The typed event vocabulary and its serialized record format.
+//!
+//! Every instrumented layer emits [`EventKind`] values through the facade;
+//! sinks receive them wrapped in an [`EventRecord`] that carries the schema
+//! version and a timestamp from the installed [`crate::Clock`]. The JSONL
+//! wire format is one record per line:
+//!
+//! ```json
+//! {"v":1,"ts_nanos":12345,"event":{"DfaPush":{"step":1,"proc":"R",...}}}
+//! ```
+//!
+//! Processor, direction, and termination fields are carried as short
+//! strings (the `Display` form of the owning crate's enums) rather than as
+//! the enums themselves: the obs crate sits *below* every other workspace
+//! crate and cannot name their types without creating a dependency cycle.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamped on every serialized record. Bump on any breaking change
+/// to [`EventKind`] or [`EventRecord`]; `obs_verify` rejects mismatches.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A structured event from one of the instrumented layers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A span opened (`span` is the unique id; `arg` is a span-specific
+    /// payload such as the DFA seed or the executor pivot step).
+    SpanStart {
+        /// Unique span id (process-wide counter).
+        span: u64,
+        /// Span name, e.g. `dfa.run`.
+        name: String,
+        /// Span-specific argument (0 when unused).
+        arg: u64,
+    },
+    /// The matching span closed.
+    SpanEnd {
+        /// Id from the corresponding [`EventKind::SpanStart`].
+        span: u64,
+        /// Span name (repeated for grep-ability).
+        name: String,
+        /// Duration measured on the installed clock.
+        nanos: u64,
+    },
+    /// Free-form routed text (the facade replacement for stray
+    /// `println!`/`eprintln!` in library code).
+    Message {
+        /// Dotted origin label, e.g. `bench.table`.
+        target: String,
+        /// The preformatted line.
+        text: String,
+    },
+    /// A DFA run started.
+    DfaRunStart {
+        /// Seed of the run (0 for explicit-state runs without one).
+        seed: u64,
+        /// Matrix dimension `N`.
+        n: u64,
+        /// Speed ratio rendered as `P:R:S`.
+        ratio: String,
+        /// Number of `(proc, dir)` entries in the push plan.
+        plan_len: u64,
+    },
+    /// A push was accepted and applied.
+    DfaPush {
+        /// 1-based count of applied pushes so far.
+        step: u64,
+        /// Active processor letter.
+        proc: String,
+        /// Direction arrow.
+        dir: String,
+        /// Push type 1–6.
+        push_type: u8,
+        /// Exact ΔVoC of the operation in element units (≤ 0).
+        delta_voc: i64,
+    },
+    /// A plan entry was attempted and no push type applied.
+    DfaPushRejected {
+        /// Active processor letter.
+        proc: String,
+        /// Direction arrow.
+        dir: String,
+    },
+    /// A DFA run terminated; the fixed-point classification event.
+    DfaRunEnd {
+        /// Pushes applied.
+        steps: u64,
+        /// Termination kind (`FixedPoint`, `NeutralCycle`,
+        /// `StepCapExhausted`, `ZeroDeltaCapExhausted`).
+        termination: String,
+        /// VoC of the start state.
+        voc_initial: u64,
+        /// VoC of the final state.
+        voc_final: u64,
+        /// `(proc, dir)` pairs that would still push under the full plan.
+        residual_pushes: u64,
+        /// Condensed under every direction (Theorem 8.3 test)?
+        condensed: bool,
+    },
+    /// The executor sent a fragment message.
+    ExecSend {
+        /// Sender letter.
+        from: String,
+        /// Receiver letter.
+        to: String,
+        /// Pivot step `k`.
+        step: u64,
+        /// Elements carried.
+        elems: u64,
+    },
+    /// The executor received a fragment message.
+    ExecRecv {
+        /// Sender letter.
+        from: String,
+        /// Receiver letter.
+        to: String,
+        /// Pivot step `k`.
+        step: u64,
+        /// Elements carried.
+        elems: u64,
+        /// Time the receiver blocked waiting for the message.
+        wait_nanos: u64,
+    },
+    /// A worker declared a peer lost (timeout, disconnect, or out-of-step
+    /// message).
+    ExecPeerLost {
+        /// The reporting worker.
+        worker: String,
+        /// The peer it blames.
+        peer: String,
+        /// Pivot step at detection.
+        step: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The supervisor aggregated worker verdicts into a culprit.
+    ExecBlame {
+        /// The processor judged dead.
+        dead: String,
+        /// Evidence weights per processor, indexed by `Proc::idx`.
+        weights: Vec<u64>,
+    },
+    /// Survivor re-partitioning after a failure.
+    ExecRepartition {
+        /// The processor removed.
+        dead: String,
+        /// C elements whose owner changed.
+        reassigned: u64,
+        /// Workers remaining.
+        survivors: u64,
+    },
+    /// One simulator run completed (aggregate timeline).
+    SimRun {
+        /// Algorithm name (SCB/PCB/SCO/PCO/PIO).
+        algorithm: String,
+        /// Simulated communication time (s).
+        comm_time: f64,
+        /// Simulated total execution time (s).
+        exe_time: f64,
+        /// Point-to-point transfers scheduled.
+        messages: u64,
+        /// Elements that crossed the network (hop-weighted).
+        elems_sent: u64,
+    },
+    /// One recorded simulator timeline span (emitted only when span
+    /// recording is on).
+    SimPhase {
+        /// Phase kind: `transfer`, `overlap`, or `compute`.
+        phase: String,
+        /// Sender (or computing processor).
+        from: String,
+        /// Receiver (same as `from` for compute phases).
+        to: String,
+        /// Start time (simulated seconds).
+        start: f64,
+        /// End time (simulated seconds).
+        end: f64,
+        /// Elements carried (0 for compute phases).
+        elems: u64,
+    },
+    /// A k-processor search run terminated.
+    NprocRunEnd {
+        /// Processor count.
+        k: u64,
+        /// Pushes applied.
+        steps: u64,
+        /// Reached a fixed point / neutral cycle?
+        converged: bool,
+        /// VoC of the start state.
+        voc_initial: u64,
+        /// VoC of the final state.
+        voc_final: u64,
+    },
+}
+
+/// What a sink receives: schema version + timestamp + event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Always [`SCHEMA_VERSION`] for records produced by this build.
+    pub v: u32,
+    /// Timestamp from the installed [`crate::Clock`].
+    pub ts_nanos: u64,
+    /// The event payload.
+    pub event: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let record = EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 42,
+            event: EventKind::DfaPush {
+                step: 7,
+                proc: "R".into(),
+                dir: "↓".into(),
+                push_type: 3,
+                delta_voc: -12,
+            },
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        let back: EventRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn unit_like_fields_survive() {
+        let record = EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 0,
+            event: EventKind::ExecBlame {
+                dead: "S".into(),
+                weights: vec![0, 3, 100],
+            },
+        };
+        let back: EventRecord =
+            serde_json::from_str(&serde_json::to_string(&record).unwrap()).unwrap();
+        assert_eq!(back, record);
+    }
+}

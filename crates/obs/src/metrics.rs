@@ -1,0 +1,363 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! All instruments are lock-free atomics; the registry maps `&'static str`
+//! names to shared instrument handles so hot paths can cache the `Arc` and
+//! skip the name lookup entirely. Recording is globally gated by an
+//! `AtomicBool` ([`MetricsRegistry::is_enabled`]) so the uninstrumented
+//! cost is one relaxed load per call site.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// `bounds` are strictly increasing upper bounds; observation `v` lands in
+/// the first bucket with `v <= bound`, or in the implicit overflow bucket
+/// past the last bound (so there are `bounds.len() + 1` buckets).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Build from explicit bounds (must be strictly increasing, non-empty).
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Geometric bounds `start, start*factor, start*factor², …` (`len`
+    /// bounds, saturating at `u64::MAX`).
+    pub fn exponential(start: u64, factor: u64, len: usize) -> Histogram {
+        assert!(start > 0 && factor > 1 && len > 0);
+        let mut bounds = Vec::with_capacity(len);
+        let mut b = start;
+        for _ in 0..len {
+            if bounds.last() == Some(&b) {
+                break; // saturated
+            }
+            bounds.push(b);
+            b = b.saturating_mul(factor);
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| v > b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Immutable copy of the current state, tagged with `name`.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            bounds: self.bounds.clone(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Serialized state of one histogram.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+/// Serialized state of a whole registry, embedded in run manifests.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Name → instrument registry with a global recording gate.
+///
+/// Use [`crate::metrics`] for the process-wide instance. Instruments are
+/// created on first touch and live for the life of the process; `reset`
+/// zeroes values but keeps identities, so cached `Arc` handles stay valid.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry (recording disabled).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Turn recording on or off. Call sites are expected to check
+    /// [`MetricsRegistry::is_enabled`] before doing any per-event work.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording on? One relaxed atomic load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Fetch-or-create a counter.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().expect("metrics poisoned").get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .expect("metrics poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Fetch-or-create a gauge.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().expect("metrics poisoned").get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .expect("metrics poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Fetch-or-create a histogram; `make` supplies the instance (and its
+    /// bucket bounds) on first touch only.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        make: impl FnOnce() -> Histogram,
+    ) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("metrics poisoned").get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .expect("metrics poisoned")
+                .entry(name)
+                .or_insert_with(|| Arc::new(make())),
+        )
+    }
+
+    /// Snapshot every instrument (sorted by name — deterministic).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(name, c)| (name.to_string(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(name, g)| (name.to_string(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(name, h)| h.snapshot(name))
+                .collect(),
+        }
+    }
+
+    /// Zero every instrument, keeping identities (cached handles survive).
+    pub fn reset(&self) {
+        for c in self.counters.read().expect("metrics poisoned").values() {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.read().expect("metrics poisoned").values() {
+            g.value.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.read().expect("metrics poisoned").values() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing_lands_on_boundaries_correctly() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        h.observe(0); // bucket 0 (<= 10)
+        h.observe(10); // bucket 0 (boundary is inclusive)
+        h.observe(11); // bucket 1
+        h.observe(100); // bucket 1
+        h.observe(101); // bucket 2
+        h.observe(1000); // bucket 2
+        h.observe(1001); // overflow bucket
+        h.observe(u64::MAX); // overflow bucket
+        let snap = h.snapshot("t");
+        assert_eq!(snap.counts, vec![2, 2, 2, 2]);
+        assert_eq!(snap.count, 8);
+    }
+
+    #[test]
+    fn exponential_bounds_saturate_instead_of_overflowing() {
+        let h = Histogram::exponential(1, 2, 80);
+        let snap = h.snapshot("t");
+        assert!(snap.bounds.len() < 80, "must stop at u64::MAX");
+        assert!(snap.bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*snap.bounds.last().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn registry_returns_shared_instruments() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("test.shared");
+        let b = reg.counter("test.shared");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("test.shared").get(), 4);
+    }
+
+    #[test]
+    fn reset_keeps_cached_handles_valid() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("test.reset");
+        c.add(9);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(reg.counter("test.reset").get(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zz").inc();
+        reg.counter("aa").add(2);
+        reg.gauge("mid").set(-5);
+        reg.histogram("h", || Histogram::new(vec![1, 2])).observe(2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].0, "aa");
+        assert_eq!(snap.gauges[0].1, -5);
+        let back: MetricsSnapshot =
+            serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(vec![5, 5]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Event sinks: where emitted records go.
+//!
+//! A [`Sink`] is installed into the facade's registry
+//! ([`crate::install_sink`]) and receives every [`EventRecord`] emitted
+//! anywhere in the process. Three implementations cover the workspace's
+//! needs: [`FmtSink`] for humans, [`JsonlSink`] for machines, and
+//! [`CollectSink`] for tests.
+
+use crate::event::{EventKind, EventRecord};
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+/// Receives every emitted event. Implementations must be cheap and must
+/// not emit events themselves (no re-entrancy guard is provided).
+pub trait Sink: Send + Sync {
+    /// Handle one record. Called from whichever thread emitted it.
+    fn on_event(&self, record: &EventRecord);
+
+    /// Flush buffered output (called by [`crate::flush_sinks`] and before
+    /// manifest writes).
+    fn flush(&self) {}
+}
+
+/// Opaque handle returned by [`crate::install_sink`]; pass it to
+/// [`crate::uninstall_sink`] to remove the sink again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SinkId(pub(crate) u64);
+
+/// Human-readable sink: renders each event as one plain-text line.
+///
+/// [`EventKind::Message`] events print their text verbatim (this is how
+/// routed library `println!`s keep their exact output); everything else
+/// prints as a compact `name { fields }` debug line — or is skipped
+/// entirely in [messages-only](FmtSink::messages_only) mode, which bench
+/// binaries use so their tables stay readable while a high-volume event
+/// stream flows to a JSONL sink alongside.
+pub struct FmtSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    messages_only: bool,
+}
+
+impl FmtSink {
+    /// Render to standard output.
+    pub fn stdout() -> FmtSink {
+        FmtSink::to_writer(Box::new(io::stdout()))
+    }
+
+    /// Render to standard error.
+    pub fn stderr() -> FmtSink {
+        FmtSink::to_writer(Box::new(io::stderr()))
+    }
+
+    /// Render to an arbitrary writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> FmtSink {
+        FmtSink {
+            out: Mutex::new(out),
+            messages_only: false,
+        }
+    }
+
+    /// Print only [`EventKind::Message`] text (verbatim); drop all other
+    /// event kinds instead of rendering debug lines.
+    pub fn messages_only(mut self) -> FmtSink {
+        self.messages_only = true;
+        self
+    }
+}
+
+impl Sink for FmtSink {
+    fn on_event(&self, record: &EventRecord) {
+        if self.messages_only && !matches!(record.event, EventKind::Message { .. }) {
+            return;
+        }
+        let mut out = self.out.lock().expect("fmt sink poisoned");
+        // Output errors (e.g. closed pipe) are deliberately swallowed:
+        // observability must never take down the observed program.
+        let _ = match &record.event {
+            EventKind::Message { text, .. } => writeln!(out, "{text}"),
+            EventKind::SpanStart { name, arg, .. } => writeln!(out, "-> {name} [{arg}]"),
+            EventKind::SpanEnd { name, nanos, .. } => writeln!(out, "<- {name} ({nanos} ns)"),
+            other => writeln!(out, "{other:?}"),
+        };
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("fmt sink poisoned").flush();
+    }
+}
+
+/// Machine-readable sink: one schema-versioned JSON record per line.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) a JSONL file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::to_writer(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Write JSONL to an arbitrary writer (tests pass a [`SharedBuf`]).
+    pub fn to_writer(out: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_event(&self, record: &EventRecord) {
+        if let Ok(json) = serde_json::to_string(record) {
+            let mut out = self.out.lock().expect("jsonl sink poisoned");
+            let _ = writeln!(out, "{json}");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Test sink: collects every record in memory.
+#[derive(Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl CollectSink {
+    /// A fresh, empty collector (wrap in `Arc` to install).
+    pub fn new() -> Arc<CollectSink> {
+        Arc::new(CollectSink::default())
+    }
+
+    /// Drain and return everything collected so far.
+    pub fn take(&self) -> Vec<EventRecord> {
+        std::mem::take(&mut *self.events.lock().expect("collect sink poisoned"))
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collect sink poisoned").len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for CollectSink {
+    fn on_event(&self, record: &EventRecord) {
+        self.events
+            .lock()
+            .expect("collect sink poisoned")
+            .push(record.clone());
+    }
+}
+
+/// A cloneable in-memory byte buffer implementing `Write`; lets tests hand
+/// a [`JsonlSink`] a writer they can still read afterwards.
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// A fresh, empty buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// Copy out everything written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().expect("shared buf poisoned").clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("shared buf poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SCHEMA_VERSION;
+
+    fn record(text: &str) -> EventRecord {
+        EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 1,
+            event: EventKind::Message {
+                target: "test".into(),
+                text: text.into(),
+            },
+        }
+    }
+
+    #[test]
+    fn fmt_sink_prints_message_text_verbatim() {
+        let buf = SharedBuf::new();
+        let sink = FmtSink::to_writer(Box::new(buf.clone()));
+        sink.on_event(&record("hello world"));
+        sink.flush();
+        assert_eq!(String::from_utf8(buf.contents()).unwrap(), "hello world\n");
+    }
+
+    #[test]
+    fn jsonl_sink_emits_parseable_lines() {
+        let buf = SharedBuf::new();
+        let sink = JsonlSink::to_writer(Box::new(buf.clone()));
+        sink.on_event(&record("a"));
+        sink.on_event(&record("b"));
+        sink.flush();
+        let text = String::from_utf8(buf.contents()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: EventRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(back.v, SCHEMA_VERSION);
+        }
+    }
+
+    #[test]
+    fn collect_sink_takes_in_order() {
+        let sink = CollectSink::new();
+        sink.on_event(&record("1"));
+        sink.on_event(&record("2"));
+        assert_eq!(sink.len(), 2);
+        let taken = sink.take();
+        assert!(sink.is_empty());
+        match &taken[0].event {
+            EventKind::Message { text, .. } => assert_eq!(text, "1"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

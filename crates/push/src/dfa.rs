@@ -16,6 +16,7 @@
 
 use crate::op::{try_push_any_type, would_push, Direction, PushType};
 use hetmmm_error::{HetmmmError, NonConvergence};
+use hetmmm_obs as obs;
 use hetmmm_partition::{random_partition, Partition, Proc, Ratio};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -206,16 +207,30 @@ impl DfaRunner {
         let mut rng = StdRng::seed_from_u64(seed);
         let part = random_partition(self.config.n, self.config.ratio, &mut rng);
         let plan = PushPlan::random(&mut rng);
-        self.run_with(part, plan, &mut rng)
+        self.run_core(part, plan, &mut rng, Some(seed))
     }
 
     /// Run the DFA from an explicit start state and plan.
-    pub fn run_with<RNG: Rng>(
+    pub fn run_with<RNG: Rng>(&self, part: Partition, plan: PushPlan, rng: &mut RNG) -> DfaOutcome {
+        self.run_core(part, plan, rng, None)
+    }
+
+    fn run_core<RNG: Rng>(
         &self,
         mut part: Partition,
         plan: PushPlan,
         rng: &mut RNG,
+        seed: Option<u64>,
     ) -> DfaOutcome {
+        let _span = obs::span_arg("dfa.run", seed.unwrap_or(0));
+        if obs::enabled() {
+            obs::emit(obs::EventKind::DfaRunStart {
+                seed: seed.unwrap_or(0),
+                n: self.config.n as u64,
+                ratio: self.config.ratio.to_string(),
+                plan_len: plan.entries.len() as u64,
+            });
+        }
         let voc_initial = part.voc();
         let mut steps = 0usize;
         let mut zero_streak = 0usize;
@@ -246,6 +261,20 @@ impl DfaRunner {
                     steps += 1;
                     progressed = true;
                     pushes_by_type[type_index(applied.ty)] += 1;
+                    if obs::enabled() {
+                        obs::emit(obs::EventKind::DfaPush {
+                            step: steps as u64,
+                            proc: proc.to_string(),
+                            dir: dir.to_string(),
+                            push_type: type_index(applied.ty) as u8 + 1,
+                            delta_voc: applied.delta_voc_units,
+                        });
+                    }
+                    if obs::metrics_enabled() {
+                        obs::metrics()
+                            .counter(PUSH_COUNTER_NAMES[type_index(applied.ty)][dir_index(dir)])
+                            .inc();
+                    }
                     if applied.delta_voc_units == 0 {
                         zero_streak += 1;
                     } else {
@@ -273,6 +302,11 @@ impl DfaRunner {
                         break 'outer;
                     }
                     break; // re-randomize the interleaving after each push
+                } else if obs::enabled() {
+                    obs::emit(obs::EventKind::DfaPushRejected {
+                        proc: proc.to_string(),
+                        dir: dir.to_string(),
+                    });
                 }
             }
             if !progressed {
@@ -290,6 +324,23 @@ impl DfaRunner {
 
         let voc_final = part.voc();
         debug_assert!(voc_final <= voc_initial, "DFA must never increase VoC");
+        if obs::enabled() {
+            obs::emit(obs::EventKind::DfaRunEnd {
+                steps: steps as u64,
+                termination: format!("{termination:?}"),
+                voc_initial,
+                voc_final,
+                residual_pushes: residual_pushes.len() as u64,
+                condensed: residual_pushes.is_empty(),
+            });
+        }
+        if obs::metrics_enabled() {
+            obs::metrics()
+                .histogram("dfa.steps_to_convergence", || {
+                    obs::Histogram::exponential(1, 2, 16)
+                })
+                .observe(steps as u64);
+        }
         DfaOutcome {
             partition: part,
             plan,
@@ -346,6 +397,56 @@ impl DfaRunner {
         seeds: impl IntoIterator<Item = u64>,
     ) -> Result<Vec<DfaOutcome>, HetmmmError> {
         self.run_many(seeds).into_iter().map(Self::check).collect()
+    }
+}
+
+/// Metric names for accepted pushes, indexed `[type_index][dir_index]`.
+/// Static so call sites hand the registry `&'static str` keys.
+const PUSH_COUNTER_NAMES: [[&str; 4]; 6] = [
+    [
+        "dfa.push.type1.down",
+        "dfa.push.type1.up",
+        "dfa.push.type1.left",
+        "dfa.push.type1.right",
+    ],
+    [
+        "dfa.push.type2.down",
+        "dfa.push.type2.up",
+        "dfa.push.type2.left",
+        "dfa.push.type2.right",
+    ],
+    [
+        "dfa.push.type3.down",
+        "dfa.push.type3.up",
+        "dfa.push.type3.left",
+        "dfa.push.type3.right",
+    ],
+    [
+        "dfa.push.type4.down",
+        "dfa.push.type4.up",
+        "dfa.push.type4.left",
+        "dfa.push.type4.right",
+    ],
+    [
+        "dfa.push.type5.down",
+        "dfa.push.type5.up",
+        "dfa.push.type5.left",
+        "dfa.push.type5.right",
+    ],
+    [
+        "dfa.push.type6.down",
+        "dfa.push.type6.up",
+        "dfa.push.type6.left",
+        "dfa.push.type6.right",
+    ],
+];
+
+fn dir_index(dir: Direction) -> usize {
+    match dir {
+        Direction::Down => 0,
+        Direction::Up => 1,
+        Direction::Left => 2,
+        Direction::Right => 3,
     }
 }
 

@@ -6,12 +6,19 @@ use hetmmm_push::{beautify, DfaConfig, DfaRunner};
 #[test]
 #[ignore = "diagnostic"]
 fn show_condensed_shapes() {
+    // Diagnostic output goes through the tracing facade; attach a stderr
+    // sink for the duration so it stays visible under `--ignored` runs.
+    let sink = hetmmm_obs::install_sink(std::sync::Arc::new(hetmmm_obs::FmtSink::stderr()));
     let ratio = Ratio::new(2, 1, 1);
     let runner = DfaRunner::new(DfaConfig::new(30, ratio));
     for seed in [0u64, 3, 4, 7] {
         let out = runner.run_seed(seed);
         let mut part = out.partition.clone();
         beautify(&mut part);
-        eprintln!("==== seed {seed} voc={} ====\n{part:?}", part.voc());
+        hetmmm_obs::message(
+            "push.debug_shapes",
+            format!("==== seed {seed} voc={} ====\n{part:?}", part.voc()),
+        );
     }
+    hetmmm_obs::uninstall_sink(sink);
 }

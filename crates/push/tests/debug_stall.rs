@@ -6,21 +6,27 @@ use hetmmm_push::{beautify, is_condensed, try_push, DfaConfig, DfaRunner, Direct
 #[test]
 #[ignore = "diagnostic"]
 fn diagnose_stall() {
+    // Diagnostic output goes through the tracing facade; attach a stderr
+    // sink for the duration so it stays visible under `--ignored` runs.
+    let sink = hetmmm_obs::install_sink(std::sync::Arc::new(hetmmm_obs::FmtSink::stderr()));
     let ratio = Ratio::new(2, 1, 1);
     let runner = DfaRunner::new(DfaConfig::new(30, ratio));
     for seed in 0..12u64 {
         let out = runner.run_seed(seed);
         let mut part = out.partition.clone();
         let b_steps = beautify(&mut part);
-        eprintln!(
-            "seed {seed}: steps={} conv={} voc {} -> {} residual={} plan={:?} beautify_steps={b_steps} condensed_after={}",
-            out.steps,
-            out.converged,
-            out.voc_initial,
-            out.voc_final,
-            out.residual_pushes.len(),
-            out.plan.entries,
-            is_condensed(&part),
+        hetmmm_obs::message(
+            "push.debug_stall",
+            format!(
+                "seed {seed}: steps={} conv={} voc {} -> {} residual={} plan={:?} beautify_steps={b_steps} condensed_after={}",
+                out.steps,
+                out.converged,
+                out.voc_initial,
+                out.voc_final,
+                out.residual_pushes.len(),
+                out.plan.entries,
+                is_condensed(&part),
+            ),
         );
         if !is_condensed(&part) {
             // Which pushes legal? Try each type and report.
@@ -29,13 +35,17 @@ fn diagnose_stall() {
                     for ty in PushType::ALL {
                         let mut scratch = part.clone();
                         if let Some(ap) = try_push(&mut scratch, proc, dir, ty) {
-                            eprintln!("  legal: {proc} {dir} {ty} delta={}", ap.delta_voc_units);
+                            hetmmm_obs::message(
+                                "push.debug_stall",
+                                format!("  legal: {proc} {dir} {ty} delta={}", ap.delta_voc_units),
+                            );
                         }
                     }
                 }
             }
-            eprintln!("{part:?}");
+            hetmmm_obs::message("push.debug_stall", format!("{part:?}"));
             panic!("not condensed after beautify");
         }
     }
+    hetmmm_obs::uninstall_sink(sink);
 }

@@ -7,6 +7,9 @@ use hetmmm_shapes::{classify_coarse, Archetype, RegionProfile};
 #[test]
 #[ignore = "diagnostic"]
 fn show_coarse_nonshapes() {
+    // Diagnostic output goes through the tracing facade; attach a stderr
+    // sink for the duration so it stays visible under `--ignored` runs.
+    let sink = hetmmm_obs::install_sink(std::sync::Arc::new(hetmmm_obs::FmtSink::stderr()));
     let ratio = Ratio::new(2, 1, 1);
     let n = 100;
     let runner = DfaRunner::new(DfaConfig::new(n, ratio));
@@ -20,7 +23,8 @@ fn show_coarse_nonshapes() {
             let coarse = downsample(&part, 10);
             let pr = RegionProfile::new(&coarse, Proc::R);
             let ps = RegionProfile::new(&coarse, Proc::S);
-            eprintln!("seed {seed} voc={}\ncoarse:\n{coarse:?}\nR: kind={:?} corners={} rect={:?}\nS: kind={:?} corners={} rect={:?}", part.voc(), pr.kind, pr.corners, pr.rect, ps.kind, ps.corners, ps.rect);
+            hetmmm_obs::message("shapes.census_look", format!("seed {seed} voc={}\ncoarse:\n{coarse:?}\nR: kind={:?} corners={} rect={:?}\nS: kind={:?} corners={} rect={:?}", part.voc(), pr.kind, pr.corners, pr.rect, ps.kind, ps.corners, ps.rect));
         }
     }
+    hetmmm_obs::uninstall_sink(sink);
 }

@@ -6,6 +6,9 @@ use hetmmm_shapes::{classify, classify_coarse};
 #[test]
 #[ignore = "diagnostic"]
 fn census_quality() {
+    // Diagnostic output goes through the tracing facade; attach a stderr
+    // sink for the duration so it stays visible under `--ignored` runs.
+    let sink = hetmmm_obs::install_sink(std::sync::Arc::new(hetmmm_obs::FmtSink::stderr()));
     for n in [30usize, 60, 100] {
         for &(p, r, s) in &[(2u32, 1, 1), (5, 2, 1), (10, 1, 1), (2, 2, 1)] {
             let ratio = Ratio::new(p, r, s);
@@ -21,7 +24,11 @@ fn census_quality() {
                     .entry(format!("{:?}", classify_coarse(&part, 10)))
                     .or_insert(0) += 1;
             }
-            eprintln!("n={n} ratio={ratio}: exact={exact:?} coarse={coarse:?}");
+            hetmmm_obs::message(
+                "shapes.census_tune",
+                format!("n={n} ratio={ratio}: exact={exact:?} coarse={coarse:?}"),
+            );
         }
     }
+    hetmmm_obs::uninstall_sink(sink);
 }

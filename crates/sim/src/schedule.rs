@@ -13,6 +13,7 @@
 use crate::message::{build_messages, CommMode, Message};
 use crate::timeline::{Phase, SimResult, Span};
 use hetmmm_cost::{Algorithm, Platform};
+use hetmmm_obs as obs;
 use hetmmm_partition::{CommMetrics, Partition, Proc};
 use serde::{Deserialize, Serialize};
 
@@ -149,6 +150,40 @@ fn schedule_bulk(
 /// assert!(result.exe_time > result.comm_time);
 /// ```
 pub fn simulate(part: &Partition, config: &SimConfig) -> SimResult {
+    let _span = obs::span_arg("sim.run", part.n() as u64);
+    let result = simulate_inner(part, config);
+    if obs::enabled() {
+        obs::emit(obs::EventKind::SimRun {
+            algorithm: config.algorithm.to_string(),
+            comm_time: result.comm_time,
+            exe_time: result.exe_time,
+            messages: result.messages as u64,
+            elems_sent: result.elems_sent,
+        });
+        for span in &result.spans {
+            let (phase, from, to, elems) = match span.phase {
+                Phase::Transfer { from, to, elems } => {
+                    ("transfer", from.to_string(), to.to_string(), elems)
+                }
+                Phase::OverlapCompute { proc } => {
+                    ("overlap", proc.to_string(), proc.to_string(), 0)
+                }
+                Phase::Compute { proc } => ("compute", proc.to_string(), proc.to_string(), 0),
+            };
+            obs::emit(obs::EventKind::SimPhase {
+                phase: phase.to_string(),
+                from,
+                to,
+                start: span.start,
+                end: span.end,
+                elems,
+            });
+        }
+    }
+    result
+}
+
+fn simulate_inner(part: &Partition, config: &SimConfig) -> SimResult {
     let plat = &config.platform;
     match config.algorithm {
         Algorithm::Scb | Algorithm::Pcb | Algorithm::Sco | Algorithm::Pco => {

@@ -1,0 +1,98 @@
+//! **Observability analyzer** — render reports over event JSONL streams
+//! and `results/manifests.jsonl`.
+//!
+//! Produces the push acceptance funnel (type × direction), convergence /
+//! recv-wait summaries with p50/p95/p99, per-processor volume breakdowns,
+//! and the span-tree profile with optional folded-stack (flamegraph)
+//! output. All output is deterministic for a fixed input stream: a seeded
+//! run captured under `FakeClock` reports byte-identically every time.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin obs_report -- \
+//!     --events results/fig5_events.jsonl [--manifests results/manifests.jsonl] \
+//!     [--folded results/profile.folded] [--fold-weight nanos|calls] \
+//!     [--csv-dir results/report]
+//! ```
+//!
+//! Deliberately does **not** open a `BinSession`: the analyzer reads
+//! `manifests.jsonl` and must never grow the file it is reporting on.
+
+use hetmmm_bench::Args;
+use hetmmm_report::{full_report, Analysis, EventLog, FoldWeight, ManifestLog, SpanProfile};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let events_path = args.get_str("events");
+    let manifests_path = args.get_str("manifests");
+    if events_path.is_none() && manifests_path.is_none() {
+        eprintln!(
+            "usage: obs_report --events <events.jsonl> [--manifests <manifests.jsonl>] \
+             [--folded <out>] [--fold-weight nanos|calls] [--csv-dir <dir>]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let events = match events_path {
+        Some(path) => match EventLog::read_path(path) {
+            Ok(log) => Some(log),
+            Err(err) => {
+                eprintln!("obs_report: {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let manifests = match manifests_path {
+        Some(path) => match ManifestLog::read_path(path) {
+            Ok(log) => Some(log),
+            Err(err) => {
+                eprintln!("obs_report: {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let empty_events = EventLog::default();
+    let event_log = events.as_ref().unwrap_or(&empty_events);
+    print!("{}", full_report(event_log, manifests.as_ref()));
+
+    let fold_weight = match args.get_str("fold-weight").unwrap_or("nanos") {
+        "calls" => FoldWeight::Calls,
+        _ => FoldWeight::SelfNanos,
+    };
+    let profile = SpanProfile::from_events(&event_log.records);
+    if let Some(path) = args.get_str("folded") {
+        if let Err(err) = std::fs::write(path, profile.folded(fold_weight)) {
+            eprintln!("obs_report: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("folded stacks -> {path}");
+    }
+
+    if let Some(dir) = args.get_str("csv-dir") {
+        let dir = std::path::Path::new(dir);
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("obs_report: cannot create {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let mut files: Vec<(String, String)> = Analysis::from_events(event_log).csv_sections();
+        files.push(("profile".to_string(), profile.csv()));
+        if let Some(log) = manifests.as_ref() {
+            files.push((
+                "manifest_summary".to_string(),
+                hetmmm_report::ManifestSummary::from_manifests(log).csv(),
+            ));
+        }
+        for (name, content) in files {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(err) = std::fs::write(&path, content) {
+                eprintln!("obs_report: cannot write {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("csv -> {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

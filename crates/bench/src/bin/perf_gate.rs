@@ -1,0 +1,210 @@
+//! **Perf gate** — seeded workload suite with a committed baseline.
+//!
+//! Runs three fixed workloads (a fig5 census slice, a threaded executor
+//! multiply, the serial kij kernel), records median-of-k wall times plus
+//! seeded-deterministic counters into `BENCH_current.json`, and compares
+//! against the committed `BENCH_baseline.json`:
+//!
+//! - wall times gate on a *ratio* (`--threshold`, default 1.8) — generous
+//!   because CI machines are noisy and heterogeneous;
+//! - counters (push totals, executor update/element counts) are pure
+//!   functions of the seed and gate on **exact equality**, catching quiet
+//!   behavioral drift even when it is fast.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin perf_gate -- \
+//!     [--baseline BENCH_baseline.json] [--current BENCH_current.json] \
+//!     [--k 5] [--threshold 1.8] [--write-baseline] [--quick] \
+//!     [--slowdown-nanos 0]
+//! ```
+//!
+//! `--write-baseline` records the suite as the new baseline (see DESIGN.md
+//! §9 for the update procedure). `--quick` shrinks every workload for the
+//! CLI self-test; `--slowdown-nanos` injects a synthetic sleep into each
+//! timed repetition so tests can demonstrate the gate failing.
+//!
+//! Deliberately does **not** open a `BinSession`: the gate measures the
+//! uninstrumented fast path (no sinks installed → spans are inert), and
+//! must not append to `results/manifests.jsonl`.
+
+use hetmmm::mmm::{kij_serial, multiply_partitioned, Matrix};
+use hetmmm::prelude::*;
+use hetmmm::{census, CensusConfig};
+use hetmmm_bench::Args;
+use hetmmm_obs as obs;
+use hetmmm_report::{compare, median, BenchEntry, BenchSuite, BENCH_VERSION};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    /// Counter-name prefixes that are deterministic for this workload.
+    counter_prefixes: &'static [&'static str],
+    run: Box<dyn Fn()>,
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    let (census_n, census_runs) = if quick { (16, 4) } else { (48, 60) };
+    let exec_n = if quick { 16 } else { 64 };
+    let kernel_n = if quick { 24 } else { 256 };
+    vec![
+        Workload {
+            name: "fig5_census_slice",
+            counter_prefixes: &["dfa.push."],
+            run: Box::new(move || {
+                let report = census(
+                    &CensusConfig::new(census_n, Ratio::new(2, 1, 1))
+                        .with_runs(census_runs)
+                        .with_seed0(1),
+                );
+                assert_eq!(report.unconverged, 0, "census must converge");
+            }),
+        },
+        Workload {
+            name: "exec_threaded_multiply",
+            counter_prefixes: &["exec.updates.", "exec.elems_sent.", "exec.recoveries"],
+            run: Box::new(move || {
+                let mut rng = StdRng::seed_from_u64(7);
+                let part = random_partition(exec_n, Ratio::new(2, 1, 1), &mut rng);
+                let a = Matrix::random(exec_n, &mut rng);
+                let b = Matrix::random(exec_n, &mut rng);
+                let (_, stats) = multiply_partitioned(&a, &b, &part).expect("multiply");
+                assert_eq!(stats.recovery.faults_detected, 0);
+            }),
+        },
+        Workload {
+            name: "mmm_kernel_serial",
+            counter_prefixes: &[],
+            run: Box::new(move || {
+                let mut rng = StdRng::seed_from_u64(11);
+                let a = Matrix::random(kernel_n, &mut rng);
+                let b = Matrix::random(kernel_n, &mut rng);
+                let c = kij_serial(&a, &b);
+                assert!(c.get(0, 0).is_finite());
+            }),
+        },
+    ]
+}
+
+fn measure(workload: &Workload, k: u64, slowdown_nanos: u64) -> BenchEntry {
+    // Counter pass (untimed): metrics on, capture the deterministic
+    // subset. Histograms and timing-dependent metrics (recv waits) are
+    // excluded by the prefix filter.
+    obs::metrics().set_enabled(true);
+    obs::metrics().reset();
+    (workload.run)();
+    let snapshot = obs::metrics().snapshot();
+    obs::metrics().set_enabled(false);
+    let counters: Vec<(String, u64)> = snapshot
+        .counters
+        .into_iter()
+        .filter(|(name, _)| {
+            workload
+                .counter_prefixes
+                .iter()
+                .any(|prefix| name.starts_with(prefix))
+        })
+        .collect();
+
+    // Timed passes: metrics off, spans inert (no sinks) — the gate
+    // measures the uninstrumented fast path.
+    let mut wall_nanos = Vec::with_capacity(k as usize);
+    for _ in 0..k {
+        let start = Instant::now();
+        (workload.run)();
+        if slowdown_nanos > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(slowdown_nanos));
+        }
+        wall_nanos.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    BenchEntry {
+        name: workload.name.to_string(),
+        median_wall_nanos: median(&wall_nanos),
+        wall_nanos,
+        counters,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let baseline_path = args.get_str("baseline").unwrap_or("BENCH_baseline.json");
+    let current_path = args.get_str("current").unwrap_or("BENCH_current.json");
+    let k = args.get("k", 5u64).max(1);
+    let threshold = args.get("threshold", 1.8f64);
+    let write_baseline = args.get_str("write-baseline").is_some();
+    let quick = args.get_str("quick").is_some();
+    let slowdown_nanos = args.get("slowdown-nanos", 0u64);
+
+    let suite = BenchSuite {
+        v: BENCH_VERSION,
+        git_rev: obs::git_rev(),
+        k,
+        entries: workloads(quick)
+            .iter()
+            .map(|w| {
+                let entry = measure(w, k, slowdown_nanos);
+                println!(
+                    "{:<24} median {:>12} ns  ({} counters)",
+                    entry.name,
+                    entry.median_wall_nanos,
+                    entry.counters.len()
+                );
+                entry
+            })
+            .collect(),
+    };
+
+    let json = serde_json::to_string(&suite).expect("serialize suite");
+    if write_baseline {
+        if let Err(err) = std::fs::write(baseline_path, &json) {
+            eprintln!("perf_gate: cannot write {baseline_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("baseline -> {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+    if let Err(err) = std::fs::write(current_path, &json) {
+        eprintln!("perf_gate: cannot write {current_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("current -> {current_path}");
+
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            println!(
+                "perf_gate: no baseline at {baseline_path} — nothing to gate against \
+                 (run with --write-baseline to record one)"
+            );
+            return ExitCode::SUCCESS;
+        }
+        Err(err) => {
+            eprintln!("perf_gate: cannot read {baseline_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: BenchSuite = match serde_json::from_str(&baseline_text) {
+        Ok(suite) => suite,
+        Err(err) => {
+            eprintln!("perf_gate: {baseline_path}: unparseable baseline: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let issues = compare(&baseline, &suite, threshold);
+    if issues.is_empty() {
+        println!(
+            "perf gate PASS against {baseline_path} (rev {}, threshold {threshold:.2}x)",
+            baseline.git_rev
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate FAIL against {baseline_path}:");
+        for issue in &issues {
+            eprintln!("  {issue}");
+        }
+        ExitCode::FAILURE
+    }
+}

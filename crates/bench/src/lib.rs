@@ -163,7 +163,10 @@ impl Drop for BinSession {
     fn drop(&mut self) {
         let manifest = self.manifest();
         let path = results_dir().join("manifests.jsonl");
-        if let Err(err) = obs::append_manifest(&path, &manifest) {
+        // Cap the file at its newest HETMMM_OBS_MANIFEST_CAP records
+        // (default 1024, 0 = unlimited) so repeated bench runs cannot grow
+        // it without bound.
+        if let Err(err) = obs::append_manifest_capped(&path, &manifest, obs::manifest_cap()) {
             eprintln!("hetmmm-bench: cannot write {}: {err}", path.display());
         }
         obs::flush_sinks();

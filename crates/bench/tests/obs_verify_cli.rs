@@ -1,0 +1,62 @@
+//! CLI test for `obs_verify`: a missing/empty manifest log is a fresh
+//! checkout, not a CI failure.
+
+use std::process::Command;
+
+#[test]
+fn missing_manifest_file_exits_zero_with_message() {
+    let dir = std::env::temp_dir().join(format!("hetmmm_obs_verify_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let events = dir.join("events.jsonl");
+    // One valid schema-current record so the events check passes.
+    let record = hetmmm_obs::EventRecord {
+        v: hetmmm_obs::SCHEMA_VERSION,
+        ts_nanos: 1,
+        event: hetmmm_obs::EventKind::Message {
+            target: "t".into(),
+            text: "x".into(),
+        },
+    };
+    std::fs::write(
+        &events,
+        format!("{}\n", serde_json::to_string(&record).unwrap()),
+    )
+    .unwrap();
+    let missing = dir.join("no_such_manifests.jsonl");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_verify"))
+        .args([
+            "--file",
+            events.to_str().unwrap(),
+            "--manifest",
+            missing.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn obs_verify");
+    assert!(
+        out.status.success(),
+        "missing manifests must not fail CI: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no manifests found"),
+        "clear message expected: {stdout}"
+    );
+
+    // An empty (zero-record) file behaves the same.
+    std::fs::write(&missing, "").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_verify"))
+        .args([
+            "--file",
+            events.to_str().unwrap(),
+            "--manifest",
+            missing.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn obs_verify");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no manifests found"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,116 @@
+//! End-to-end CLI tests for the `perf_gate` binary: baseline recording,
+//! a passing gate, and a demonstrable failure under synthetic slowdown.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hetmmm_perf_gate_{}_{name}", std::process::id()))
+}
+
+fn gate(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_perf_gate"))
+        .args(args)
+        .output()
+        .expect("spawn perf_gate")
+}
+
+#[test]
+fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
+    let baseline = tmp("baseline.json");
+    let current = tmp("current.json");
+    let baseline_s = baseline.to_str().unwrap();
+    let current_s = current.to_str().unwrap();
+    let _ = std::fs::remove_file(&baseline);
+    let _ = std::fs::remove_file(&current);
+
+    // Record a baseline.
+    let out = gate(&[
+        "--quick",
+        "--k",
+        "2",
+        "--baseline",
+        baseline_s,
+        "--current",
+        current_s,
+        "--write-baseline",
+    ]);
+    assert!(
+        out.status.success(),
+        "write-baseline failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(baseline.exists(), "baseline file written");
+
+    // Same seeded workloads against that baseline: counters match exactly,
+    // wall times are within threshold → exit 0 and BENCH_current written.
+    let out = gate(&[
+        "--quick",
+        "--k",
+        "2",
+        "--baseline",
+        baseline_s,
+        "--current",
+        current_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "gate should pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(current.exists(), "BENCH_current written");
+    let current_text = std::fs::read_to_string(&current).unwrap();
+    let suite: hetmmm_report::BenchSuite = serde_json::from_str(&current_text).unwrap();
+    assert_eq!(suite.v, hetmmm_report::BENCH_VERSION);
+    assert_eq!(suite.entries.len(), 3);
+    assert!(
+        suite.entry("fig5_census_slice").unwrap().counters.len() > 0,
+        "census slice records deterministic push counters"
+    );
+
+    // Inject a 100ms synthetic slowdown per repetition: every workload
+    // blows the 1.8x ratio → non-zero exit naming the regressions.
+    let out = gate(&[
+        "--quick",
+        "--k",
+        "2",
+        "--baseline",
+        baseline_s,
+        "--current",
+        current_s,
+        "--slowdown-nanos",
+        "100000000",
+    ]);
+    assert!(
+        !out.status.success(),
+        "gate must fail under synthetic slowdown"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("wall regression"),
+        "failure names the regression: {stderr}"
+    );
+
+    let _ = std::fs::remove_file(&baseline);
+    let _ = std::fs::remove_file(&current);
+}
+
+#[test]
+fn gate_without_baseline_exits_zero_with_note() {
+    let baseline = tmp("missing_baseline.json");
+    let current = tmp("nobase_current.json");
+    let _ = std::fs::remove_file(&baseline);
+    let out = gate(&[
+        "--quick",
+        "--k",
+        "1",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        current.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "no baseline is not a failure");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no baseline"), "explains itself: {stdout}");
+    let _ = std::fs::remove_file(&current);
+}

@@ -99,6 +99,7 @@ impl CensusReport {
 /// (Theorem 8.3), fixed points classified at the paper's viewing
 /// granularity. Runs fan out over rayon.
 pub fn census(config: &CensusConfig) -> CensusReport {
+    let _span = hetmmm_obs::span_arg("census.run", config.runs);
     let runner = DfaRunner::new(DfaConfig::new(config.n, config.ratio));
     let outcomes = runner.run_many(config.seed0..config.seed0 + config.runs);
 

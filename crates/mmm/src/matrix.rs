@@ -86,6 +86,7 @@ impl Matrix {
 /// The kij algorithm exactly as Section II describes it: for each pivot
 /// `k`, update every element of C.
 pub fn kij_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    let _span = hetmmm_obs::fine_span_arg("mmm.kernel", a.n() as u64);
     assert_eq!(a.n(), b.n());
     let n = a.n();
     let mut c = Matrix::zeros(n);

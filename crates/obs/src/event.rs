@@ -18,7 +18,11 @@ use serde::{Deserialize, Serialize};
 
 /// Version stamped on every serialized record. Bump on any breaking change
 /// to [`EventKind`] or [`EventRecord`]; `obs_verify` rejects mismatches.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: span events carry the emitting thread's ordinal (`tid`), required by
+/// the `hetmmm-report` profiler to reconstruct per-thread call trees from
+/// an interleaved multi-thread stream.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A structured event from one of the instrumented layers.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -32,6 +36,9 @@ pub enum EventKind {
         name: String,
         /// Span-specific argument (0 when unused).
         arg: u64,
+        /// Ordinal of the opening thread ([`crate::thread_ordinal`]) —
+        /// span nesting is only meaningful within one thread's sub-stream.
+        tid: u64,
     },
     /// The matching span closed.
     SpanEnd {
@@ -41,6 +48,9 @@ pub enum EventKind {
         name: String,
         /// Duration measured on the installed clock.
         nanos: u64,
+        /// Thread ordinal recorded at span *open* time, so start/end pairs
+        /// always agree even if a guard is dropped elsewhere.
+        tid: u64,
     },
     /// Free-form routed text (the facade replacement for stray
     /// `println!`/`eprintln!` in library code).

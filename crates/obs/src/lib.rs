@@ -48,7 +48,10 @@ pub mod sink;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
 pub use event::{EventKind, EventRecord, SCHEMA_VERSION};
-pub use manifest::{append_manifest, git_rev, RunManifest, MANIFEST_VERSION};
+pub use manifest::{
+    append_manifest, append_manifest_capped, git_rev, manifest_cap, RunManifest,
+    DEFAULT_MANIFEST_CAP, MANIFEST_VERSION,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use sink::{CollectSink, FmtSink, JsonlSink, SharedBuf, Sink, SinkId};
 
@@ -62,6 +65,21 @@ static EVENTS_EMITTED: AtomicU64 = AtomicU64::new(0);
 /// Span and sink id allocators.
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+/// Thread ordinal allocator (see [`thread_ordinal`]).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small, stable ordinal for the calling thread, assigned on first use.
+///
+/// Stamped into span events so the profiler can reconstruct per-thread
+/// call trees from an interleaved stream. Ordinals are process-local and
+/// reflect first-touch order, not spawn order — treat them as opaque keys.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
 
 type SinkRegistry = RwLock<Vec<(SinkId, Arc<dyn Sink>)>>;
 
@@ -93,6 +111,40 @@ pub fn metrics_enabled() -> bool {
 #[inline]
 pub fn enabled() -> bool {
     SINK_COUNT.load(Ordering::Relaxed) > 0
+}
+
+/// Fine-grained span gate. `0` = unset (read the environment on first
+/// check), `1` = off, `2` = on.
+static FINE_SPANS: AtomicUsize = AtomicUsize::new(0);
+
+/// Turn the fine-grained span tier on or off (overrides the environment).
+pub fn set_fine_spans(on: bool) {
+    FINE_SPANS.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Is the fine-grained span tier on *and* a sink installed?
+///
+/// The hottest call sites (per-push occupancy scans, per-attempt cleaning,
+/// per-call kernel loops) sit behind this second gate so that a default
+/// event stream stays at per-run granularity; set `HETMMM_OBS_FINE_SPANS=1`
+/// (or call [`set_fine_spans`]) to capture full profiles.
+#[inline]
+pub fn fine_spans_enabled() -> bool {
+    if !enabled() {
+        return false;
+    }
+    match FINE_SPANS.load(Ordering::Relaxed) {
+        0 => {
+            let on = matches!(
+                std::env::var("HETMMM_OBS_FINE_SPANS").as_deref(),
+                Ok("1") | Ok("true") | Ok("on")
+            );
+            FINE_SPANS.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        2 => true,
+        _ => false,
+    }
 }
 
 /// The installed clock (shared handle).
@@ -225,6 +277,7 @@ pub struct SpanGuard {
     id: u64,
     name: &'static str,
     start_nanos: u64,
+    tid: u64,
     active: bool,
 }
 
@@ -247,6 +300,7 @@ impl Drop for SpanGuard {
                 span: self.id,
                 name: self.name.to_string(),
                 nanos,
+                tid: self.tid,
             });
         }
     }
@@ -264,21 +318,47 @@ pub fn span_arg(name: &'static str, arg: u64) -> SpanGuard {
             id: 0,
             name,
             start_nanos: 0,
+            tid: 0,
             active: false,
         };
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let start_nanos = clock().now_nanos();
+    let tid = thread_ordinal();
     emit(EventKind::SpanStart {
         span: id,
         name: name.to_string(),
         arg,
+        tid,
     });
     SpanGuard {
         id,
         name,
         start_nanos,
+        tid,
         active: true,
+    }
+}
+
+/// Open a fine-tier span with no payload: inert unless
+/// [`fine_spans_enabled`] — use on call sites hot enough that even their
+/// event volume (not cost) would swamp a default stream.
+pub fn fine_span(name: &'static str) -> SpanGuard {
+    fine_span_arg(name, 0)
+}
+
+/// Open a fine-tier span carrying a `u64` payload.
+pub fn fine_span_arg(name: &'static str, arg: u64) -> SpanGuard {
+    if fine_spans_enabled() {
+        span_arg(name, arg)
+    } else {
+        SpanGuard {
+            id: 0,
+            name,
+            start_nanos: 0,
+            tid: 0,
+            active: false,
+        }
     }
 }
 

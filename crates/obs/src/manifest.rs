@@ -69,6 +69,50 @@ pub fn append_manifest(path: impl AsRef<Path>, manifest: &RunManifest) -> io::Re
     writeln!(file, "{json}")
 }
 
+/// Default cap on `results/manifests.jsonl` lines (see [`manifest_cap`]).
+pub const DEFAULT_MANIFEST_CAP: usize = 1024;
+
+/// Manifest-file line cap from `HETMMM_OBS_MANIFEST_CAP`.
+///
+/// `0` (or an unparsable value) means unlimited; unset means
+/// [`DEFAULT_MANIFEST_CAP`]. Bench sessions pass the result to
+/// [`append_manifest_capped`] so repeated runs cannot grow the file
+/// without bound.
+pub fn manifest_cap() -> Option<usize> {
+    match std::env::var("HETMMM_OBS_MANIFEST_CAP") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) | Err(_) => None,
+            Ok(cap) => Some(cap),
+        },
+        Err(_) => Some(DEFAULT_MANIFEST_CAP),
+    }
+}
+
+/// Append one manifest record, then trim the file to its newest `cap`
+/// lines (`None` = unlimited, plain append).
+///
+/// Trimming rewrites the whole file; the cap exists to bound artifact
+/// growth across many bench invocations, not to make appends cheap, and
+/// manifest files are small (one line per *run*).
+pub fn append_manifest_capped(
+    path: impl AsRef<Path>,
+    manifest: &RunManifest,
+    cap: Option<usize>,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    append_manifest(path, manifest)?;
+    let Some(cap) = cap else { return Ok(()) };
+    let text = std::fs::read_to_string(path)?;
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() <= cap {
+        return Ok(());
+    }
+    let keep = &lines[lines.len() - cap..];
+    let mut out = keep.join("\n");
+    out.push('\n');
+    std::fs::write(path, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +151,47 @@ mod tests {
             let m: RunManifest = serde_json::from_str(line).unwrap();
             assert_eq!(m.v, MANIFEST_VERSION);
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capped_append_keeps_newest_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "hetmmm_manifest_cap_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        for i in 0..5u64 {
+            let mut m = sample();
+            m.seed = Some(i);
+            append_manifest_capped(&path, &m, Some(3)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let seeds: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                serde_json::from_str::<RunManifest>(l)
+                    .unwrap()
+                    .seed
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(seeds, vec![2, 3, 4], "newest 3 records survive, in order");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn uncapped_append_never_trims() {
+        let path = std::env::temp_dir().join(format!(
+            "hetmmm_manifest_nocap_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        for _ in 0..4 {
+            append_manifest_capped(&path, &sample(), None).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4);
         let _ = std::fs::remove_file(&path);
     }
 

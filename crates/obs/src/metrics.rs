@@ -160,6 +160,52 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// Bucket-interpolated quantile estimate (`0.0 <= q <= 1.0`).
+    ///
+    /// Finds the bucket containing the `q`-th observation and interpolates
+    /// linearly within it, taking the bucket's value range as
+    /// `(previous bound, bound]` (0 below the first bound). Returns `None`
+    /// when the histogram is empty. Observations in the overflow bucket
+    /// have no upper bound, so quantiles landing there are clamped to the
+    /// last bound — the estimate is then a lower bound on the true value.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q = 0 maps to the first
+        // observation, q = 1 to the last.
+        let target = (q * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let lo = if idx == 0 {
+                    0.0
+                } else {
+                    self.bounds[idx - 1] as f64
+                };
+                if idx >= self.bounds.len() {
+                    // Overflow bucket: unbounded above; clamp to its floor.
+                    return Some(lo);
+                }
+                let hi = self.bounds[idx] as f64;
+                let frac = (target - cum as f64) / c as f64;
+                return Some(lo + (hi - lo) * frac);
+            }
+            cum = next;
+        }
+        // count > 0 guarantees some bucket is non-empty, so we only get
+        // here if count disagrees with the bucket sum; fall back to the
+        // last bound rather than panicking on a corrupt snapshot.
+        self.bounds.last().map(|&b| b as f64)
+    }
+}
+
 /// Serialized state of a whole registry, embedded in run manifests.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -359,5 +405,66 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::new(vec![5, 5]);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let snap = Histogram::new(vec![10, 100]).snapshot("t");
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.quantile(0.0), None);
+        assert_eq!(snap.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_single_bucket() {
+        let h = Histogram::new(vec![10]);
+        for _ in 0..4 {
+            h.observe(5);
+        }
+        let snap = h.snapshot("t");
+        // All 4 observations in (0, 10]: p50 targets rank 2 of 4 → 5.0,
+        // p100 targets rank 4 → 10.0.
+        assert_eq!(snap.quantile(0.5), Some(5.0));
+        assert_eq!(snap.quantile(1.0), Some(10.0));
+        // q = 0 maps to rank 1 → first quarter of the bucket.
+        assert_eq!(snap.quantile(0.0), Some(2.5));
+    }
+
+    #[test]
+    fn quantile_walks_across_buckets() {
+        let h = Histogram::new(vec![10, 20, 40]);
+        for v in [5, 15, 15, 30] {
+            h.observe(v);
+        }
+        let snap = h.snapshot("t");
+        // Rank 2 of 4 lands in the (10, 20] bucket (rank 1 within it, of
+        // 2) → 10 + 10 * 1/2 = 15.
+        assert_eq!(snap.quantile(0.5), Some(15.0));
+        // Rank 4 lands in (20, 40] → 40.
+        assert_eq!(snap.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn quantile_clamps_in_the_overflow_bucket() {
+        let h = Histogram::new(vec![10]);
+        h.observe(3);
+        h.observe(7);
+        h.observe(10_000); // overflow: > last bound
+        h.observe(10_000);
+        let snap = h.snapshot("t");
+        // p99 lands in the unbounded overflow bucket → clamped to the last
+        // bound, a lower bound on the true value.
+        assert_eq!(snap.quantile(0.99), Some(10.0));
+        // p25 targets rank 1 of 4: rank 1 of 2 within (0, 10] → 5.0.
+        assert_eq!(snap.quantile(0.25), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_clamps_q_outside_unit_interval() {
+        let h = Histogram::new(vec![100]);
+        h.observe(50);
+        let snap = h.snapshot("t");
+        assert_eq!(snap.quantile(-3.0), snap.quantile(0.0));
+        assert_eq!(snap.quantile(7.0), snap.quantile(1.0));
     }
 }

@@ -224,6 +224,7 @@ impl Partition {
     /// `i_X`: the number of rows containing elements of `proc`
     /// (used by the PCB model, Eq. 6).
     pub fn rows_occupied(&self, proc: Proc) -> usize {
+        let _span = hetmmm_obs::fine_span("partition.occupancy");
         self.row_count[proc.idx()]
             .iter()
             .filter(|&&c| c > 0)
@@ -232,6 +233,7 @@ impl Partition {
 
     /// `j_X`: the number of columns containing elements of `proc`.
     pub fn cols_occupied(&self, proc: Proc) -> usize {
+        let _span = hetmmm_obs::fine_span("partition.occupancy");
         self.col_count[proc.idx()]
             .iter()
             .filter(|&&c| c > 0)
@@ -262,6 +264,7 @@ impl Partition {
     /// The enclosing rectangle of `proc` (Fig. 4), or `None` if the processor
     /// owns no elements. `O(N)` scan of the per-line counts.
     pub fn enclosing_rect(&self, proc: Proc) -> Option<Rect> {
+        let _span = hetmmm_obs::fine_span("partition.enclosing_rect");
         let rows = &self.row_count[proc.idx()];
         let cols = &self.col_count[proc.idx()];
         let top = rows.iter().position(|&c| c > 0)?;

@@ -189,6 +189,7 @@ pub fn try_push(
     dir: Direction,
     ty: PushType,
 ) -> Option<AppliedPush> {
+    let _span = hetmmm_obs::fine_span_arg("push.apply", ty as u64 + 1);
     let voc_before = part.voc_units() as i64;
     let mut view = View::new(part, dir);
     let rect = view.enclosing_rect(proc)?;
@@ -339,6 +340,7 @@ pub fn try_push(
     // the active-side rules cumulatively (they depend on the evolving
     // grid, so validate at pop time and skip targets that violate them).
     // -----------------------------------------------------------------
+    let _clean_span = hetmmm_obs::fine_span_arg("push.clean", m as u64);
     let mut journal: Vec<((usize, usize), (usize, usize))> = Vec::with_capacity(m);
     let mut dirty_lines_used = 0usize; // OneDirty budget
     let mut next_target = [0usize; 2];
@@ -441,6 +443,7 @@ pub fn try_push_any_type(part: &mut Partition, proc: Proc, dir: Direction) -> Op
 ///
 /// Clones the partition; intended for end-condition analysis, not hot loops.
 pub fn would_push(part: &Partition, proc: Proc, dir: Direction) -> bool {
+    let _span = hetmmm_obs::fine_span("push.probe");
     let mut scratch = part.clone();
     try_push_any_type(&mut scratch, proc, dir).is_some()
 }

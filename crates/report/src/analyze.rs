@@ -1,0 +1,507 @@
+//! Run analyzer: aggregate reports over event streams and manifest logs.
+//!
+//! Three views, mirroring the paper's own tables: the push acceptance
+//! funnel (how many plan attempts became applied pushes, by type and
+//! direction — §VI's push-type taxonomy), convergence/latency summaries
+//! with p50/p95/p99, and per-processor communication volume (the VoC the
+//! whole search optimizes). Everything aggregates into sorted maps so the
+//! rendered output is deterministic for a fixed input stream.
+
+use crate::input::{EventLog, ManifestLog};
+use hetmmm_obs::{EventKind, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Exact order statistics over raw `u64` observations (nearest-rank).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+impl ExactSummary {
+    /// Summarize a value set; `None` when empty.
+    pub fn from_values(mut values: Vec<u64>) -> Option<ExactSummary> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_unstable();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+            values[idx]
+        };
+        Some(ExactSummary {
+            count: values.len() as u64,
+            sum: values.iter().sum(),
+            min: values[0],
+            max: *values.last().unwrap(),
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+        })
+    }
+
+    fn render_line(&self, label: &str) -> String {
+        format!(
+            "  {label:<22} n={} sum={} min={} p50={} p95={} p99={} max={}\n",
+            self.count, self.sum, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// The push acceptance funnel: plan attempts → applied pushes, broken
+/// down by push type × direction (accepted) and processor × direction
+/// (rejected).
+#[derive(Debug, Default, Clone)]
+pub struct PushFunnel {
+    /// DFA runs seen (`DfaRunStart` events).
+    pub runs: u64,
+    /// Accepted pushes (`DfaPush`).
+    pub accepted: u64,
+    /// Rejected plan attempts (`DfaPushRejected`).
+    pub rejected: u64,
+    /// Accepted counts keyed by `(push_type, direction)`.
+    pub accepted_by_type_dir: BTreeMap<(u8, String), u64>,
+    /// Rejected counts keyed by `(proc, direction)`.
+    pub rejected_by_proc_dir: BTreeMap<(String, String), u64>,
+    /// Sum of applied ΔVoC (≤ 0: every accepted push lowers or keeps VoC).
+    pub delta_voc_total: i64,
+    /// Run terminations by kind (`FixedPoint`, `NeutralCycle`, …).
+    pub terminations: BTreeMap<String, u64>,
+}
+
+impl PushFunnel {
+    /// Total plan attempts (accepted + rejected).
+    pub fn attempts(&self) -> u64 {
+        self.accepted + self.rejected
+    }
+}
+
+/// Everything the analyzer extracts from one event stream.
+#[derive(Debug, Default, Clone)]
+pub struct Analysis {
+    /// The push funnel.
+    pub funnel: PushFunnel,
+    /// Steps-to-convergence over `DfaRunEnd.steps`.
+    pub steps_to_convergence: Option<ExactSummary>,
+    /// Receive-wait times over `ExecRecv.wait_nanos`.
+    pub recv_wait_nanos: Option<ExactSummary>,
+    /// Elements sent per processor (`ExecSend.from`).
+    pub sent_elems_by_proc: BTreeMap<String, u64>,
+    /// Elements received per processor (`ExecRecv.to`).
+    pub recv_elems_by_proc: BTreeMap<String, u64>,
+    /// Records in the input stream.
+    pub records: usize,
+    /// Unparsable lines in the input stream.
+    pub skipped_lines: usize,
+}
+
+impl Analysis {
+    /// Aggregate one event stream.
+    pub fn from_events(log: &EventLog) -> Analysis {
+        let mut a = Analysis {
+            records: log.records.len(),
+            skipped_lines: log.skipped_lines,
+            ..Analysis::default()
+        };
+        let mut steps = Vec::new();
+        let mut waits = Vec::new();
+        for record in &log.records {
+            match &record.event {
+                EventKind::DfaRunStart { .. } => a.funnel.runs += 1,
+                EventKind::DfaPush {
+                    dir,
+                    push_type,
+                    delta_voc,
+                    ..
+                } => {
+                    a.funnel.accepted += 1;
+                    a.funnel.delta_voc_total += delta_voc;
+                    *a.funnel
+                        .accepted_by_type_dir
+                        .entry((*push_type, dir.clone()))
+                        .or_default() += 1;
+                }
+                EventKind::DfaPushRejected { proc, dir } => {
+                    a.funnel.rejected += 1;
+                    *a.funnel
+                        .rejected_by_proc_dir
+                        .entry((proc.clone(), dir.clone()))
+                        .or_default() += 1;
+                }
+                EventKind::DfaRunEnd {
+                    steps: s,
+                    termination,
+                    ..
+                } => {
+                    steps.push(*s);
+                    *a.funnel
+                        .terminations
+                        .entry(termination.clone())
+                        .or_default() += 1;
+                }
+                EventKind::ExecSend { from, elems, .. } => {
+                    *a.sent_elems_by_proc.entry(from.clone()).or_default() += elems;
+                }
+                EventKind::ExecRecv {
+                    to,
+                    elems,
+                    wait_nanos,
+                    ..
+                } => {
+                    *a.recv_elems_by_proc.entry(to.clone()).or_default() += elems;
+                    waits.push(*wait_nanos);
+                }
+                _ => {}
+            }
+        }
+        a.steps_to_convergence = ExactSummary::from_values(steps);
+        a.recv_wait_nanos = ExactSummary::from_values(waits);
+        a
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== event stream ({} records, {} skipped lines) ==",
+            self.records, self.skipped_lines
+        );
+        let f = &self.funnel;
+        let _ = writeln!(
+            out,
+            "push funnel: {} runs, {} attempts -> {} accepted / {} rejected, total dVoC {}",
+            f.runs,
+            f.attempts(),
+            f.accepted,
+            f.rejected,
+            f.delta_voc_total
+        );
+        for ((push_type, dir), n) in &f.accepted_by_type_dir {
+            let _ = writeln!(out, "  accepted type{push_type} {dir:<2} {n}");
+        }
+        for ((proc, dir), n) in &f.rejected_by_proc_dir {
+            let _ = writeln!(out, "  rejected {proc} {dir:<2} {n}");
+        }
+        for (kind, n) in &f.terminations {
+            let _ = writeln!(out, "  termination {kind} {n}");
+        }
+        if let Some(s) = &self.steps_to_convergence {
+            out.push_str(&s.render_line("steps_to_convergence"));
+        }
+        if let Some(s) = &self.recv_wait_nanos {
+            out.push_str(&s.render_line("recv_wait_nanos"));
+        }
+        if !self.sent_elems_by_proc.is_empty() || !self.recv_elems_by_proc.is_empty() {
+            let _ = writeln!(out, "per-processor volume (elements):");
+            let procs: std::collections::BTreeSet<&String> = self
+                .sent_elems_by_proc
+                .keys()
+                .chain(self.recv_elems_by_proc.keys())
+                .collect();
+            for proc in procs {
+                let _ = writeln!(
+                    out,
+                    "  {proc} sent={} recv={}",
+                    self.sent_elems_by_proc.get(proc).copied().unwrap_or(0),
+                    self.recv_elems_by_proc.get(proc).copied().unwrap_or(0)
+                );
+            }
+        }
+        out
+    }
+
+    /// CSV sections as `(name, content)` pairs — one file per section.
+    pub fn csv_sections(&self) -> Vec<(String, String)> {
+        let mut sections = Vec::new();
+        let mut funnel = String::from("kind,key,dir,count\n");
+        for ((push_type, dir), n) in &self.funnel.accepted_by_type_dir {
+            let _ = writeln!(funnel, "accepted,type{push_type},{dir},{n}");
+        }
+        for ((proc, dir), n) in &self.funnel.rejected_by_proc_dir {
+            let _ = writeln!(funnel, "rejected,{proc},{dir},{n}");
+        }
+        sections.push(("push_funnel".to_string(), funnel));
+        let mut hist = String::from("metric,count,sum,min,p50,p95,p99,max\n");
+        for (label, s) in [
+            ("steps_to_convergence", &self.steps_to_convergence),
+            ("recv_wait_nanos", &self.recv_wait_nanos),
+        ] {
+            if let Some(s) = s {
+                let _ = writeln!(
+                    hist,
+                    "{label},{},{},{},{},{},{},{}",
+                    s.count, s.sum, s.min, s.p50, s.p95, s.p99, s.max
+                );
+            }
+        }
+        sections.push(("histograms".to_string(), hist));
+        let mut vol = String::from("proc,sent_elems,recv_elems\n");
+        let procs: std::collections::BTreeSet<&String> = self
+            .sent_elems_by_proc
+            .keys()
+            .chain(self.recv_elems_by_proc.keys())
+            .collect();
+        for proc in procs {
+            let _ = writeln!(
+                vol,
+                "{proc},{},{}",
+                self.sent_elems_by_proc.get(proc).copied().unwrap_or(0),
+                self.recv_elems_by_proc.get(proc).copied().unwrap_or(0)
+            );
+        }
+        sections.push(("volumes".to_string(), vol));
+        sections
+    }
+}
+
+/// Aggregate view over `results/manifests.jsonl`: per-binary run counts,
+/// summed counters, and histogram quantiles interpolated from the stored
+/// bucket snapshots ([`HistogramSnapshot::quantile`]).
+#[derive(Debug, Default, Clone)]
+pub struct ManifestSummary {
+    /// Per-bin aggregates, keyed by binary name.
+    pub bins: BTreeMap<String, BinSummary>,
+    /// Manifests parsed.
+    pub manifests: usize,
+    /// Unparsable lines.
+    pub skipped_lines: usize,
+}
+
+/// Aggregates for one binary across its manifest records.
+#[derive(Debug, Default, Clone)]
+pub struct BinSummary {
+    /// Runs recorded.
+    pub runs: u64,
+    /// Total events emitted across runs.
+    pub events_emitted: u64,
+    /// Wall times of each run.
+    pub wall_nanos: Vec<u64>,
+    /// Counters summed across runs.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms merged across runs (counts summed; first-seen bounds
+    /// win — bounds are compile-time constants per metric name).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl ManifestSummary {
+    /// Aggregate one manifest log.
+    pub fn from_manifests(log: &ManifestLog) -> ManifestSummary {
+        let mut summary = ManifestSummary {
+            manifests: log.manifests.len(),
+            skipped_lines: log.skipped_lines,
+            ..ManifestSummary::default()
+        };
+        for m in &log.manifests {
+            let bin = summary.bins.entry(m.bin.clone()).or_default();
+            bin.runs += 1;
+            bin.events_emitted += m.events_emitted;
+            bin.wall_nanos.push(m.wall_nanos);
+            for (name, v) in &m.metrics.counters {
+                *bin.counters.entry(name.clone()).or_default() += v;
+            }
+            for h in &m.metrics.histograms {
+                let merged =
+                    bin.histograms
+                        .entry(h.name.clone())
+                        .or_insert_with(|| HistogramSnapshot {
+                            name: h.name.clone(),
+                            bounds: h.bounds.clone(),
+                            counts: vec![0; h.counts.len()],
+                            count: 0,
+                            sum: 0,
+                        });
+                if merged.bounds == h.bounds {
+                    for (acc, c) in merged.counts.iter_mut().zip(&h.counts) {
+                        *acc += c;
+                    }
+                    merged.count += h.count;
+                    merged.sum += h.sum;
+                }
+            }
+        }
+        summary
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== manifests ({} records, {} skipped lines) ==",
+            self.manifests, self.skipped_lines
+        );
+        for (bin, s) in &self.bins {
+            let _ = writeln!(
+                out,
+                "{bin}: {} run{}, {} events",
+                s.runs,
+                if s.runs == 1 { "" } else { "s" },
+                s.events_emitted
+            );
+            if let Some(w) = ExactSummary::from_values(s.wall_nanos.clone()) {
+                out.push_str(&w.render_line("wall_nanos"));
+            }
+            for (name, v) in &s.counters {
+                let _ = writeln!(out, "  counter {name} {v}");
+            }
+            for (name, h) in &s.histograms {
+                let q = |p: f64| {
+                    h.quantile(p)
+                        .map(|v| format!("{v:.1}"))
+                        .unwrap_or_else(|| "-".to_string())
+                };
+                let _ = writeln!(
+                    out,
+                    "  histogram {name} n={} sum={} p50={} p95={} p99={}",
+                    h.count,
+                    h.sum,
+                    q(0.50),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
+        }
+        out
+    }
+
+    /// CSV: one row per (bin, counter) plus one per (bin, histogram).
+    pub fn csv(&self) -> String {
+        let mut out = String::from("bin,kind,name,count,sum,p50,p95,p99\n");
+        for (bin, s) in &self.bins {
+            for (name, v) in &s.counters {
+                let _ = writeln!(out, "{bin},counter,{name},{v},,,,");
+            }
+            for (name, h) in &s.histograms {
+                let q = |p: f64| h.quantile(p).map(|v| format!("{v:.1}")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{bin},histogram,{name},{},{},{},{},{}",
+                    h.count,
+                    h.sum,
+                    q(0.50),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_obs::{EventRecord, SCHEMA_VERSION};
+
+    fn rec(event: EventKind) -> EventRecord {
+        EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 0,
+            event,
+        }
+    }
+
+    fn sample_log() -> EventLog {
+        EventLog {
+            records: vec![
+                rec(EventKind::DfaRunStart {
+                    seed: 1,
+                    n: 40,
+                    ratio: "1:1:1".into(),
+                    plan_len: 8,
+                }),
+                rec(EventKind::DfaPush {
+                    step: 1,
+                    proc: "R".into(),
+                    dir: "↓".into(),
+                    push_type: 1,
+                    delta_voc: -10,
+                }),
+                rec(EventKind::DfaPush {
+                    step: 2,
+                    proc: "S".into(),
+                    dir: "↓".into(),
+                    push_type: 1,
+                    delta_voc: -4,
+                }),
+                rec(EventKind::DfaPushRejected {
+                    proc: "P".into(),
+                    dir: "→".into(),
+                }),
+                rec(EventKind::DfaRunEnd {
+                    steps: 2,
+                    termination: "FixedPoint".into(),
+                    voc_initial: 100,
+                    voc_final: 86,
+                    residual_pushes: 0,
+                    condensed: true,
+                }),
+                rec(EventKind::ExecSend {
+                    from: "R".into(),
+                    to: "S".into(),
+                    step: 0,
+                    elems: 64,
+                }),
+                rec(EventKind::ExecRecv {
+                    from: "R".into(),
+                    to: "S".into(),
+                    step: 0,
+                    elems: 64,
+                    wait_nanos: 500,
+                }),
+            ],
+            skipped_lines: 1,
+        }
+    }
+
+    #[test]
+    fn funnel_counts_accepted_rejected_and_terminations() {
+        let a = Analysis::from_events(&sample_log());
+        assert_eq!(a.funnel.runs, 1);
+        assert_eq!(a.funnel.accepted, 2);
+        assert_eq!(a.funnel.rejected, 1);
+        assert_eq!(a.funnel.attempts(), 3);
+        assert_eq!(a.funnel.delta_voc_total, -14);
+        assert_eq!(a.funnel.accepted_by_type_dir[&(1, "↓".to_string())], 2);
+        assert_eq!(a.funnel.terminations["FixedPoint"], 1);
+        assert_eq!(a.sent_elems_by_proc["R"], 64);
+        assert_eq!(a.recv_elems_by_proc["S"], 64);
+        assert_eq!(a.recv_wait_nanos.as_ref().unwrap().p50, 500);
+    }
+
+    #[test]
+    fn exact_summary_nearest_rank_quantiles() {
+        let s = ExactSummary::from_values((1..=100).collect()).unwrap();
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert!(ExactSummary::from_values(vec![]).is_none());
+        let single = ExactSummary::from_values(vec![7]).unwrap();
+        assert_eq!((single.p50, single.p99), (7, 7));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let log = sample_log();
+        let a = Analysis::from_events(&log);
+        let b = Analysis::from_events(&log);
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.csv_sections(), b.csv_sections());
+    }
+}

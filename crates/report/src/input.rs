@@ -1,0 +1,124 @@
+//! Lenient JSONL loaders for event and manifest streams.
+//!
+//! Streams on disk can end mid-line (a run was killed, a sink was never
+//! flushed) or mix schema versions across reruns. The loaders here skip
+//! anything unparsable and *count* it, so reports can state how much of
+//! the input they actually saw instead of dying on line 10,000.
+
+use hetmmm_obs::{EventRecord, RunManifest};
+use std::io;
+use std::path::Path;
+
+/// A parsed event stream (one [`EventRecord`] per good JSONL line).
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    /// Records in stream order.
+    pub records: Vec<EventRecord>,
+    /// Lines that failed to parse (truncation, corruption, alien schema).
+    pub skipped_lines: usize,
+}
+
+impl EventLog {
+    /// Parse from in-memory JSONL text.
+    pub fn parse_str(text: &str) -> EventLog {
+        let mut log = EventLog::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<EventRecord>(line) {
+                Ok(record) => log.records.push(record),
+                Err(_) => log.skipped_lines += 1,
+            }
+        }
+        log
+    }
+
+    /// Load from a JSONL file.
+    pub fn read_path(path: impl AsRef<Path>) -> io::Result<EventLog> {
+        Ok(EventLog::parse_str(&std::fs::read_to_string(path)?))
+    }
+}
+
+/// A parsed manifest stream (one [`RunManifest`] per good JSONL line).
+#[derive(Debug, Default, Clone)]
+pub struct ManifestLog {
+    /// Manifests in stream order.
+    pub manifests: Vec<RunManifest>,
+    /// Lines that failed to parse.
+    pub skipped_lines: usize,
+}
+
+impl ManifestLog {
+    /// Parse from in-memory JSONL text.
+    pub fn parse_str(text: &str) -> ManifestLog {
+        let mut log = ManifestLog::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<RunManifest>(line) {
+                Ok(m) => log.manifests.push(m),
+                Err(_) => log.skipped_lines += 1,
+            }
+        }
+        log
+    }
+
+    /// Load from a JSONL file.
+    pub fn read_path(path: impl AsRef<Path>) -> io::Result<ManifestLog> {
+        Ok(ManifestLog::parse_str(&std::fs::read_to_string(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_obs::{EventKind, MetricsSnapshot, MANIFEST_VERSION, SCHEMA_VERSION};
+
+    fn event_line(name: &str) -> String {
+        serde_json::to_string(&EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 1,
+            event: EventKind::Message {
+                target: "t".into(),
+                text: name.into(),
+            },
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn good_lines_parse_and_bad_lines_are_counted() {
+        let text = format!(
+            "{}\n{{\"v\":2,\"ts_nanos\":3,\"event\"\n\n{}\nnot json\n",
+            event_line("a"),
+            event_line("b")
+        );
+        let log = EventLog::parse_str(&text);
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.skipped_lines, 2, "truncated + garbage line");
+    }
+
+    #[test]
+    fn manifest_log_survives_truncation() {
+        let m = RunManifest {
+            v: MANIFEST_VERSION,
+            bin: "b".into(),
+            args: vec![],
+            seed: None,
+            git_rev: "r".into(),
+            started_unix_ms: 0,
+            wall_nanos: 0,
+            events_emitted: 0,
+            metrics: MetricsSnapshot::default(),
+        };
+        let good = serde_json::to_string(&m).unwrap();
+        let text = format!("{good}\n{}\n", &good[..good.len() / 2]);
+        let log = ManifestLog::parse_str(&text);
+        assert_eq!(log.manifests.len(), 1);
+        assert_eq!(log.skipped_lines, 1);
+    }
+}

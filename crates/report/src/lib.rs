@@ -1,0 +1,57 @@
+//! # hetmmm-report
+//!
+//! The consumption side of hetmmm observability: everything that *reads*
+//! the event/metric/manifest streams `hetmmm-obs` produces.
+//!
+//! The paper's experimental program is statistical observation over
+//! ~10,000 DFA runs per speed ratio (§V–VIII); this crate is the analysis
+//! bench for the reproduction's equivalent streams:
+//!
+//! - [`profile`] — reconstructs `SpanStart`/`SpanEnd` JSONL into a merged
+//!   per-thread call tree ([`SpanProfile`]) with call counts, self/total
+//!   durations, and folded-stack (flamegraph-compatible) output;
+//! - [`analyze`] — renders run reports: the push acceptance funnel by
+//!   type×direction, steps-to-convergence and recv-wait summaries with
+//!   p50/p95/p99, and per-processor volume breakdowns ([`Analysis`],
+//!   [`ManifestSummary`]);
+//! - [`perf`] — the perf-gate data model: seeded workload results
+//!   ([`BenchSuite`]) and the noise-tolerant baseline comparison
+//!   ([`compare`]);
+//! - [`input`] — lenient JSONL loaders that survive truncated lines
+//!   ([`EventLog`], [`ManifestLog`]).
+//!
+//! Every renderer is deterministic: aggregation is keyed by span path /
+//! metric name in sorted maps, raw span ids and thread ordinals are never
+//! printed, so the same event stream (e.g. a seeded run under `FakeClock`)
+//! produces byte-identical output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod input;
+pub mod perf;
+pub mod profile;
+
+pub use analyze::{Analysis, ExactSummary, ManifestSummary, PushFunnel};
+pub use input::{EventLog, ManifestLog};
+pub use perf::{compare, median, BenchEntry, BenchSuite, GateIssue, BENCH_VERSION};
+pub use profile::{FoldWeight, SpanNode, SpanProfile};
+
+/// Render the combined text report for one event stream (and optionally a
+/// manifest log): analysis sections, manifest summary, then the span-tree
+/// profile. This is what the `obs_report` binary prints; tests call it
+/// directly to assert byte-identical output for seeded runs.
+pub fn full_report(events: &EventLog, manifests: Option<&ManifestLog>) -> String {
+    let mut out = String::new();
+    let analysis = Analysis::from_events(events);
+    out.push_str(&analysis.render_text());
+    if let Some(log) = manifests {
+        out.push('\n');
+        out.push_str(&ManifestSummary::from_manifests(log).render_text());
+    }
+    let profile = SpanProfile::from_events(&events.records);
+    out.push('\n');
+    out.push_str(&profile.render_text());
+    out
+}

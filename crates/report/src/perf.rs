@@ -1,0 +1,296 @@
+//! The perf-gate data model: seeded workload measurements and the
+//! baseline comparison.
+//!
+//! The `perf_gate` binary runs a fixed, seeded workload suite and records
+//! a [`BenchSuite`] (`BENCH_current.json`). CI compares it against the
+//! committed `BENCH_baseline.json` with [`compare`]: wall-times gate on a
+//! noise-tolerant *ratio* (median-of-k against median-of-k), while the
+//! recorded counters — push totals, executor update/element counts — are
+//! seeded-deterministic and gate on exact equality, so a silent behavior
+//! change fails even when it happens to be fast.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema version of the bench-suite JSON.
+pub const BENCH_VERSION: u32 = 1;
+
+/// One measured workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Workload name, e.g. `fig5_census_slice`.
+    pub name: String,
+    /// Median of [`BenchEntry::wall_nanos`].
+    pub median_wall_nanos: u64,
+    /// Raw wall time of each repetition, in run order.
+    pub wall_nanos: Vec<u64>,
+    /// Deterministic counters recorded during the *first* repetition,
+    /// sorted by name. Only counters that are pure functions of the seed
+    /// belong here — anything timing-dependent breaks the exact gate.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A full suite measurement, serialized to `BENCH_*.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchSuite {
+    /// Always [`BENCH_VERSION`] for suites produced by this build.
+    pub v: u32,
+    /// Git revision the suite was measured at.
+    pub git_rev: String,
+    /// Repetitions per workload.
+    pub k: u64,
+    /// Measured workloads, in suite order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchSuite {
+    /// Look up an entry by workload name.
+    pub fn entry(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// One reason the gate fails.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GateIssue {
+    /// A baseline workload is missing from the current suite.
+    MissingEntry {
+        /// Workload name.
+        name: String,
+    },
+    /// Median wall time regressed beyond the threshold ratio.
+    WallRegression {
+        /// Workload name.
+        name: String,
+        /// Baseline median (ns).
+        baseline_nanos: u64,
+        /// Current median (ns).
+        current_nanos: u64,
+        /// `current / baseline`.
+        ratio: f64,
+        /// The configured limit the ratio exceeded.
+        threshold: f64,
+    },
+    /// A deterministic counter changed value.
+    CounterMismatch {
+        /// Workload name.
+        name: String,
+        /// Counter name.
+        counter: String,
+        /// Baseline value (`None` = absent).
+        baseline: Option<u64>,
+        /// Current value (`None` = absent).
+        current: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for GateIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateIssue::MissingEntry { name } => {
+                write!(f, "{name}: missing from current suite")
+            }
+            GateIssue::WallRegression {
+                name,
+                baseline_nanos,
+                current_nanos,
+                ratio,
+                threshold,
+            } => write!(
+                f,
+                "{name}: wall regression {baseline_nanos}ns -> {current_nanos}ns \
+                 ({ratio:.2}x > {threshold:.2}x limit)"
+            ),
+            GateIssue::CounterMismatch {
+                name,
+                counter,
+                baseline,
+                current,
+            } => write!(
+                f,
+                "{name}: counter {counter} changed {baseline:?} -> {current:?}"
+            ),
+        }
+    }
+}
+
+/// Median of a value set (lower-of-two-middles for even counts; 0 when
+/// empty).
+pub fn median(values: &[u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Compare a current suite against the committed baseline.
+///
+/// Returns every violation found (empty = gate passes). `threshold` is
+/// the allowed `current/baseline` median wall-time ratio — generous by
+/// design (CI machines are noisy and heterogeneous); the exact counter
+/// gate is what catches quiet behavioral drift. Workloads present only in
+/// the current suite are new measurements, not failures.
+pub fn compare(baseline: &BenchSuite, current: &BenchSuite, threshold: f64) -> Vec<GateIssue> {
+    let mut issues = Vec::new();
+    for base in &baseline.entries {
+        let Some(cur) = current.entry(&base.name) else {
+            issues.push(GateIssue::MissingEntry {
+                name: base.name.clone(),
+            });
+            continue;
+        };
+        if base.median_wall_nanos > 0 {
+            let ratio = cur.median_wall_nanos as f64 / base.median_wall_nanos as f64;
+            if ratio > threshold {
+                issues.push(GateIssue::WallRegression {
+                    name: base.name.clone(),
+                    baseline_nanos: base.median_wall_nanos,
+                    current_nanos: cur.median_wall_nanos,
+                    ratio,
+                    threshold,
+                });
+            }
+        }
+        let cur_counter = |name: &str| {
+            cur.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        let base_counter = |name: &str| {
+            base.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        for (name, base_v) in &base.counters {
+            let cur_v = cur_counter(name);
+            if cur_v != Some(*base_v) {
+                issues.push(GateIssue::CounterMismatch {
+                    name: base.name.clone(),
+                    counter: name.clone(),
+                    baseline: Some(*base_v),
+                    current: cur_v,
+                });
+            }
+        }
+        for (name, cur_v) in &cur.counters {
+            if base_counter(name).is_none() {
+                issues.push(GateIssue::CounterMismatch {
+                    name: base.name.clone(),
+                    counter: name.clone(),
+                    baseline: None,
+                    current: Some(*cur_v),
+                });
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, med: u64, counters: &[(&str, u64)]) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            median_wall_nanos: med,
+            wall_nanos: vec![med; 3],
+            counters: counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+
+    fn suite(entries: Vec<BenchEntry>) -> BenchSuite {
+        BenchSuite {
+            v: BENCH_VERSION,
+            git_rev: "test".into(),
+            k: 3,
+            entries,
+        }
+    }
+
+    #[test]
+    fn identical_suites_pass() {
+        let s = suite(vec![entry("a", 1000, &[("dfa.push.type1.down", 42)])]);
+        assert!(compare(&s, &s, 1.8).is_empty());
+    }
+
+    #[test]
+    fn slowdown_within_threshold_passes_beyond_fails() {
+        let base = suite(vec![entry("a", 1000, &[])]);
+        let ok = suite(vec![entry("a", 1700, &[])]);
+        assert!(compare(&base, &ok, 1.8).is_empty());
+        let slow = suite(vec![entry("a", 5000, &[])]);
+        let issues = compare(&base, &slow, 1.8);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(
+            &issues[0],
+            GateIssue::WallRegression { ratio, .. } if (*ratio - 5.0).abs() < 1e-9
+        ));
+    }
+
+    #[test]
+    fn speedups_never_fail() {
+        let base = suite(vec![entry("a", 10_000, &[])]);
+        let fast = suite(vec![entry("a", 10, &[])]);
+        assert!(compare(&base, &fast, 1.8).is_empty());
+    }
+
+    #[test]
+    fn counter_drift_fails_even_when_fast() {
+        let base = suite(vec![entry("a", 1000, &[("pushes", 42)])]);
+        let drifted = suite(vec![entry("a", 500, &[("pushes", 41)])]);
+        let issues = compare(&base, &drifted, 1.8);
+        assert_eq!(issues.len(), 1);
+        assert!(
+            matches!(&issues[0], GateIssue::CounterMismatch { counter, .. } if counter == "pushes")
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_counters_are_reported() {
+        let base = suite(vec![entry("a", 1000, &[("old", 1)])]);
+        let cur = suite(vec![entry("a", 1000, &[("new", 2)])]);
+        let issues = compare(&base, &cur, 1.8);
+        assert_eq!(issues.len(), 2, "one vanished counter, one new counter");
+    }
+
+    #[test]
+    fn missing_entry_is_reported_but_new_entries_are_not() {
+        let base = suite(vec![entry("gone", 1000, &[])]);
+        let cur = suite(vec![entry("brand_new", 1000, &[])]);
+        let issues = compare(&base, &cur, 1.8);
+        assert_eq!(
+            issues,
+            vec![GateIssue::MissingEntry {
+                name: "gone".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(&[]), 0);
+        assert_eq!(median(&[5]), 5);
+        assert_eq!(median(&[3, 1, 2]), 2);
+        assert_eq!(median(&[4, 1, 3, 2]), 2, "lower of two middles");
+    }
+
+    #[test]
+    fn suite_round_trips_through_json() {
+        let s = suite(vec![entry("a", 1000, &[("c", 7)])]);
+        let back: BenchSuite = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn zero_baseline_median_never_divides() {
+        // A FakeClock-measured baseline (all zeros) must not gate on an
+        // infinite ratio.
+        let base = suite(vec![entry("a", 0, &[])]);
+        let cur = suite(vec![entry("a", 1_000_000, &[])]);
+        assert!(compare(&base, &cur, 1.8).is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! Span-tree profiler: turn an interleaved `SpanStart`/`SpanEnd` stream
+//! into a merged call tree.
+//!
+//! Span events carry the emitting thread's ordinal (`tid`, schema v2);
+//! nesting is only meaningful *within* one thread's sub-stream, and each
+//! sub-stream is ordered (the facade's single emit path preserves
+//! per-thread program order even though threads interleave in the file).
+//! Reconstruction therefore keeps one open-frame stack per tid and merges
+//! completed frames into a single tree keyed by span-name *path* — raw
+//! span ids and tids never reach the output, which is what makes reports
+//! byte-identical across runs whose thread interleavings differ.
+
+use hetmmm_obs::{EventKind, EventRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One merged node: every occurrence of a span name at one call path.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Times a span opened at this path.
+    pub calls: u64,
+    /// Sum of clock-measured durations of the closed occurrences.
+    pub total_nanos: u64,
+    /// Occurrences never closed (stream truncated mid-span, or a guard
+    /// leaked past the end of capture).
+    pub unclosed: u64,
+    /// Child spans by name.
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+impl SpanNode {
+    /// Total time minus time attributed to children (saturating: an
+    /// unclosed parent can report less total than its closed children).
+    pub fn self_nanos(&self) -> u64 {
+        let child_total: u64 = self.children.values().map(|c| c.total_nanos).sum();
+        self.total_nanos.saturating_sub(child_total)
+    }
+}
+
+/// Which weight a folded-stack line carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldWeight {
+    /// Self time in nanoseconds (the flamegraph default). All-zero under
+    /// an unadvanced `FakeClock`.
+    SelfNanos,
+    /// Call counts — shape-of-the-computation profiles that stay
+    /// meaningful when durations are synthetic or zero.
+    Calls,
+}
+
+/// The merged call tree over every thread in a stream.
+#[derive(Debug, Default, Clone)]
+pub struct SpanProfile {
+    /// Top-level spans by name.
+    pub roots: BTreeMap<String, SpanNode>,
+    /// Distinct thread ordinals seen in span events.
+    pub threads: usize,
+    /// `SpanEnd` events whose id matched no open frame on their thread.
+    pub unmatched_ends: u64,
+}
+
+/// An open frame on one thread's reconstruction stack.
+struct Frame {
+    span: u64,
+    name: String,
+}
+
+fn node_at_mut<'a>(roots: &'a mut BTreeMap<String, SpanNode>, path: &[String]) -> &'a mut SpanNode {
+    let (first, rest) = path.split_first().expect("span path is never empty");
+    let mut node = roots.entry(first.clone()).or_default();
+    for name in rest {
+        node = node.children.entry(name.clone()).or_default();
+    }
+    node
+}
+
+fn stack_path(stack: &[Frame]) -> Vec<String> {
+    stack.iter().map(|f| f.name.clone()).collect()
+}
+
+impl SpanProfile {
+    /// Reconstruct the profile from a record stream (non-span events are
+    /// ignored).
+    pub fn from_events(records: &[EventRecord]) -> SpanProfile {
+        let mut profile = SpanProfile::default();
+        let mut stacks: BTreeMap<u64, Vec<Frame>> = BTreeMap::new();
+        for record in records {
+            match &record.event {
+                EventKind::SpanStart {
+                    span, name, tid, ..
+                } => {
+                    let stack = stacks.entry(*tid).or_default();
+                    stack.push(Frame {
+                        span: *span,
+                        name: name.clone(),
+                    });
+                    let path = stack_path(stack);
+                    node_at_mut(&mut profile.roots, &path).calls += 1;
+                }
+                EventKind::SpanEnd {
+                    span, nanos, tid, ..
+                } => {
+                    let stack = stacks.entry(*tid).or_default();
+                    let Some(pos) = stack.iter().rposition(|f| f.span == *span) else {
+                        profile.unmatched_ends += 1;
+                        continue;
+                    };
+                    // Frames above the match never saw their SpanEnd
+                    // (dropped out of order or lost): close them as
+                    // unclosed so time is still attributed to the match.
+                    while stack.len() > pos + 1 {
+                        let path = stack_path(stack);
+                        node_at_mut(&mut profile.roots, &path).unclosed += 1;
+                        stack.pop();
+                    }
+                    let path = stack_path(stack);
+                    node_at_mut(&mut profile.roots, &path).total_nanos += nanos;
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        // Anything still open when the stream ended is unclosed.
+        for stack in stacks.values_mut() {
+            while !stack.is_empty() {
+                let path = stack_path(stack);
+                node_at_mut(&mut profile.roots, &path).unclosed += 1;
+                stack.pop();
+            }
+        }
+        profile.threads = stacks.len();
+        profile
+    }
+
+    /// Human-readable indented tree, sorted by span name at every level.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== span profile ({} thread{}, {} unmatched end{}) ==",
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.unmatched_ends,
+            if self.unmatched_ends == 1 { "" } else { "s" },
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14} {:>14} {:>9}  span",
+            "calls", "total_ns", "self_ns", "unclosed"
+        );
+        fn walk(out: &mut String, nodes: &BTreeMap<String, SpanNode>, depth: usize) {
+            for (name, node) in nodes {
+                let _ = writeln!(
+                    out,
+                    "{:>10} {:>14} {:>14} {:>9}  {}{}",
+                    node.calls,
+                    node.total_nanos,
+                    node.self_nanos(),
+                    node.unclosed,
+                    "  ".repeat(depth),
+                    name
+                );
+                walk(out, &node.children, depth + 1);
+            }
+        }
+        walk(&mut out, &self.roots, 0);
+        out
+    }
+
+    /// Folded-stack output, one `a;b;c <weight>` line per path with a
+    /// non-zero weight — feed to any flamegraph renderer.
+    pub fn folded(&self, weight: FoldWeight) -> String {
+        let mut out = String::new();
+        fn walk(
+            out: &mut String,
+            nodes: &BTreeMap<String, SpanNode>,
+            prefix: &str,
+            weight: FoldWeight,
+        ) {
+            for (name, node) in nodes {
+                let path = if prefix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{prefix};{name}")
+                };
+                let w = match weight {
+                    FoldWeight::SelfNanos => node.self_nanos(),
+                    FoldWeight::Calls => node.calls,
+                };
+                if w > 0 {
+                    let _ = writeln!(out, "{path} {w}");
+                }
+                walk(out, &node.children, &path, weight);
+            }
+        }
+        walk(&mut out, &self.roots, "", weight);
+        out
+    }
+
+    /// CSV rows `path,calls,total_nanos,self_nanos,unclosed` (path joined
+    /// with `;`), header included.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("path,calls,total_nanos,self_nanos,unclosed\n");
+        fn walk(out: &mut String, nodes: &BTreeMap<String, SpanNode>, prefix: &str) {
+            for (name, node) in nodes {
+                let path = if prefix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{prefix};{name}")
+                };
+                let _ = writeln!(
+                    out,
+                    "{path},{},{},{},{}",
+                    node.calls,
+                    node.total_nanos,
+                    node.self_nanos(),
+                    node.unclosed
+                );
+                walk(out, &node.children, &path);
+            }
+        }
+        walk(&mut out, &self.roots, "");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_obs::SCHEMA_VERSION;
+
+    fn start(span: u64, name: &str, tid: u64) -> EventRecord {
+        EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 0,
+            event: EventKind::SpanStart {
+                span,
+                name: name.into(),
+                arg: 0,
+                tid,
+            },
+        }
+    }
+
+    fn end(span: u64, name: &str, nanos: u64, tid: u64) -> EventRecord {
+        EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 0,
+            event: EventKind::SpanEnd {
+                span,
+                name: name.into(),
+                nanos,
+                tid,
+            },
+        }
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time_to_the_parent() {
+        let records = vec![
+            start(1, "outer", 1),
+            start(2, "inner", 1),
+            end(2, "inner", 30, 1),
+            start(3, "inner", 1),
+            end(3, "inner", 20, 1),
+            end(1, "outer", 100, 1),
+        ];
+        let p = SpanProfile::from_events(&records);
+        let outer = &p.roots["outer"];
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.total_nanos, 100);
+        assert_eq!(outer.self_nanos(), 50);
+        let inner = &outer.children["inner"];
+        assert_eq!(inner.calls, 2);
+        assert_eq!(inner.total_nanos, 50);
+        assert!(p.roots.get("inner").is_none(), "inner is not a root");
+    }
+
+    #[test]
+    fn interleaved_threads_keep_separate_parent_attribution() {
+        // Thread 1 runs a;b, thread 2 runs c;b, events fully interleaved
+        // in the stream. b must appear under BOTH parents, never crossed.
+        let records = vec![
+            start(1, "a", 1),
+            start(10, "c", 2),
+            start(2, "b", 1),
+            start(11, "b", 2),
+            end(2, "b", 5, 1),
+            end(11, "b", 7, 2),
+            end(1, "a", 50, 1),
+            end(10, "c", 70, 2),
+        ];
+        let p = SpanProfile::from_events(&records);
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.roots["a"].children["b"].total_nanos, 5);
+        assert_eq!(p.roots["c"].children["b"].total_nanos, 7);
+        assert_eq!(p.roots["a"].total_nanos, 50);
+        assert_eq!(p.roots["c"].total_nanos, 70);
+    }
+
+    #[test]
+    fn truncated_stream_counts_unclosed_frames() {
+        // Stream ends while outer and inner are both open.
+        let records = vec![
+            start(1, "outer", 1),
+            start(2, "inner", 1),
+            end(2, "inner", 10, 1),
+            start(3, "inner", 1),
+            // truncation: no end for span 3 or span 1
+        ];
+        let p = SpanProfile::from_events(&records);
+        let outer = &p.roots["outer"];
+        assert_eq!(outer.unclosed, 1);
+        assert_eq!(outer.total_nanos, 0, "no duration for an unclosed span");
+        let inner = &outer.children["inner"];
+        assert_eq!(inner.calls, 2);
+        assert_eq!(inner.unclosed, 1);
+        assert_eq!(inner.total_nanos, 10);
+    }
+
+    #[test]
+    fn out_of_order_end_closes_intervening_frames_as_unclosed() {
+        // The end for `outer` arrives while `leak` is still open (its
+        // guard was forgotten): leak is recorded as unclosed, outer still
+        // gets its duration.
+        let records = vec![
+            start(1, "outer", 1),
+            start(2, "leak", 1),
+            end(1, "outer", 40, 1),
+        ];
+        let p = SpanProfile::from_events(&records);
+        assert_eq!(p.roots["outer"].total_nanos, 40);
+        assert_eq!(p.roots["outer"].children["leak"].unclosed, 1);
+        assert_eq!(p.unmatched_ends, 0);
+    }
+
+    #[test]
+    fn foreign_end_is_counted_not_crashed() {
+        let records = vec![end(99, "ghost", 5, 1)];
+        let p = SpanProfile::from_events(&records);
+        assert_eq!(p.unmatched_ends, 1);
+        assert!(p.roots.is_empty());
+    }
+
+    #[test]
+    fn folded_output_is_sorted_and_weighted() {
+        let records = vec![
+            start(1, "a", 1),
+            start(2, "b", 1),
+            end(2, "b", 30, 1),
+            end(1, "a", 100, 1),
+        ];
+        let p = SpanProfile::from_events(&records);
+        assert_eq!(p.folded(FoldWeight::SelfNanos), "a 70\na;b 30\n");
+        assert_eq!(p.folded(FoldWeight::Calls), "a 1\na;b 1\n");
+    }
+
+    #[test]
+    fn zero_duration_spans_still_fold_by_calls() {
+        // FakeClock without advancement: every duration is 0 — the calls
+        // weight must still produce a non-empty profile.
+        let records = vec![start(1, "a", 1), end(1, "a", 0, 1)];
+        let p = SpanProfile::from_events(&records);
+        assert_eq!(p.folded(FoldWeight::SelfNanos), "");
+        assert_eq!(p.folded(FoldWeight::Calls), "a 1\n");
+    }
+}

@@ -85,6 +85,7 @@ fn overlap_is_thin(a: &Rect, b: &Rect) -> bool {
 /// assert_eq!(classify(&part), Archetype::A);
 /// ```
 pub fn classify(part: &Partition) -> Archetype {
+    let _span = hetmmm_obs::fine_span("shapes.classify");
     let pr = RegionProfile::new(part, Proc::R);
     let ps = RegionProfile::new(part, Proc::S);
     classify_profiles(part, &pr, &ps)
@@ -237,6 +238,7 @@ pub fn classify_tolerant(part: &Partition) -> Archetype {
 /// grouping. Exact classification is attempted first; the coarse passes
 /// only run as fallbacks.
 pub fn classify_coarse(part: &Partition, blocks: usize) -> Archetype {
+    let _span = hetmmm_obs::fine_span_arg("shapes.classify_coarse", blocks as u64);
     let exact = classify(part);
     if exact != Archetype::NonShape {
         return exact;

@@ -63,6 +63,7 @@ fn schedule_bulk(
     serial: bool,
     record: bool,
 ) -> (f64, Vec<Span>) {
+    let _span = obs::fine_span_arg("sim.schedule", messages.len() as u64);
     let mut spans = Vec::new();
     let mut ends: Vec<f64> = vec![0.0; messages.len()];
     if serial {

@@ -34,7 +34,9 @@ impl Args {
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
                 let value = match iter.peek() {
-                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    Some(v) if !v.starts_with("--") => {
+                        iter.next().unwrap_or_else(|| "true".to_string())
+                    }
                     _ => "true".to_string(),
                 };
                 flags.insert(key.to_string(), value);
@@ -69,12 +71,32 @@ impl Args {
 }
 
 /// Directory where experiment binaries drop CSV/PGM artifacts
-/// (`results/` at the workspace root; created on demand).
+/// (`results/` at the workspace root; created on demand). When the
+/// requested directory cannot be created (read-only checkout, bad
+/// `HETMMM_RESULTS`), falls back to a process-scoped directory under the
+/// system temp dir rather than aborting the run — artifacts are
+/// best-effort, the experiment itself is the product.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("HETMMM_RESULTS")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("results"));
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        return dir;
+    }
+    let fallback = std::env::temp_dir().join(format!("hetmmm_results_{}", std::process::id()));
+    if std::fs::create_dir_all(&fallback).is_ok() {
+        obs::message(
+            "bench.results_dir",
+            format!(
+                "cannot create {}; falling back to {}",
+                dir.display(),
+                fallback.display()
+            ),
+        );
+        return fallback;
+    }
+    // Both attempts failed; return the original path and let the write
+    // sites surface their own errors.
     dir
 }
 
@@ -128,6 +150,7 @@ impl BinSession {
             .get_str("seed0")
             .or_else(|| args.get_str("seed"))
             .and_then(|s| s.parse().ok());
+        // hetmmm-lint: allow(L002) manifests record real wall-clock epoch, not modeled time
         let started_unix_ms = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
@@ -167,6 +190,7 @@ impl Drop for BinSession {
         // (default 1024, 0 = unlimited) so repeated bench runs cannot grow
         // it without bound.
         if let Err(err) = obs::append_manifest_capped(&path, &manifest, obs::manifest_cap()) {
+            // hetmmm-lint: allow(L003) in Drop mid-teardown; sinks are being uninstalled
             eprintln!("hetmmm-bench: cannot write {}: {err}", path.display());
         }
         obs::flush_sinks();

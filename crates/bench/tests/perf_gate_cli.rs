@@ -64,7 +64,11 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
     assert_eq!(suite.v, hetmmm_report::BENCH_VERSION);
     assert_eq!(suite.entries.len(), 3);
     assert!(
-        suite.entry("fig5_census_slice").unwrap().counters.len() > 0,
+        !suite
+            .entry("fig5_census_slice")
+            .unwrap()
+            .counters
+            .is_empty(),
         "census slice records deterministic push counters"
     );
 

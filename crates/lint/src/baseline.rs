@@ -1,0 +1,263 @@
+//! The suppression baseline: grandfathering pre-existing findings.
+//!
+//! `lint_baseline.json` (committed at the workspace root) records, per
+//! `(rule, path)`, how many findings existed when the baseline was last
+//! written, plus the [`SchemaRecord`] that rule L010 checks the event
+//! vocabulary against. The gate then enforces a ratchet: a file may never
+//! gain findings for a rule (fails CI), and when findings are fixed the
+//! shrunken counts are folded back with `--write-baseline`.
+
+use crate::findings::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Version of the baseline file format itself.
+pub const BASELINE_VERSION: u32 = 1;
+
+/// The committed fingerprint of the obs event vocabulary (rule L010).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaRecord {
+    /// `SCHEMA_VERSION` read from `crates/obs/src/event.rs`.
+    pub schema_version: u32,
+    /// FNV-1a hash (hex) over `EventKind`'s variant and field names.
+    pub fingerprint: String,
+}
+
+/// One grandfathered count.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Findings tolerated in this file for this rule.
+    pub count: u32,
+}
+
+/// The committed baseline file.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Always [`BASELINE_VERSION`].
+    pub v: u32,
+    /// Committed event-schema fingerprint (`None` before the first
+    /// `--write-baseline`).
+    pub schema: Option<SchemaRecord>,
+    /// Grandfathered counts, sorted by `(rule, path)`.
+    pub grandfathered: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// An empty baseline (nothing grandfathered, no schema record).
+    pub fn empty() -> Baseline {
+        Baseline {
+            v: BASELINE_VERSION,
+            schema: None,
+            grandfathered: Vec::new(),
+        }
+    }
+
+    /// Build a baseline that grandfathers exactly `findings`.
+    pub fn from_findings(findings: &[Finding], schema: Option<SchemaRecord>) -> Baseline {
+        let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule.clone(), f.path.clone())).or_insert(0) += 1;
+        }
+        Baseline {
+            v: BASELINE_VERSION,
+            schema,
+            grandfathered: counts
+                .into_iter()
+                .map(|((rule, path), count)| BaselineEntry { rule, path, count })
+                .collect(),
+        }
+    }
+
+    /// Total grandfathered findings for one rule (across all files).
+    pub fn rule_total(&self, rule: &str) -> u32 {
+        self.grandfathered
+            .iter()
+            .filter(|e| e.rule == rule)
+            .map(|e| e.count)
+            .sum()
+    }
+
+    /// Render as diff-friendly JSON: one grandfathered entry per line, so
+    /// ratchet updates show up as single-line diffs in review. The output
+    /// parses back with `serde_json::from_str`.
+    pub fn render_pretty(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"v\": {},\n", self.v));
+        match &self.schema {
+            Some(s) => out.push_str(&format!("  \"schema\": {},\n", serde_json::to_string(s)?)),
+            None => out.push_str("  \"schema\": null,\n"),
+        }
+        out.push_str("  \"grandfathered\": [");
+        for (i, e) in self.grandfathered.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&serde_json::to_string(e)?);
+        }
+        if !self.grandfathered.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        Ok(out)
+    }
+}
+
+/// A `(rule, path)` group whose finding count dropped below its
+/// grandfathered allowance — the baseline is stale and should be
+/// rewritten so the ratchet tightens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Grandfathered allowance.
+    pub allowed: u32,
+    /// Findings actually present.
+    pub actual: u32,
+}
+
+/// Outcome of comparing current findings against the baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GateResult {
+    /// Findings in groups that exceed their allowance — these fail CI.
+    /// When a group exceeds, *all* its findings are listed (line numbers
+    /// drift, so no single finding can be called "the new one").
+    pub fresh: Vec<Finding>,
+    /// Findings covered by the baseline.
+    pub grandfathered: Vec<Finding>,
+    /// Groups whose counts shrank (fix committed, baseline not updated).
+    pub stale: Vec<StaleEntry>,
+}
+
+/// Compare `findings` against `baseline` per `(rule, path)` group.
+pub fn gate(findings: &[Finding], baseline: &Baseline) -> GateResult {
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        groups
+            .entry((f.rule.clone(), f.path.clone()))
+            .or_default()
+            .push(f.clone());
+    }
+    let allowance: BTreeMap<(&str, &str), u32> = baseline
+        .grandfathered
+        .iter()
+        .map(|e| ((e.rule.as_str(), e.path.as_str()), e.count))
+        .collect();
+
+    let mut result = GateResult::default();
+    for ((rule, path), group) in &groups {
+        let allowed = allowance
+            .get(&(rule.as_str(), path.as_str()))
+            .copied()
+            .unwrap_or(0);
+        let actual = group.len() as u32;
+        if actual > allowed {
+            result.fresh.extend(group.iter().cloned());
+        } else {
+            result.grandfathered.extend(group.iter().cloned());
+            if actual < allowed {
+                result.stale.push(StaleEntry {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    allowed,
+                    actual,
+                });
+            }
+        }
+    }
+    // Baseline groups with zero current findings are also stale.
+    for e in &baseline.grandfathered {
+        if !groups.contains_key(&(e.rule.clone(), e.path.clone())) && e.count > 0 {
+            result.stale.push(StaleEntry {
+                rule: e.rule.clone(),
+                path: e.path.clone(),
+                allowed: e.count,
+                actual: 0,
+            });
+        }
+    }
+    result
+        .stale
+        .sort_by(|a, b| (&a.rule, &a.path).cmp(&(&b.rule, &b.path)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, path: &str, line: u32) -> Finding {
+        Finding::new(rule, path, line, "m")
+    }
+
+    #[test]
+    fn new_findings_fail_and_grandfathered_pass() {
+        let baseline = Baseline::from_findings(&[f("L001", "a.rs", 1)], None);
+        // Same count: passes.
+        let r = gate(&[f("L001", "a.rs", 5)], &baseline);
+        assert!(r.fresh.is_empty());
+        assert_eq!(r.grandfathered.len(), 1);
+        assert!(r.stale.is_empty());
+        // One more in the same file: the whole group is reported fresh.
+        let r = gate(&[f("L001", "a.rs", 5), f("L001", "a.rs", 9)], &baseline);
+        assert_eq!(r.fresh.len(), 2);
+        // A different file: fresh even though the rule is baselined
+        // elsewhere.
+        let r = gate(&[f("L001", "b.rs", 1)], &baseline);
+        assert_eq!(r.fresh.len(), 1);
+    }
+
+    #[test]
+    fn shrunken_and_vanished_groups_are_stale() {
+        let baseline = Baseline::from_findings(
+            &[
+                f("L001", "a.rs", 1),
+                f("L001", "a.rs", 2),
+                f("L003", "b.rs", 3),
+            ],
+            None,
+        );
+        let r = gate(&[f("L001", "a.rs", 1)], &baseline);
+        assert!(r.fresh.is_empty());
+        assert_eq!(r.stale.len(), 2);
+        assert_eq!((r.stale[0].allowed, r.stale[0].actual), (2, 1));
+        assert_eq!((r.stale[1].allowed, r.stale[1].actual), (1, 0));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json_sorted() {
+        let b = Baseline::from_findings(
+            &[
+                f("L003", "z.rs", 1),
+                f("L001", "a.rs", 1),
+                f("L001", "a.rs", 9),
+            ],
+            Some(SchemaRecord {
+                schema_version: 2,
+                fingerprint: "abcd".into(),
+            }),
+        );
+        assert_eq!(b.grandfathered[0].rule, "L001");
+        assert_eq!(b.grandfathered[0].count, 2);
+        assert_eq!(b.rule_total("L001"), 2);
+        let back: Baseline =
+            serde_json::from_str(&serde_json::to_string(&b).expect("serialize")).expect("parse");
+        assert_eq!(back, b);
+        // The pretty form parses back to the same value too.
+        let pretty = b.render_pretty().expect("render");
+        let back: Baseline = serde_json::from_str(&pretty).expect("parse pretty");
+        assert_eq!(back, b);
+        // One grandfathered entry per line (diff-friendly).
+        assert_eq!(
+            pretty.lines().filter(|l| l.contains("\"rule\"")).count(),
+            b.grandfathered.len()
+        );
+    }
+}

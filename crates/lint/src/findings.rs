@@ -1,0 +1,215 @@
+//! Findings, suppression comments, and report rendering.
+//!
+//! A [`Finding`] is one rule violation at one source line. Findings are
+//! serialized to JSONL (one record per line, in the obs record style) for
+//! machine consumption and rendered as `path:line rule message` for
+//! humans. Inline suppressions use the comment form
+//! `// hetmmm-lint: allow(L001) <reason>` and apply to the comment's own
+//! line and the line directly below it; a suppression without a reason
+//! does not suppress and is itself reported as rule L000.
+
+use crate::lexer::Comment;
+use serde::{Deserialize, Serialize};
+
+/// Rule id of the meta-rule "suppression comment carries no reason".
+pub const RULE_SUPPRESSION_REASON: &str = "L000";
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule id, e.g. `L001`.
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct with the conventional field order.
+    pub fn new(rule: &str, path: &str, line: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// The JSONL record written to `results/lint_findings.jsonl`: a finding
+/// plus its gate status after baseline comparison.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FindingRecord {
+    /// The finding itself.
+    pub finding: Finding,
+    /// `"fresh"` (fails the gate) or `"grandfathered"` (covered by the
+    /// committed baseline).
+    pub status: String,
+}
+
+/// One parsed inline suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule ids listed in `allow(…)`.
+    pub rules: Vec<String>,
+    /// Did the comment carry a non-empty reason after the `allow(…)`?
+    pub has_reason: bool,
+}
+
+/// Parse every suppression out of a file's comments.
+pub fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("hetmmm-lint:") else {
+            continue;
+        };
+        let rest = c.text[at + "hetmmm-lint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        let reason = args[close + 1..].trim();
+        out.push(Suppression {
+            line: c.line,
+            rules,
+            has_reason: !reason.is_empty(),
+        });
+    }
+    out
+}
+
+/// Apply suppressions to a file's findings: remove suppressed ones, count
+/// them, and add an L000 finding for each reason-less suppression.
+///
+/// A suppression on line `L` covers findings on lines `L` and `L + 1`, so
+/// both trailing comments and a comment directly above the offending line
+/// work.
+pub fn apply_suppressions(
+    findings: &mut Vec<Finding>,
+    suppressions: &[Suppression],
+    path: &str,
+) -> usize {
+    let before = findings.len();
+    findings.retain(|f| {
+        !suppressions.iter().any(|s| {
+            s.has_reason && s.rules.contains(&f.rule) && (s.line == f.line || s.line + 1 == f.line)
+        })
+    });
+    let suppressed = before - findings.len();
+    for s in suppressions {
+        if !s.has_reason {
+            findings.push(Finding::new(
+                RULE_SUPPRESSION_REASON,
+                path,
+                s.line,
+                format!(
+                    "suppression allow({}) carries no reason; add one after the closing paren",
+                    s.rules.join(",")
+                ),
+            ));
+        }
+    }
+    suppressed
+}
+
+/// Render findings as `path:line: rule message`, one per line, sorted.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    let mut out = String::new();
+    for f in sorted {
+        out.push_str(&format!(
+            "{}:{}: {} {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn suppression_parses_rules_and_reason() {
+        let lexed =
+            lex("x(); // hetmmm-lint: allow(L001, L003) legacy path, tracked in baseline\n");
+        let sup = parse_suppressions(&lexed.comments);
+        assert_eq!(sup.len(), 1);
+        assert_eq!(sup[0].rules, ["L001", "L003"]);
+        assert!(sup[0].has_reason);
+        assert_eq!(sup[0].line, 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_becomes_l000() {
+        let lexed = lex("// hetmmm-lint: allow(L001)\n");
+        let sup = parse_suppressions(&lexed.comments);
+        assert!(!sup[0].has_reason);
+        let mut findings = vec![Finding::new("L001", "f.rs", 2, "unwrap")];
+        let n = apply_suppressions(&mut findings, &sup, "f.rs");
+        assert_eq!(n, 0, "reason-less suppression must not suppress");
+        assert!(findings.iter().any(|f| f.rule == RULE_SUPPRESSION_REASON));
+        assert!(findings.iter().any(|f| f.rule == "L001"));
+    }
+
+    #[test]
+    fn suppression_covers_same_line_and_next_line_only() {
+        let lexed = lex("// hetmmm-lint: allow(L001) known-infallible decode\n");
+        let sup = parse_suppressions(&lexed.comments);
+        let mut findings = vec![
+            Finding::new("L001", "f.rs", 1, "same line"),
+            Finding::new("L001", "f.rs", 2, "next line"),
+            Finding::new("L001", "f.rs", 3, "too far"),
+            Finding::new("L002", "f.rs", 2, "different rule"),
+        ];
+        let n = apply_suppressions(&mut findings, &sup, "f.rs");
+        assert_eq!(n, 2);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().any(|f| f.line == 3));
+        assert!(findings.iter().any(|f| f.rule == "L002"));
+    }
+
+    #[test]
+    fn text_rendering_is_sorted_and_stable() {
+        let findings = vec![
+            Finding::new("L003", "b.rs", 9, "println"),
+            Finding::new("L001", "a.rs", 2, "unwrap"),
+        ];
+        let text = render_text(&findings);
+        let first = text.lines().next();
+        assert_eq!(first, Some("a.rs:2: L001 unwrap"));
+    }
+
+    #[test]
+    fn finding_records_round_trip_through_json() {
+        let rec = FindingRecord {
+            finding: Finding::new(
+                "L001",
+                "crates/x/src/lib.rs",
+                7,
+                ".unwrap() in library code",
+            ),
+            status: "fresh".to_string(),
+        };
+        let json = serde_json::to_string(&rec).expect("serialize");
+        let back: FindingRecord = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, rec);
+    }
+}

@@ -1,0 +1,727 @@
+//! A small Rust lexer: just enough token structure for invariant rules.
+//!
+//! The rules in this crate match on *token* patterns (`.` `unwrap` `(`,
+//! `Instant` `::` `now`, …), so the lexer's one job is to never confuse
+//! code with non-code: it skips line comments, nested block comments,
+//! string / char / byte / raw-string literals (including `r##"…"##` with
+//! any number of hashes), and distinguishes lifetimes from char literals.
+//! Comments are preserved separately because suppressions
+//! (`// hetmmm-lint: allow(L00X) <reason>`) live in them.
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `EventKind`, …).
+    Ident,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`); `text` holds the raw
+    /// contents between the delimiters, escapes untouched.
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`); `text` holds the name without the
+    /// leading quote.
+    Lifetime,
+    /// A numeric literal; `text` holds the raw spelling.
+    Num,
+    /// A single punctuation character; `text` holds that character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is stored per kind).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment (line or block) with the 1-based line it starts on.
+/// `text` excludes the comment delimiters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: u32,
+    /// Comment body without delimiters.
+    pub text: String,
+}
+
+/// The lexer's output: code tokens plus the comments that were skipped.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order (suppressions are parsed from these).
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize `src`. Total: one pass, no allocation beyond the token texts.
+/// Unterminated literals/comments end at end-of-file rather than erroring —
+/// the compiler is the authority on malformed source, not the linter.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&b[start..j]).into_owned(),
+                });
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment with nesting, per the Rust grammar.
+                let comment_line = line;
+                let start = i + 2;
+                let mut j = start;
+                let mut depth = 1u32;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: comment_line,
+                    text: String::from_utf8_lossy(&b[start..end]).into_owned(),
+                });
+                i = j;
+            }
+            b'"' => {
+                let (tok, next, nl) = lex_string(b, i, line);
+                out.tokens.push(tok);
+                i = next;
+                line += nl;
+            }
+            b'r' | b'b' => {
+                // Raw strings, byte strings, byte chars, raw idents — or a
+                // plain identifier that merely starts with r/b.
+                if let Some((tok, next, nl)) = lex_r_or_b(b, i, line) {
+                    out.tokens.push(tok);
+                    i = next;
+                    line += nl;
+                } else {
+                    let (tok, next) = lex_ident(b, i, line);
+                    out.tokens.push(tok);
+                    i = next;
+                }
+            }
+            b'\'' => {
+                let (tok, next, nl) = lex_quote(b, i, line);
+                out.tokens.push(tok);
+                i = next;
+                line += nl;
+            }
+            _ if is_ident_start(c) => {
+                let (tok, next) = lex_ident(b, i, line);
+                out.tokens.push(tok);
+                i = next;
+            }
+            _ if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(b, i, line);
+                out.tokens.push(tok);
+                i = next;
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lex a `"…"` string starting at `b[i] == '"'`. Returns the token, the
+/// index past the closing quote, and the newlines consumed.
+fn lex_string(b: &[u8], i: usize, line: u32) -> (Tok, usize, u32) {
+    let start = i + 1;
+    let mut j = start;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2, // skip the escaped character, whatever it is
+            b'"' => break,
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let end = j.min(b.len());
+    let tok = Tok {
+        kind: TokKind::Str,
+        text: String::from_utf8_lossy(&b[start..end]).into_owned(),
+        line,
+    };
+    (tok, (j + 1).min(b.len()), nl)
+}
+
+/// Try to lex a raw string / byte string / byte char / raw ident starting
+/// at `b[i]` being `r` or `b`. Returns `None` when it is just an ident.
+fn lex_r_or_b(b: &[u8], i: usize, line: u32) -> Option<(Tok, usize, u32)> {
+    let c = b[i];
+    // Longest-prefix probe: r" r#" br" br#" b" b' r#ident
+    let mut j = i + 1;
+    if c == b'b' && b.get(j) == Some(&b'r') {
+        j += 1; // br…
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match b.get(j) {
+        Some(&b'"') if c == b'r' || j > i + 1 => {
+            // Raw (byte) string: contents until `"` + `hashes` hashes.
+            let start = j + 1;
+            let mut k = start;
+            let mut nl = 0u32;
+            while k < b.len() {
+                if b[k] == b'"'
+                    && b[k + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == b'#')
+                        .count()
+                        == hashes
+                {
+                    let tok = Tok {
+                        kind: TokKind::Str,
+                        text: String::from_utf8_lossy(&b[start..k]).into_owned(),
+                        line,
+                    };
+                    return Some((tok, k + 1 + hashes, nl));
+                }
+                if b[k] == b'\n' {
+                    nl += 1;
+                }
+                k += 1;
+            }
+            let tok = Tok {
+                kind: TokKind::Str,
+                text: String::from_utf8_lossy(&b[start..]).into_owned(),
+                line,
+            };
+            Some((tok, b.len(), nl))
+        }
+        Some(&b'"') => {
+            // b"…": plain byte string (no hashes, c == 'b').
+            let (mut tok, next, nl) = lex_string(b, j, line);
+            tok.kind = TokKind::Str;
+            Some((tok, next, nl))
+        }
+        Some(&b'\'') if c == b'b' && hashes == 0 && j == i + 1 => {
+            // b'x' byte char.
+            let (tok, next, nl) = lex_quote(b, j, line);
+            Some((tok, next, nl))
+        }
+        Some(&ch) if hashes == 1 && c == b'r' && is_ident_start(ch) => {
+            // r#ident raw identifier.
+            let (tok, next) = lex_ident(b, j, line);
+            Some((tok, next, 0))
+        }
+        _ => None,
+    }
+}
+
+/// Lex `'…'` as a char literal or a lifetime, starting at `b[i] == '\''`.
+fn lex_quote(b: &[u8], i: usize, line: u32) -> (Tok, usize, u32) {
+    let next = b.get(i + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: skip to the closing quote, starting at
+            // the backslash so the escaped character (possibly `'`) is
+            // consumed by the escape, not read as the terminator.
+            let mut j = i + 1;
+            while j < b.len() && b[j] != b'\'' {
+                j += if b[j] == b'\\' { 2 } else { 1 };
+            }
+            let tok = Tok {
+                kind: TokKind::Char,
+                text: String::from_utf8_lossy(&b[i + 1..j.min(b.len())]).into_owned(),
+                line,
+            };
+            (tok, (j + 1).min(b.len()), 0)
+        }
+        Some(ch) => {
+            // Decode one UTF-8 scalar; a closing quote right after it means
+            // a char literal, anything else means a lifetime.
+            let width = utf8_width(ch);
+            if b.get(i + 1 + width) == Some(&b'\'') {
+                let tok = Tok {
+                    kind: TokKind::Char,
+                    text: String::from_utf8_lossy(&b[i + 1..i + 1 + width]).into_owned(),
+                    line,
+                };
+                (tok, i + 2 + width, 0)
+            } else if is_ident_start(ch) {
+                let (mut tok, next) = lex_ident(b, i + 1, line);
+                tok.kind = TokKind::Lifetime;
+                (tok, next, 0)
+            } else {
+                // Stray quote: emit as punct and move on.
+                let tok = Tok {
+                    kind: TokKind::Punct,
+                    text: "'".to_string(),
+                    line,
+                };
+                (tok, i + 1, 0)
+            }
+        }
+        None => (
+            Tok {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            },
+            i + 1,
+            0,
+        ),
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn lex_ident(b: &[u8], i: usize, line: u32) -> (Tok, usize) {
+    let mut j = i;
+    while j < b.len() && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Ident,
+            text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+            line,
+        },
+        j,
+    )
+}
+
+fn lex_number(b: &[u8], i: usize, line: u32) -> (Tok, usize) {
+    let mut j = i;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    // One fractional part, only if a digit follows the dot (so `0..3`
+    // stays three tokens: `0`, `.`, `.`, `3`).
+    if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Num,
+            text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+            line,
+        },
+        j,
+    )
+}
+
+/// Per-token flag: is this token inside a test region?
+///
+/// Test regions are: the item following `#[test]` or any attribute that
+/// mentions both `cfg` and `test` (`#[cfg(test)]`, `#[cfg(any(test, …))]`),
+/// and any `mod tests { … }` block regardless of attributes. The region
+/// extends to the item's matched `{…}` body or its terminating `;`.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test) = parse_attr(tokens, i + 1);
+            if is_test {
+                let end = item_end(tokens, attr_end + 1);
+                for flag in mask.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+            } else {
+                i = attr_end + 1;
+            }
+            continue;
+        }
+        if tokens[i].is_ident("mod")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("tests"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let end = match_brace(tokens, i + 2);
+            for flag in mask.iter_mut().take(end + 1).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Parse an attribute whose `[` is at `open`. Returns the index of the
+/// matching `]` and whether the attribute marks a test region.
+fn parse_attr(tokens: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(&t.text);
+        }
+        j += 1;
+    }
+    let is_test = idents == ["test"] || (idents.contains(&"cfg") && idents.contains(&"test"));
+    (j.min(tokens.len().saturating_sub(1)), is_test)
+}
+
+/// From `from` (just past a test attribute), find the index of the token
+/// ending the annotated item: the matching `}` of its first body, or a
+/// top-level `;`, whichever comes first. Intervening attributes are
+/// skipped.
+fn item_end(tokens: &[Tok], from: usize) -> usize {
+    let mut j = from;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('#') && tokens.get(j + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, _) = parse_attr(tokens, j + 1);
+            j = attr_end + 1;
+            continue;
+        }
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct(';') {
+                return j;
+            }
+            if t.is_punct('{') {
+                return match_brace(tokens, j);
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open` (last token if unclosed).
+fn match_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped_entirely() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn block_comment_newlines_advance_the_line_counter() {
+        let src = "/* one\ntwo\nthree */ x";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].text, "x");
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_contents() {
+        let src = r####"let s = r##"unwrap() "# not the end"##; done"####;
+        let lexed = lex(src);
+        let strs: Vec<&Tok> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r##"unwrap() "# not the end"##);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+        // `unwrap` must not surface as an identifier.
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn line_comment_delimiters_inside_string_literals_are_content() {
+        let src = "let url = \"https://example.com\"; after";
+        let lexed = lex(src);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone());
+        assert_eq!(s.as_deref(), Some("https://example.com"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_and_backslashes_stay_inside_the_string() {
+        let src = r#"f("a \" b \\"); g"#;
+        assert_eq!(idents(src), ["f", "g"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "let c = 'x'; let n = '\\n'; let q = '\\''; fn f<'a>(v: &'static str) {}";
+        let lexed = lex(src);
+        let chars: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["x", "\\n", "\\'"]);
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "static"]);
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_not_a_lifetime() {
+        let src = "let c = '\u{1f980}'; x";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char));
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"bytes\"; let c = b'x'; let r = br#\"raw\"#; end";
+        let lexed = lex(src);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["bytes", "raw"]);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("end")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let src = "let r#type = 1; r#fn";
+        assert!(idents(src).contains(&"type".to_string()));
+        assert!(idents(src).contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_operators() {
+        let src = "for i in 0..3 { } 1.5 0x1f 1_000 1e9";
+        let lexed = lex(src);
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "3", "1.5", "0x1f", "1_000", "1e9"]);
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let src = "one\ntwo three\n\nfour";
+        let lexed = lex(src);
+        let lines: Vec<(String, u32)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            [
+                ("one".to_string(), 1),
+                ("two".to_string(), 2),
+                ("three".to_string(), 2),
+                ("four".to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_boundaries_are_masked() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn also_live() { z.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        for (t, &m) in lexed.tokens.iter().zip(&mask) {
+            match t.text.as_str() {
+                "x" | "z" | "live" | "also_live" => assert!(!m, "{} wrongly masked", t.text),
+                "y" | "t" | "tests" => assert!(m, "{} not masked", t.text),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn test_fn_attribute_masks_only_that_function() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn live() { b.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        for (t, &m) in lexed.tokens.iter().zip(&mask) {
+            match t.text.as_str() {
+                "a" | "check" => assert!(m),
+                "b" | "live" => assert!(!m),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn bare_mod_tests_is_masked_without_cfg_attribute() {
+        let src = "mod tests { fn t() { a.unwrap(); } }\nfn live() {}";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let a = lexed.tokens.iter().position(|t| t.is_ident("a"));
+        let live = lexed.tokens.iter().position(|t| t.is_ident("live"));
+        assert!(mask[a.expect("a token")]);
+        assert!(!mask[live.expect("live token")]);
+    }
+
+    #[test]
+    fn cfg_any_including_test_is_masked() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() { a.unwrap(); }\nfn live() {}";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let a = lexed.tokens.iter().position(|t| t.is_ident("a"));
+        assert!(mask[a.expect("a token")]);
+        let live = lexed.tokens.iter().position(|t| t.is_ident("live"));
+        assert!(!mask[live.expect("live token")]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_masks_to_semicolon_only() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() { a.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let fmt = lexed.tokens.iter().position(|t| t.is_ident("fmt"));
+        assert!(mask[fmt.expect("fmt token")]);
+        let a = lexed.tokens.iter().position(|t| t.is_ident("a"));
+        assert!(!mask[a.expect("a token")]);
+    }
+
+    #[test]
+    fn attribute_with_brackets_in_args_does_not_derail_masking() {
+        let src = "#[doc = \"see [link]\"]\nfn live() { a.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        assert!(mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn function_with_braces_in_signature_defaults_still_masks_body() {
+        // A where-clause with Fn(..) parens before the body brace.
+        let src = "#[test]\nfn f<F>(g: F) where F: Fn(u8) -> [u8; 2] { a.unwrap(); }\nfn live() { b.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let a = lexed.tokens.iter().position(|t| t.is_ident("a"));
+        assert!(mask[a.expect("a token")]);
+        let b = lexed.tokens.iter().position(|t| t.is_ident("b"));
+        assert!(!mask[b.expect("b token")]);
+    }
+}

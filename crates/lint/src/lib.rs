@@ -1,0 +1,149 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Workspace-specific static analysis for the hetmmm workspace.
+//!
+//! `hetmmm-lint` enforces the conventions the workspace's own design
+//! documents promise but `rustc`/`clippy` cannot check: typed errors
+//! instead of panics in library code (L001), all time reads through the
+//! pluggable obs clock (L002), silence in libraries (L003), hardened
+//! crate roots (L004), no hidden sleeps (L005), a version-bumped event
+//! vocabulary (L010), a single registry of metric names (L011), and
+//! manifest coverage for every bench binary (L012).
+//!
+//! The analysis is built on a small hand-rolled Rust lexer
+//! ([`lexer::lex`]) so string literals and comments can never produce
+//! false positives, plus a test-region mask ([`lexer::test_mask`]) so
+//! `#[test]` functions and `#[cfg(test)]` modules are exempt.
+//!
+//! Pre-existing findings are grandfathered by a committed
+//! [`baseline::Baseline`] (`lint_baseline.json`); the gate is a ratchet —
+//! new findings fail, fixed findings shrink the baseline via
+//! `--write-baseline`. Individual sites are waived inline with
+//! `// hetmmm-lint: allow(L001) <reason>`.
+
+pub mod baseline;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod semantic;
+pub mod source;
+
+use crate::baseline::SchemaRecord;
+use crate::findings::Finding;
+use crate::semantic::{MetricRegistry, SchemaInfo};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Outcome of a full lint pass over one workspace tree (before baseline
+/// gating — see [`baseline::gate`] for that step).
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings after inline suppressions were applied.
+    pub findings: Vec<Finding>,
+    /// How many findings inline suppressions removed.
+    pub suppressed: usize,
+    /// Number of source files scanned.
+    pub files: usize,
+    /// The event-schema info L010 extracted (fed into `--write-baseline`).
+    pub schema: Option<SchemaInfo>,
+    /// Infrastructure notes: semantic rules that were skipped because the
+    /// file they inspect is missing from this tree.
+    pub notes: Vec<String>,
+}
+
+/// Run every rule over the workspace rooted at `root`.
+///
+/// `committed` is the schema record from the loaded baseline; rule L010
+/// compares the live event vocabulary against it. Cross-file rules whose
+/// anchor file is missing (e.g. a fixture tree without `crates/obs`)
+/// record a note and are skipped rather than erroring.
+pub fn run_lint(root: &Path, committed: Option<&SchemaRecord>) -> io::Result<LintReport> {
+    let files = source::collect(root)?;
+    let mut report = LintReport {
+        files: files.len(),
+        ..LintReport::default()
+    };
+
+    // L011 anchor: the metric-name registry in crates/obs/src/metrics.rs.
+    let mut registry_findings = Vec::new();
+    let registry = match fs::read_to_string(root.join(semantic::METRICS_RS)) {
+        Ok(src) => {
+            let reg = semantic::parse_metric_registry(&src, &mut registry_findings);
+            if !reg.present {
+                report.notes.push(format!(
+                    "{} has no `mod names` registry; L011 skipped",
+                    semantic::METRICS_RS
+                ));
+            }
+            reg
+        }
+        Err(_) => {
+            report
+                .notes
+                .push(format!("{} not found; L011 skipped", semantic::METRICS_RS));
+            MetricRegistry::default()
+        }
+    };
+
+    for file in &files {
+        let src = fs::read_to_string(&file.path)?;
+        let lexed = lexer::lex(&src);
+        let mask = lexer::test_mask(&lexed.tokens);
+        let ctx = rules::FileCtx {
+            file,
+            lexed: &lexed,
+            mask: &mask,
+        };
+        let mut file_findings = Vec::new();
+        rules::run_file_rules(&ctx, &mut file_findings);
+        semantic::l011_metric_call_sites(&ctx, &registry, &mut file_findings);
+        semantic::l012_bin_session(&ctx, &mut file_findings);
+        if file.rel == semantic::METRICS_RS {
+            file_findings.append(&mut registry_findings);
+        }
+        let sups = findings::parse_suppressions(&lexed.comments);
+        report.suppressed += findings::apply_suppressions(&mut file_findings, &sups, &file.rel);
+        report.findings.append(&mut file_findings);
+    }
+
+    // L010 anchor: the event vocabulary in crates/obs/src/event.rs.
+    report.schema = match fs::read_to_string(root.join(semantic::EVENT_RS)) {
+        Ok(src) => match semantic::extract_schema(&src) {
+            Some(info) => {
+                semantic::l010_schema_drift(&info, committed, &mut report.findings);
+                Some(info)
+            }
+            None => {
+                report.notes.push(format!(
+                    "{} has no SCHEMA_VERSION/EventKind; L010 skipped",
+                    semantic::EVENT_RS
+                ));
+                None
+            }
+        },
+        Err(_) => {
+            report
+                .notes
+                .push(format!("{} not found; L010 skipped", semantic::EVENT_RS));
+            None
+        }
+    };
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_lint_on_missing_tree_is_empty_not_an_error() {
+        let report = run_lint(Path::new("/nonexistent-hetmmm-fixture"), None)
+            .expect("missing tree is not an IO error");
+        assert_eq!(report.files, 0);
+        assert!(report.findings.is_empty());
+        // Both semantic anchors were noted as skipped.
+        assert_eq!(report.notes.len(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! `hetmmm-lint` CLI: run the workspace invariant checker and gate
+//! against the committed baseline.
+//!
+//! ```text
+//! cargo run -p hetmmm-lint                  # lint the workspace, exit 1 on fresh findings
+//! cargo run -p hetmmm-lint -- --write-baseline   # fold current findings into lint_baseline.json
+//! ```
+//!
+//! Exit codes: `0` clean (or baseline written), `1` fresh findings, `2`
+//! usage or I/O error.
+
+use hetmmm_lint::baseline::{gate, Baseline};
+use hetmmm_lint::findings::{render_text, FindingRecord};
+use hetmmm_lint::run_lint;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hetmmm-lint: workspace invariant checker
+
+USAGE:
+    hetmmm-lint [--root DIR] [--baseline FILE] [--jsonl FILE] [--write-baseline]
+
+OPTIONS:
+    --root DIR         workspace root to lint (default: the workspace this
+                       binary was built in, else the current directory)
+    --baseline FILE    baseline path (default: <root>/lint_baseline.json)
+    --jsonl FILE       findings JSONL output path
+                       (default: <root>/results/lint_findings.jsonl)
+    --write-baseline   rewrite the baseline to grandfather current findings
+    --help             print this help
+";
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    jsonl: PathBuf,
+    write_baseline: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut jsonl: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--write-baseline" => write_baseline = true,
+            "--root" | "--baseline" | "--jsonl" => {
+                let Some(v) = it.next() else {
+                    return Err(format!("{arg} requires a value"));
+                };
+                let p = PathBuf::from(v);
+                match arg.as_str() {
+                    "--root" => root = Some(p),
+                    "--baseline" => baseline = Some(p),
+                    _ => jsonl = Some(p),
+                }
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let baseline = baseline.unwrap_or_else(|| root.join("lint_baseline.json"));
+    let jsonl = jsonl.unwrap_or_else(|| root.join("results").join("lint_findings.jsonl"));
+    Ok(Some(Args {
+        root,
+        baseline,
+        jsonl,
+        write_baseline,
+    }))
+}
+
+/// Under `cargo run` the workspace root is two levels above this crate's
+/// manifest dir; otherwise fall back to the current directory.
+fn default_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = Path::new(&dir);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("hetmmm-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("hetmmm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let committed = load_baseline(&args.baseline)?;
+    let report = run_lint(&args.root, committed.schema.as_ref())
+        .map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
+
+    for note in &report.notes {
+        eprintln!("hetmmm-lint: note: {note}");
+    }
+
+    if args.write_baseline {
+        let schema = report.schema.as_ref().map(|s| s.record());
+        let fresh_baseline = Baseline::from_findings(&report.findings, schema);
+        let text = fresh_baseline
+            .render_pretty()
+            .map_err(|e| format!("rendering baseline: {e}"))?;
+        fs::write(&args.baseline, text)
+            .map_err(|e| format!("writing {}: {e}", args.baseline.display()))?;
+        write_jsonl(&args.jsonl, &report.findings, &[])?;
+        println!(
+            "hetmmm-lint: baseline written to {} ({} findings grandfathered across {} files scanned, {} suppressed inline)",
+            args.baseline.display(),
+            report.findings.len(),
+            report.files,
+            report.suppressed,
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let result = gate(&report.findings, &committed);
+    write_jsonl(&args.jsonl, &result.grandfathered, &result.fresh)?;
+
+    if !result.fresh.is_empty() {
+        print!("{}", render_text(&result.fresh));
+    }
+    for s in &result.stale {
+        println!(
+            "hetmmm-lint: stale baseline: {} {} allows {} but only {} remain; run --write-baseline to ratchet",
+            s.rule, s.path, s.allowed, s.actual
+        );
+    }
+    println!(
+        "hetmmm-lint: {} files, {} fresh, {} grandfathered, {} suppressed inline, {} stale baseline entries",
+        report.files,
+        result.fresh.len(),
+        result.grandfathered.len(),
+        report.suppressed,
+        result.stale.len(),
+    );
+    Ok(if result.fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text)
+            .map_err(|e| format!("parsing baseline {}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::empty()),
+        Err(e) => Err(format!("reading baseline {}: {e}", path.display())),
+    }
+}
+
+fn write_jsonl(
+    path: &Path,
+    grandfathered: &[hetmmm_lint::findings::Finding],
+    fresh: &[hetmmm_lint::findings::Finding],
+) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let mut out = String::new();
+    for (status, set) in [("fresh", fresh), ("grandfathered", grandfathered)] {
+        for f in set {
+            let rec = FindingRecord {
+                finding: f.clone(),
+                status: status.to_string(),
+            };
+            let line =
+                serde_json::to_string(&rec).map_err(|e| format!("serializing finding: {e}"))?;
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    fs::write(path, out).map_err(|e| format!("writing {}: {e}", path.display()))
+}

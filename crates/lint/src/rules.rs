@@ -1,0 +1,340 @@
+//! Per-file token rules L001–L005.
+//!
+//! Each rule scans one file's token stream (with its test mask) and emits
+//! findings. The matching is token-shaped, not textual, so `unwrap_or`
+//! never trips L001 and `"Instant::now"` inside a string never trips
+//! L002.
+//!
+//! | id   | invariant |
+//! |------|-----------|
+//! | L001 | no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` in non-test library code |
+//! | L002 | no `Instant::now` / `SystemTime::now` outside `crates/obs/src/clock.rs` and binaries |
+//! | L003 | no `println!` / `eprintln!` in library crates (use the obs facade) |
+//! | L004 | crate roots carry `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]` |
+//! | L005 | no `thread::sleep` outside `crates/mmm/src/fault.rs`, binaries, and tests |
+
+use crate::findings::Finding;
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::source::{FileClass, SourceFile};
+
+/// Everything a per-file rule needs about one file.
+pub struct FileCtx<'a> {
+    /// The file's identity and classification.
+    pub file: &'a SourceFile,
+    /// Its token stream and comments.
+    pub lexed: &'a Lexed,
+    /// Per-token test-region flags (parallel to `lexed.tokens`).
+    pub mask: &'a [bool],
+}
+
+impl FileCtx<'_> {
+    fn is_library(&self) -> bool {
+        matches!(self.file.class, FileClass::Library | FileClass::LibraryRoot)
+    }
+
+    fn tokens(&self) -> &[Tok] {
+        &self.lexed.tokens
+    }
+}
+
+/// Run every per-file rule on `ctx`.
+pub fn run_file_rules(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    l001_no_panicking_calls(ctx, out);
+    l002_clock_discipline(ctx, out);
+    l003_no_direct_printing(ctx, out);
+    l004_crate_attributes(ctx, out);
+    l005_no_sleep(ctx, out);
+}
+
+/// L001: no `.unwrap()` / `.expect(` / `panic!(` / `unreachable!(` in
+/// non-test library code — route failures through `HetmmmError` or use an
+/// infallible construction.
+fn l001_no_panicking_calls(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_library() {
+        return;
+    }
+    let toks = ctx.tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            // `.unwrap()` / `.expect(...)` method calls.
+            "unwrap" | "expect" => {
+                i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            }
+            // `panic!(...)` / `unreachable!(...)` macro invocations.
+            "panic" | "unreachable" => toks.get(i + 1).is_some_and(|n| n.is_punct('!')),
+            _ => false,
+        };
+        if hit {
+            let what = match t.text.as_str() {
+                "unwrap" => "`.unwrap()`",
+                "expect" => "`.expect(..)`",
+                "panic" => "`panic!`",
+                _ => "`unreachable!`",
+            };
+            out.push(Finding::new(
+                "L001",
+                &ctx.file.rel,
+                t.line,
+                format!(
+                    "{what} in non-test library code; return HetmmmError or restructure infallibly"
+                ),
+            ));
+        }
+    }
+}
+
+/// L002: all time reads go through the obs `Clock`; only the clock module
+/// itself and binaries (bench drivers, examples) may call
+/// `Instant::now` / `SystemTime::now`.
+fn l002_clock_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_library() || ctx.file.rel == "crates/obs/src/clock.rs" {
+        return;
+    }
+    let toks = ctx.tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] {
+            continue;
+        }
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(Finding::new(
+                "L002",
+                &ctx.file.rel,
+                t.line,
+                format!(
+                    "{}::now() outside crates/obs/src/clock.rs; read time through the obs Clock",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// L003: library crates are silent — output goes through the obs facade
+/// (`hetmmm_obs::message` / `message_or_stdout`), never `println!` /
+/// `eprintln!` directly.
+fn l003_no_direct_printing(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_library() {
+        return;
+    }
+    let toks = ctx.tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] {
+            continue;
+        }
+        if (t.is_ident("println") || t.is_ident("eprintln"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Finding::new(
+                "L003",
+                &ctx.file.rel,
+                t.line,
+                format!(
+                    "{}! in library code; route output through the obs facade",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// L004: every crate root carries `#![forbid(unsafe_code)]` and
+/// `#![warn(missing_docs)]`.
+fn l004_crate_attributes(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.file.class != FileClass::LibraryRoot {
+        return;
+    }
+    let toks = ctx.tokens();
+    let mut has_forbid_unsafe = false;
+    let mut has_warn_missing_docs = false;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        // Inner attribute: `#` `!` `[` … `]`.
+        if toks[i].is_punct('#') && toks[i + 1].is_punct('!') && toks[i + 2].is_punct('[') {
+            let mut idents: Vec<&str> = Vec::new();
+            let mut j = i + 3;
+            let mut depth = 1i32;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                } else if toks[j].kind == TokKind::Ident {
+                    idents.push(&toks[j].text);
+                }
+                j += 1;
+            }
+            if idents.contains(&"forbid") && idents.contains(&"unsafe_code") {
+                has_forbid_unsafe = true;
+            }
+            if idents.contains(&"warn") && idents.contains(&"missing_docs") {
+                has_warn_missing_docs = true;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    if !has_forbid_unsafe {
+        out.push(Finding::new(
+            "L004",
+            &ctx.file.rel,
+            1,
+            "crate root is missing #![forbid(unsafe_code)]",
+        ));
+    }
+    if !has_warn_missing_docs {
+        out.push(Finding::new(
+            "L004",
+            &ctx.file.rel,
+            1,
+            "crate root is missing #![warn(missing_docs)]",
+        ));
+    }
+}
+
+/// L005: `thread::sleep` appears only in the fault-injection module
+/// (`crates/mmm/src/fault.rs`), binaries, and tests — sleeping in library
+/// code hides latency from the pluggable clock.
+fn l005_no_sleep(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_library() || ctx.file.rel == "crates/mmm/src/fault.rs" {
+        return;
+    }
+    let toks = ctx.tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] {
+            continue;
+        }
+        if t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("sleep"))
+        {
+            out.push(Finding::new(
+                "L005",
+                &ctx.file.rel,
+                t.line,
+                "thread::sleep in library code outside fault injection",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_mask};
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn check(rel: &str, class: FileClass, src: &str) -> Vec<Finding> {
+        let file = SourceFile {
+            path: PathBuf::from(rel),
+            rel: rel.to_string(),
+            class,
+        };
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let ctx = FileCtx {
+            file: &file,
+            lexed: &lexed,
+            mask: &mask,
+        };
+        let mut out = Vec::new();
+        run_file_rules(&ctx, &mut out);
+        out
+    }
+
+    const LIB: FileClass = FileClass::Library;
+
+    #[test]
+    fn l001_flags_each_construct_with_exact_lines() {
+        // Fixture with one violation per line; asserts exact line numbers.
+        let src = "\
+fn f(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect(\"msg\");
+    if a > b { panic!(\"boom\"); }
+    unreachable!()
+}
+";
+        let found = check("crates/x/src/f.rs", LIB, src);
+        let lines: Vec<(String, u32)> = found.iter().map(|f| (f.rule.clone(), f.line)).collect();
+        assert_eq!(
+            lines,
+            [
+                ("L001".to_string(), 2),
+                ("L001".to_string(), 3),
+                ("L001".to_string(), 4),
+                ("L001".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn l001_ignores_tests_bins_lookalikes_and_literals() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); expect(\"free fn\"); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { y.unwrap(); panic!(\"in test\"); } }";
+        assert!(check("crates/x/src/f.rs", LIB, src).is_empty());
+        // Binaries may unwrap.
+        assert!(check(
+            "crates/bench/src/bin/b.rs",
+            FileClass::Binary,
+            "fn main() { x.unwrap(); }"
+        )
+        .is_empty());
+        // Inside strings and comments: invisible.
+        let src = "// call .unwrap() here\nconst S: &str = \"x.unwrap()\";";
+        assert!(check("crates/x/src/f.rs", LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l002_flags_direct_time_reads_except_clock_module() {
+        let src = "fn f() { let t = Instant::now(); let u = std::time::SystemTime::now(); }";
+        let found = check("crates/x/src/f.rs", LIB, src);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == "L002"));
+        assert!(check("crates/obs/src/clock.rs", LIB, src).is_empty());
+        assert!(check("crates/bench/src/bin/b.rs", FileClass::Binary, src).is_empty());
+    }
+
+    #[test]
+    fn l003_flags_printing_in_libraries_only() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }";
+        let found = check("crates/x/src/f.rs", LIB, src);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == "L003"));
+        assert!(check("crates/bench/src/bin/b.rs", FileClass::Binary, src).is_empty());
+        assert!(check("examples/e.rs", FileClass::Binary, src).is_empty());
+    }
+
+    #[test]
+    fn l004_requires_both_crate_attributes() {
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}";
+        assert!(check("crates/x/src/lib.rs", FileClass::LibraryRoot, good).is_empty());
+        let missing_docs = "#![forbid(unsafe_code)]\npub fn f() {}";
+        let found = check("crates/x/src/lib.rs", FileClass::LibraryRoot, missing_docs);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("missing_docs"));
+        // Non-root files are exempt.
+        assert!(check("crates/x/src/other.rs", LIB, "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn l005_flags_sleep_outside_fault_injection() {
+        let src = "fn f() { std::thread::sleep(d); }";
+        let found = check("crates/x/src/f.rs", LIB, src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "L005");
+        assert!(check("crates/mmm/src/fault.rs", LIB, src).is_empty());
+        assert!(check("crates/x/tests/t.rs", FileClass::Test, src).is_empty());
+    }
+}

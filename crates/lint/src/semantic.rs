@@ -1,0 +1,426 @@
+//! Cross-file semantic rules L010–L012.
+//!
+//! | id   | invariant |
+//! |------|-----------|
+//! | L010 | `EventKind`'s variant/field fingerprint matches the committed one, or `SCHEMA_VERSION` was bumped |
+//! | L011 | metric names come from the `names` registry in `crates/obs/src/metrics.rs`, and registry names are unique |
+//! | L012 | every bench binary opens a `BinSession` unless on the read-only allowlist |
+
+use crate::baseline::SchemaRecord;
+use crate::findings::Finding;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::FileCtx;
+use crate::source::FileClass;
+use std::collections::BTreeMap;
+
+/// Path of the event-vocabulary module, relative to the workspace root.
+pub const EVENT_RS: &str = "crates/obs/src/event.rs";
+/// Path of the metrics module that hosts the name registry.
+pub const METRICS_RS: &str = "crates/obs/src/metrics.rs";
+/// Bench binaries that only *read* artifacts and deliberately do not open
+/// a `BinSession` (a session would append to the manifests they analyze).
+pub const BINSESSION_ALLOWLIST: [&str; 3] = ["obs_report", "perf_gate", "obs_verify"];
+
+/// FNV-1a 64-bit over `data`, rendered as fixed-width hex.
+pub fn fnv1a_hex(data: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// What L010 extracted from `crates/obs/src/event.rs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaInfo {
+    /// Value of the `SCHEMA_VERSION` constant.
+    pub version: u32,
+    /// Canonical `Variant{field,field};…` listing of `EventKind`.
+    pub shape: String,
+    /// [`fnv1a_hex`] of `shape`.
+    pub fingerprint: String,
+}
+
+impl SchemaInfo {
+    /// The record a fresh baseline would commit.
+    pub fn record(&self) -> SchemaRecord {
+        SchemaRecord {
+            schema_version: self.version,
+            fingerprint: self.fingerprint.clone(),
+        }
+    }
+}
+
+/// Extract `SCHEMA_VERSION` and the `EventKind` shape from the source of
+/// `event.rs`. Returns `None` when either is missing (the file moved or
+/// was gutted — reported by the caller as a lint infrastructure note).
+pub fn extract_schema(src: &str) -> Option<SchemaInfo> {
+    let toks = lex(src).tokens;
+    let version = find_schema_version(&toks)?;
+    let shape = event_kind_shape(&toks)?;
+    let fingerprint = fnv1a_hex(&shape);
+    Some(SchemaInfo {
+        version,
+        shape,
+        fingerprint,
+    })
+}
+
+fn find_schema_version(toks: &[Tok]) -> Option<u32> {
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("SCHEMA_VERSION") {
+            // const SCHEMA_VERSION : u32 = <num> ;
+            for n in toks.iter().skip(i + 1).take(6) {
+                if n.kind == TokKind::Num {
+                    return n.text.replace('_', "").parse().ok();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Canonical shape string: `Variant{f1,f2};Variant2;Variant3(2);…` —
+/// struct variants list field names, tuple variants their arity, unit
+/// variants just the name. Renames, insertions, deletions, and reorders
+/// all change the string.
+fn event_kind_shape(toks: &[Tok]) -> Option<String> {
+    let start = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident("EventKind"))?;
+    let open = (start..toks.len()).find(|&i| toks[i].is_punct('{'))?;
+    let mut shape = String::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 && t.kind == TokKind::Ident {
+            // Skip attributes on variants.
+            if i > 0 && toks[i - 1].is_punct('[') {
+                i += 1;
+                continue;
+            }
+            if !shape.is_empty() {
+                shape.push(';');
+            }
+            shape.push_str(&t.text);
+            match toks.get(i + 1) {
+                Some(n) if n.is_punct('{') => {
+                    // Struct variant: collect field names (idents directly
+                    // followed by `:` at field depth).
+                    let (fields, end) = struct_fields(toks, i + 1);
+                    shape.push('{');
+                    shape.push_str(&fields.join(","));
+                    shape.push('}');
+                    // Jump past the matched `}`; both braces are skipped,
+                    // so depth stays untouched.
+                    i = end + 1;
+                    continue;
+                }
+                Some(n) if n.is_punct('(') => {
+                    // Tuple variant: record arity (top-level commas + 1).
+                    let (arity, end) = tuple_arity(toks, i + 1);
+                    shape.push_str(&format!("({arity})"));
+                    i = end + 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (!shape.is_empty()).then_some(shape)
+}
+
+/// Collect field names of a struct variant whose `{` is at `open`;
+/// returns the names and the index of the matching `}`.
+fn struct_fields(toks: &[Tok], open: usize) -> (Vec<String>, usize) {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return (fields, i);
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            // `name:` but not `path::segment`.
+            if i == open + 1 || !toks[i - 1].is_punct(':') {
+                fields.push(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    (fields, toks.len().saturating_sub(1))
+}
+
+/// Arity of a tuple variant whose `(` is at `open`; returns the arity and
+/// the index of the matching `)`.
+fn tuple_arity(toks: &[Tok], open: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return ((any as usize) + commas, i);
+            }
+        } else if depth == 1 {
+            any = true;
+            if t.is_punct(',') {
+                commas += 1;
+            }
+        }
+        i += 1;
+    }
+    ((any as usize) + commas, toks.len().saturating_sub(1))
+}
+
+/// L010: compare the extracted schema against the committed record.
+/// Fires when the shape changed but the version did not.
+pub fn l010_schema_drift(
+    info: &SchemaInfo,
+    committed: Option<&SchemaRecord>,
+    out: &mut Vec<Finding>,
+) {
+    let Some(rec) = committed else {
+        return; // first run: --write-baseline commits the initial record
+    };
+    if info.fingerprint != rec.fingerprint && info.version == rec.schema_version {
+        out.push(Finding::new(
+            "L010",
+            EVENT_RS,
+            1,
+            format!(
+                "EventKind changed (fingerprint {} -> {}) without a SCHEMA_VERSION bump \
+                 (still {}); bump SCHEMA_VERSION and re-run with --write-baseline",
+                rec.fingerprint, info.fingerprint, info.version
+            ),
+        ));
+    }
+}
+
+/// The metric-name registry parsed out of `mod names` in metrics.rs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricRegistry {
+    /// Declared names with the line of their declaration.
+    pub names: BTreeMap<String, u32>,
+    /// Was a `mod names` block found at all?
+    pub present: bool,
+}
+
+/// Parse the `mod names { … }` block of `metrics.rs` and check
+/// registry-internal uniqueness (one half of L011).
+pub fn parse_metric_registry(metrics_src: &str, out: &mut Vec<Finding>) -> MetricRegistry {
+    let toks = lex(metrics_src).tokens;
+    let mut reg = MetricRegistry::default();
+    let Some(start) = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("mod") && w[1].is_ident("names"))
+    else {
+        return reg;
+    };
+    let Some(open) = (start..toks.len()).find(|&i| toks[i].is_punct('{')) else {
+        return reg;
+    };
+    reg.present = true;
+    let mut depth = 0i32;
+    for t in &toks[open..] {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Str {
+            if let Some(&first_line) = reg.names.get(&t.text) {
+                out.push(Finding::new(
+                    "L011",
+                    METRICS_RS,
+                    t.line,
+                    format!(
+                        "metric name \"{}\" registered twice (first at line {first_line})",
+                        t.text
+                    ),
+                ));
+            } else {
+                reg.names.insert(t.text.clone(), t.line);
+            }
+        }
+    }
+    reg
+}
+
+/// L011 (call-site half): every string literal handed directly to
+/// `.counter("…")` / `.gauge("…")` / `.histogram("…", …)` outside test
+/// code must be declared in the registry. Call sites that use the
+/// registry's constants carry no literal and pass by construction.
+pub fn l011_metric_call_sites(ctx: &FileCtx<'_>, reg: &MetricRegistry, out: &mut Vec<Finding>) {
+    if !reg.present {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_reg_call = matches!(t.text.as_str(), "counter" | "gauge" | "histogram");
+        if !is_reg_call || i == 0 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        let (Some(paren), Some(lit)) = (toks.get(i + 1), toks.get(i + 2)) else {
+            continue;
+        };
+        if paren.is_punct('(') && lit.kind == TokKind::Str && !reg.names.contains_key(&lit.text) {
+            out.push(Finding::new(
+                "L011",
+                &ctx.file.rel,
+                lit.line,
+                format!(
+                    "metric name \"{}\" is not declared in the names registry ({METRICS_RS})",
+                    lit.text
+                ),
+            ));
+        }
+    }
+}
+
+/// L012: every bench binary opens a `BinSession` (so its run lands in the
+/// manifest trail) unless it is on the read-only allowlist.
+pub fn l012_bin_session(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.file.class != FileClass::Binary || !ctx.file.rel.starts_with("crates/bench/src/bin/") {
+        return;
+    }
+    let stem = ctx
+        .file
+        .rel
+        .rsplit('/')
+        .next()
+        .and_then(|n| n.strip_suffix(".rs"))
+        .unwrap_or_default();
+    if BINSESSION_ALLOWLIST.contains(&stem) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let opens = toks.windows(4).any(|w| {
+        w[0].is_ident("BinSession")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && w[3].is_ident("start")
+    });
+    if !opens {
+        out.push(Finding::new(
+            "L012",
+            &ctx.file.rel,
+            1,
+            "bench binary never opens a BinSession; its runs will be missing from \
+             results/manifests.jsonl (add it, or extend the read-only allowlist)",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EVENT_SRC: &str = "
+pub const SCHEMA_VERSION: u32 = 2;
+pub enum EventKind {
+    SpanStart { span: u64, name: String, arg: u64, tid: u64 },
+    Message { target: String, text: String },
+    Tick,
+    Pair(u64, String),
+}
+";
+
+    #[test]
+    fn schema_extraction_reads_version_and_shape() {
+        let info = extract_schema(EVENT_SRC).expect("schema");
+        assert_eq!(info.version, 2);
+        assert_eq!(
+            info.shape,
+            "SpanStart{span,name,arg,tid};Message{target,text};Tick;Pair(2)"
+        );
+        assert_eq!(info.fingerprint, fnv1a_hex(&info.shape));
+    }
+
+    #[test]
+    fn l010_fires_on_mutated_variants_without_version_bump() {
+        let info = extract_schema(EVENT_SRC).expect("schema");
+        let committed = info.record();
+        // Mutate: add a variant, same version.
+        let mutated_src = EVENT_SRC.replace("Tick,", "Tick,\n    Added { x: u64 },");
+        let mutated = extract_schema(&mutated_src).expect("schema");
+        assert_eq!(mutated.version, committed.schema_version);
+        let mut out = Vec::new();
+        l010_schema_drift(&mutated, Some(&committed), &mut out);
+        assert_eq!(out.len(), 1, "mutation without bump must fire");
+        assert_eq!(out[0].rule, "L010");
+
+        // Renaming a field also fires.
+        let renamed = extract_schema(&EVENT_SRC.replace("arg:", "argument:")).expect("schema");
+        let mut out = Vec::new();
+        l010_schema_drift(&renamed, Some(&committed), &mut out);
+        assert_eq!(out.len(), 1, "field rename without bump must fire");
+
+        // Same mutation *with* a version bump passes.
+        let bumped_src = mutated_src.replace("u32 = 2", "u32 = 3");
+        let bumped = extract_schema(&bumped_src).expect("schema");
+        let mut out = Vec::new();
+        l010_schema_drift(&bumped, Some(&committed), &mut out);
+        assert!(out.is_empty(), "bumped version must pass");
+
+        // Unchanged shape passes.
+        let mut out = Vec::new();
+        l010_schema_drift(&info, Some(&committed), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn registry_parses_names_and_flags_duplicates() {
+        let src = "
+pub mod names {
+    pub const A: &str = \"exec.updates.R\";
+    pub const B: [&str; 2] = [\"dfa.push.a\", \"dfa.push.b\"];
+    pub const DUP: &str = \"exec.updates.R\";
+}
+";
+        let mut out = Vec::new();
+        let reg = parse_metric_registry(src, &mut out);
+        assert!(reg.present);
+        assert_eq!(reg.names.len(), 3);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("registered twice"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex("a"), fnv1a_hex("a"));
+        assert_ne!(fnv1a_hex("a"), fnv1a_hex("b"));
+    }
+}

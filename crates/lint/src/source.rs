@@ -1,0 +1,172 @@
+//! Workspace file discovery and classification.
+//!
+//! Rules apply per *class* of file, mirroring how the workspace is laid
+//! out: library sources carry the conventions (typed errors, the obs
+//! facade, the pluggable clock), binaries are allowed to print and read
+//! real time, and test code is exempt from the hygiene rules entirely.
+//! `crates/compat/*` is excluded: those are vendored stand-ins whose whole
+//! point is to mimic external crates' APIs, panics and all.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How a source file is treated by the rule engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// A crate root (`crates/<name>/src/lib.rs`): all library rules plus
+    /// the crate-attribute rule L004.
+    LibraryRoot,
+    /// Library code under `crates/<name>/src/` (not `bin/`, not `main.rs`).
+    Library,
+    /// Binary code: `src/bin/*.rs`, `src/main.rs`, `examples/`.
+    Binary,
+    /// Test or bench code: `tests/`, `benches/`.
+    Test,
+}
+
+/// One discovered source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Absolute (or root-joined) path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators — the stable key used
+    /// in findings, suppressions, and the baseline.
+    pub rel: String,
+    /// Rule-engine classification.
+    pub class: FileClass,
+}
+
+/// Collect every `.rs` file the linter should look at, rooted at the
+/// workspace directory. Deterministic order (sorted by relative path).
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name == "compat" || name.starts_with('.') {
+                continue;
+            }
+            let crate_dir = entry.path();
+            if !crate_dir.is_dir() {
+                continue;
+            }
+            walk(&crate_dir, root, &mut files)?;
+        }
+    }
+    for top in ["tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn read_dir_sorted(dir: &Path) -> io::Result<Vec<fs::DirEntry>> {
+    let mut entries: Vec<fs::DirEntry> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    Ok(entries)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in read_dir_sorted(dir)? {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = relative(&path, root);
+            if let Some(class) = classify(&rel) {
+                out.push(SourceFile { path, rel, class });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Classify a workspace-relative path; `None` means "do not scan" (e.g.
+/// fixture files nested under a `tests/` directory, which cargo does not
+/// compile either).
+fn classify(rel: &str) -> Option<FileClass> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    // Workspace-level `tests/` and `examples/` members.
+    if parts.first() == Some(&"tests") {
+        // Only direct children are cargo targets; nested files are
+        // fixtures and are not Rust compilation units.
+        return (parts.len() == 2).then_some(FileClass::Test);
+    }
+    if parts.first() == Some(&"examples") {
+        return (parts.len() == 2).then_some(FileClass::Binary);
+    }
+    // crates/<name>/…
+    if parts.len() >= 3 && parts[0] == "crates" {
+        let inner = &parts[2..];
+        return match inner.first().copied() {
+            Some("tests") | Some("benches") => {
+                ((parts.len() == 4) && inner.len() == 2).then_some(FileClass::Test)
+            }
+            Some("src") => {
+                if inner.len() == 2 && inner[1] == "lib.rs" {
+                    Some(FileClass::LibraryRoot)
+                } else if (inner.len() == 2 && inner[1] == "main.rs")
+                    || inner.get(1).copied() == Some("bin")
+                {
+                    Some(FileClass::Binary)
+                } else {
+                    Some(FileClass::Library)
+                }
+            }
+            _ => None,
+        };
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_workspace_layout() {
+        assert_eq!(
+            classify("crates/obs/src/lib.rs"),
+            Some(FileClass::LibraryRoot)
+        );
+        assert_eq!(
+            classify("crates/obs/src/clock.rs"),
+            Some(FileClass::Library)
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/perf_gate.rs"),
+            Some(FileClass::Binary)
+        );
+        assert_eq!(classify("crates/lint/src/main.rs"), Some(FileClass::Binary));
+        assert_eq!(
+            classify("crates/push/tests/exhaustive_small.rs"),
+            Some(FileClass::Test)
+        );
+        assert_eq!(
+            classify("crates/bench/benches/simulate.rs"),
+            Some(FileClass::Test)
+        );
+        assert_eq!(classify("tests/fault_tolerance.rs"), Some(FileClass::Test));
+        assert_eq!(classify("examples/quickstart.rs"), Some(FileClass::Binary));
+        // Fixtures nested below tests/ are not compilation units.
+        assert_eq!(classify("crates/lint/tests/fixtures/bad.rs"), None);
+        assert_eq!(classify("tests/fixtures/bad.rs"), None);
+    }
+}

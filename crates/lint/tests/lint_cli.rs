@@ -1,0 +1,331 @@
+//! End-to-end CLI tests: fixture workspace trees with one injected
+//! violation per rule must fail the gate, a clean tree must pass, and
+//! `--write-baseline` must grandfather findings so the rerun passes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Crate-root header that satisfies L004.
+const HDR: &str = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n//! Fixture crate.\n";
+
+fn tree(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("hetmmm_lint_{}_{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, content).expect("write fixture");
+    }
+    root
+}
+
+fn lint(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hetmmm-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn hetmmm-lint")
+}
+
+fn assert_fires(root: &Path, rule: &str) -> Output {
+    let out = lint(root, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1 for {rule}; stdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains(rule), "{rule} not in report:\n{stdout}");
+    out
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = tree(
+        "clean",
+        &[(
+            "crates/x/src/lib.rs",
+            &format!("{HDR}/// Adds one.\npub fn f(v: u8) -> u8 {{ v + 1 }}\n"),
+        )],
+    );
+    let out = lint(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn l001_unwrap_in_library_fires_and_baseline_grandfathers_it() {
+    let root = tree(
+        "l001",
+        &[(
+            "crates/x/src/lib.rs",
+            &format!("{HDR}/// Doc.\npub fn f(v: Option<u8>) -> u8 {{ v.unwrap() }}\n"),
+        )],
+    );
+    assert_fires(&root, "L001");
+
+    // Grandfather it, then the rerun passes and writes JSONL.
+    let out = lint(&root, &["--write-baseline"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(root.join("lint_baseline.json").is_file());
+    let out = lint(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "grandfathered rerun must pass:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let jsonl = fs::read_to_string(root.join("results/lint_findings.jsonl")).expect("jsonl");
+    assert!(jsonl.contains("\"grandfathered\""));
+    assert!(jsonl.contains("\"L001\""));
+
+    // A second unwrap exceeds the allowance: the group turns fresh again.
+    fs::write(
+        root.join("crates/x/src/lib.rs"),
+        format!("{HDR}/// Doc.\npub fn f(v: Option<u8>) -> u8 {{ v.unwrap() }}\n/// Doc.\npub fn g(v: Option<u8>) -> u8 {{ v.unwrap() }}\n"),
+    )
+    .expect("rewrite");
+    assert_fires(&root, "L001");
+
+    // Fixing everything leaves a stale baseline (exit 0, ratchet hint).
+    fs::write(
+        root.join("crates/x/src/lib.rs"),
+        format!("{HDR}/// Doc.\npub fn f(v: Option<u8>) -> u8 {{ v.unwrap_or(0) }}\n"),
+    )
+    .expect("rewrite");
+    let out = lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("stale baseline"));
+}
+
+#[test]
+fn l001_suppression_with_reason_waives_without_reason_fires_l000() {
+    let with_reason = tree(
+        "l001_sup",
+        &[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{HDR}/// Doc.\npub fn f(v: Option<u8>) -> u8 {{\n    // hetmmm-lint: allow(L001) fixture-verified invariant\n    v.unwrap()\n}}\n"
+            ),
+        )],
+    );
+    let out = lint(&with_reason, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "suppressed finding must pass:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let without_reason = tree(
+        "l001_noreason",
+        &[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{HDR}/// Doc.\npub fn f(v: Option<u8>) -> u8 {{\n    // hetmmm-lint: allow(L001)\n    v.unwrap()\n}}\n"
+            ),
+        )],
+    );
+    let out = assert_fires(&without_reason, "L000");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("L001"));
+}
+
+#[test]
+fn l002_through_l005_each_fire() {
+    let l002 = tree(
+        "l002",
+        &[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{HDR}/// Doc.\npub fn f() -> std::time::Instant {{ std::time::Instant::now() }}\n"
+            ),
+        )],
+    );
+    assert_fires(&l002, "L002");
+
+    let l003 = tree(
+        "l003",
+        &[(
+            "crates/x/src/lib.rs",
+            &format!("{HDR}/// Doc.\npub fn f() {{ println!(\"hi\"); }}\n"),
+        )],
+    );
+    assert_fires(&l003, "L003");
+
+    let l004 = tree(
+        "l004",
+        &[(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\n//! Fixture missing the docs lint.\npub fn f() {}\n",
+        )],
+    );
+    assert_fires(&l004, "L004");
+
+    let l005 = tree(
+        "l005",
+        &[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{HDR}/// Doc.\npub fn f() {{ std::thread::sleep(std::time::Duration::from_millis(1)); }}\n"
+            ),
+        )],
+    );
+    assert_fires(&l005, "L005");
+}
+
+const EVENT_V2: &str = "\
+//! Fixture event vocabulary.
+pub const SCHEMA_VERSION: u32 = 2;
+/// Kinds.
+pub enum EventKind {
+    A { x: u64 },
+    B,
+}
+";
+
+#[test]
+fn l010_schema_drift_fires_until_version_bumped() {
+    let files: Vec<(&str, String)> = vec![
+        (
+            "crates/obs/src/lib.rs",
+            format!("{HDR}/// Doc.\npub mod event;\n"),
+        ),
+        ("crates/obs/src/event.rs", EVENT_V2.to_string()),
+    ];
+    let files_ref: Vec<(&str, &str)> = files.iter().map(|(p, c)| (*p, c.as_str())).collect();
+    let root = tree("l010", &files_ref);
+
+    // Commit the fingerprint.
+    let out = lint(&root, &["--write-baseline"]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(0), "unchanged schema passes");
+
+    // Mutate the variant list without bumping SCHEMA_VERSION.
+    fs::write(
+        root.join("crates/obs/src/event.rs"),
+        EVENT_V2.replace("    B,", "    B,\n    C { y: u64 },"),
+    )
+    .expect("mutate");
+    assert_fires(&root, "L010");
+
+    // Bumping the version clears it.
+    fs::write(
+        root.join("crates/obs/src/event.rs"),
+        EVENT_V2
+            .replace("    B,", "    B,\n    C { y: u64 },")
+            .replace("u32 = 2", "u32 = 3"),
+    )
+    .expect("bump");
+    let out = lint(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "bumped schema must pass:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn l011_unregistered_and_duplicate_metric_names_fire() {
+    let metrics = "\
+//! Fixture metrics module.
+/// Registry.
+pub mod names {
+    /// One.
+    pub const A: &str = \"exec.a\";
+}
+";
+    let root = tree(
+        "l011",
+        &[
+            (
+                "crates/obs/src/lib.rs",
+                &format!("{HDR}/// Doc.\npub mod metrics;\n"),
+            ),
+            ("crates/obs/src/metrics.rs", metrics),
+            (
+                "crates/x/src/lib.rs",
+                &format!(
+                    "{HDR}/// Doc.\npub fn f(m: &M) {{ m.counter(\"exec.unregistered\"); }}\n"
+                ),
+            ),
+        ],
+    );
+    let out = assert_fires(&root, "L011");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("exec.unregistered"));
+
+    // A registered name passes.
+    fs::write(
+        root.join("crates/x/src/lib.rs"),
+        format!("{HDR}/// Doc.\npub fn f(m: &M) {{ m.counter(\"exec.a\"); }}\n"),
+    )
+    .expect("rewrite");
+    let out = lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // A duplicate registration fires on the registry itself.
+    fs::write(
+        root.join("crates/obs/src/metrics.rs"),
+        metrics.replace(
+            "}\n",
+            "    /// Dup.\n    pub const B: &str = \"exec.a\";\n}\n",
+        ),
+    )
+    .expect("rewrite");
+    let out = assert_fires(&root, "L011");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("registered twice"));
+}
+
+#[test]
+fn l012_bench_binary_without_binsession_fires_allowlist_exempt() {
+    let bin_no_session = "fn main() { let _ = 1 + 1; }\n";
+    let root = tree(
+        "l012",
+        &[("crates/bench/src/bin/mybench.rs", bin_no_session)],
+    );
+    assert_fires(&root, "L012");
+
+    // Opening a session passes.
+    fs::write(
+        root.join("crates/bench/src/bin/mybench.rs"),
+        "fn main() { let _s = hetmmm_obs::BinSession::start(\"mybench\", &[], None); }\n",
+    )
+    .expect("rewrite");
+    let out = lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Allowlisted read-only analyzers are exempt.
+    let root = tree(
+        "l012_allow",
+        &[("crates/bench/src/bin/obs_report.rs", bin_no_session)],
+    );
+    let out = lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn shipped_workspace_tree_is_clean() {
+    // The repo this test runs in must itself pass the gate — the same
+    // invocation CI runs. CARGO_MANIFEST_DIR is crates/lint.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let out = lint(repo, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "shipped tree must be lint-clean:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -184,6 +184,9 @@ enum Verdict {
         step: usize,
         detail: &'static str,
     },
+    /// The worker thread itself panicked — a genuine bug rather than a
+    /// modeled fault. Carries the panic payload when it was a string.
+    Panicked { what: String },
 }
 
 /// `try_send` with a deadline: a full channel is retried until `timeout`
@@ -207,6 +210,7 @@ fn send_with_deadline(
                     return Err("send timed out (peer stalled)");
                 }
                 msg = m;
+                // hetmmm-lint: allow(L005) bounded backoff while a real channel is full
                 std::thread::sleep(Duration::from_micros(200));
             }
         }
@@ -273,6 +277,7 @@ impl Worker {
                     }
                     FaultKind::DropMessageAt { step } if step == k => drop_sends = true,
                     FaultKind::DelaySendAt { step, millis } if step == k => {
+                        // hetmmm-lint: allow(L005) the injected stall IS the modeled fault
                         std::thread::sleep(Duration::from_millis(millis));
                     }
                     _ => {}
@@ -340,7 +345,7 @@ impl Worker {
                             let wait_nanos = self.clock.now_nanos().saturating_sub(wait_start);
                             if obs::metrics_enabled() {
                                 obs::metrics()
-                                    .histogram("exec.recv_wait_nanos", || {
+                                    .histogram(obs::metrics::names::EXEC_RECV_WAIT_NANOS, || {
                                         obs::Histogram::exponential(1000, 4, 12)
                                     })
                                     .observe(wait_nanos);
@@ -387,15 +392,6 @@ impl Worker {
         Verdict::Completed(result, stats)
     }
 }
-
-/// Per-processor metric names, indexed by [`Proc::idx`] (static so call
-/// sites hand the registry `&'static str` keys).
-const UPDATE_COUNTERS: [&str; 3] = ["exec.updates.R", "exec.updates.S", "exec.updates.P"];
-const SENT_COUNTERS: [&str; 3] = [
-    "exec.elems_sent.R",
-    "exec.elems_sent.S",
-    "exec.elems_sent.P",
-];
 
 /// One worker's completed contribution: its processor, C updates, stats.
 type WorkerDone = (Proc, Vec<(u32, u32, f64)>, ProcExec);
@@ -495,25 +491,31 @@ fn run_attempt(
             .collect();
         for (proc, handle) in handles {
             // Workers return verdicts instead of panicking; a panic here
-            // is a genuine bug, not a modeled fault.
-            let verdict = handle.join().expect("worker panicked");
+            // is a genuine bug, not a modeled fault — but the coordinator
+            // still degrades gracefully, blaming the panicked worker,
+            // rather than taking the whole run down with it.
+            let verdict = handle.join().unwrap_or_else(|payload| {
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|m| (*m).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Verdict::Panicked { what }
+            });
             verdicts.push((proc, verdict));
         }
     });
 
-    if verdicts
-        .iter()
-        .all(|(_, v)| matches!(v, Verdict::Completed(..)))
-    {
-        return Attempt::Done(
-            verdicts
-                .into_iter()
-                .map(|(proc, v)| match v {
-                    Verdict::Completed(cells, stats) => (proc, cells, stats),
-                    _ => unreachable!("checked above"),
-                })
-                .collect(),
-        );
+    let mut done: Vec<WorkerDone> = Vec::new();
+    let mut failed = Vec::new();
+    for (proc, v) in verdicts {
+        match v {
+            Verdict::Completed(cells, stats) => done.push((proc, cells, stats)),
+            other => failed.push((proc, other)),
+        }
+    }
+    if failed.is_empty() {
+        return Attempt::Done(done);
     }
 
     // Blame aggregation, weighted by how conclusive each report is. An
@@ -527,9 +529,13 @@ fn run_attempt(
     let mut blame = [0u32; 3];
     let mut dead_step: [Option<usize>; 3] = [None; 3];
     let mut dead_detail: [Option<String>; 3] = [None, None, None];
-    for (proc, verdict) in &verdicts {
+    for (proc, verdict) in &failed {
         match verdict {
             Verdict::Completed(..) => {}
+            Verdict::Panicked { what } => {
+                blame[proc.idx()] += 100;
+                dead_detail[proc.idx()] = Some(format!("worker panicked: {what}"));
+            }
             Verdict::Crashed { step } => {
                 blame[proc.idx()] += 100;
                 dead_step[proc.idx()] = Some(*step);
@@ -551,9 +557,14 @@ fn run_attempt(
             }
         }
     }
-    // `max_by_key` keeps the last maximum, so reverse to prefer the lower
-    // processor index on ties.
-    let dead_idx = (0..3).rev().max_by_key(|&i| blame[i]).expect("three slots");
+    // Strict `>` keeps the first maximum, preferring the lower processor
+    // index on ties.
+    let mut dead_idx = 0;
+    for i in 1..3 {
+        if blame[i] > blame[dead_idx] {
+            dead_idx = i;
+        }
+    }
     let dead = Proc::ALL[dead_idx];
     if obs::enabled() {
         obs::emit(obs::EventKind::ExecBlame {
@@ -646,10 +657,13 @@ pub fn multiply_partitioned_with(
                     let m = obs::metrics();
                     for p in Proc::ALL {
                         let pe = &stats.per_proc[p.idx()];
-                        m.counter(UPDATE_COUNTERS[p.idx()]).add(pe.updates);
-                        m.counter(SENT_COUNTERS[p.idx()]).add(pe.elems_sent);
+                        m.counter(obs::metrics::names::EXEC_UPDATES[p.idx()])
+                            .add(pe.updates);
+                        m.counter(obs::metrics::names::EXEC_ELEMS_SENT[p.idx()])
+                            .add(pe.elems_sent);
                     }
-                    m.counter("exec.recoveries").add(recovery.faults_detected);
+                    m.counter(obs::metrics::names::EXEC_RECOVERIES)
+                        .add(recovery.faults_detected);
                 }
                 return Ok((c, stats));
             }

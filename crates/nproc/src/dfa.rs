@@ -135,7 +135,9 @@ impl NDfaRunner {
         }
         if obs::metrics_enabled() {
             obs::metrics()
-                .histogram("nproc.steps", || obs::Histogram::exponential(1, 2, 16))
+                .histogram(obs::metrics::names::NPROC_STEPS, || {
+                    obs::Histogram::exponential(1, 2, 16)
+                })
                 .observe(steps as u64);
         }
         NDfaOutcome {

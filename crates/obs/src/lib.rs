@@ -149,13 +149,13 @@ pub fn fine_spans_enabled() -> bool {
 
 /// The installed clock (shared handle).
 pub fn clock() -> Arc<dyn Clock> {
-    Arc::clone(&clock_slot().read().expect("clock poisoned"))
+    Arc::clone(&clock_slot().read().unwrap_or_else(|p| p.into_inner()))
 }
 
 /// Replace the process clock (tests install a [`FakeClock`] for
 /// deterministic timestamps and span durations).
 pub fn set_clock(clock: Arc<dyn Clock>) {
-    *clock_slot().write().expect("clock poisoned") = clock;
+    *clock_slot().write().unwrap_or_else(|p| p.into_inner()) = clock;
 }
 
 /// Restore the default [`MonotonicClock`].
@@ -167,7 +167,7 @@ pub fn reset_clock() {
 /// Returns a handle for [`uninstall_sink`].
 pub fn install_sink(sink: Arc<dyn Sink>) -> SinkId {
     let id = SinkId(NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed));
-    let mut sinks = sink_registry().write().expect("sinks poisoned");
+    let mut sinks = sink_registry().write().unwrap_or_else(|p| p.into_inner());
     sinks.push((id, sink));
     SINK_COUNT.store(sinks.len(), Ordering::Relaxed);
     id
@@ -177,7 +177,7 @@ pub fn install_sink(sink: Arc<dyn Sink>) -> SinkId {
 /// handle was found.
 pub fn uninstall_sink(id: SinkId) -> bool {
     let removed = {
-        let mut sinks = sink_registry().write().expect("sinks poisoned");
+        let mut sinks = sink_registry().write().unwrap_or_else(|p| p.into_inner());
         let before = sinks.len();
         let mut removed_sink = None;
         sinks.retain(|(sid, sink)| {
@@ -204,7 +204,7 @@ pub fn uninstall_sink(id: SinkId) -> bool {
 /// Remove every installed sink (test hygiene).
 pub fn uninstall_all_sinks() {
     let drained: Vec<(SinkId, Arc<dyn Sink>)> = {
-        let mut sinks = sink_registry().write().expect("sinks poisoned");
+        let mut sinks = sink_registry().write().unwrap_or_else(|p| p.into_inner());
         let drained = std::mem::take(&mut *sinks);
         SINK_COUNT.store(0, Ordering::Relaxed);
         drained
@@ -216,7 +216,11 @@ pub fn uninstall_all_sinks() {
 
 /// Flush every installed sink.
 pub fn flush_sinks() {
-    for (_, sink) in sink_registry().read().expect("sinks poisoned").iter() {
+    for (_, sink) in sink_registry()
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+    {
         sink.flush();
     }
 }
@@ -239,7 +243,11 @@ pub fn emit(kind: EventKind) {
         event: kind,
     };
     EVENTS_EMITTED.fetch_add(1, Ordering::Relaxed);
-    for (_, sink) in sink_registry().read().expect("sinks poisoned").iter() {
+    for (_, sink) in sink_registry()
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+    {
         sink.on_event(&record);
     }
 }
@@ -265,6 +273,7 @@ pub fn message_or_stdout(target: &str, text: impl Into<String>) {
     if enabled() {
         message(target, text);
     } else {
+        // hetmmm-lint: allow(L003) this is the documented stdout fallback itself
         println!("{}", text.into());
     }
 }
@@ -375,6 +384,7 @@ pub fn init_from_env() -> Vec<SinkId> {
         if !path.is_empty() {
             match JsonlSink::create(&path) {
                 Ok(sink) => ids.push(install_sink(Arc::new(sink))),
+                // hetmmm-lint: allow(L003) sink setup failed, so no sink can carry this warning
                 Err(err) => eprintln!("hetmmm-obs: cannot open {path}: {err}"),
             }
         }

@@ -11,6 +11,73 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+/// Registry of every metric name the workspace records.
+///
+/// One module holds the entire metric surface of a run, so dashboards and
+/// `obs_report` consumers have a single place to look names up. Rule L011
+/// (`hetmmm-lint`) enforces the contract mechanically: every name literal
+/// handed to `.counter(..)` / `.gauge(..)` / `.histogram(..)` outside
+/// test code must be declared here, and declarations must be unique.
+pub mod names {
+    /// Per-processor count of C-element updates, indexed by `Proc::idx()`.
+    pub const EXEC_UPDATES: [&str; 3] = ["exec.updates.R", "exec.updates.S", "exec.updates.P"];
+    /// Per-processor count of matrix elements sent, indexed by `Proc::idx()`.
+    pub const EXEC_ELEMS_SENT: [&str; 3] = [
+        "exec.elems_sent.R",
+        "exec.elems_sent.S",
+        "exec.elems_sent.P",
+    ];
+    /// Total faults the parallel executor detected and survived.
+    pub const EXEC_RECOVERIES: &str = "exec.recoveries";
+    /// Nanoseconds a worker spent blocked in `recv` during one step.
+    pub const EXEC_RECV_WAIT_NANOS: &str = "exec.recv_wait_nanos";
+    /// Steps the 3-processor push DFA took to reach its final shape.
+    pub const DFA_STEPS_TO_CONVERGENCE: &str = "dfa.steps_to_convergence";
+    /// Accepted pushes by the 3-processor DFA, indexed
+    /// `[push type - 1][direction]` with directions ordered
+    /// down, up, left, right.
+    pub const DFA_PUSH: [[&str; 4]; 6] = [
+        [
+            "dfa.push.type1.down",
+            "dfa.push.type1.up",
+            "dfa.push.type1.left",
+            "dfa.push.type1.right",
+        ],
+        [
+            "dfa.push.type2.down",
+            "dfa.push.type2.up",
+            "dfa.push.type2.left",
+            "dfa.push.type2.right",
+        ],
+        [
+            "dfa.push.type3.down",
+            "dfa.push.type3.up",
+            "dfa.push.type3.left",
+            "dfa.push.type3.right",
+        ],
+        [
+            "dfa.push.type4.down",
+            "dfa.push.type4.up",
+            "dfa.push.type4.left",
+            "dfa.push.type4.right",
+        ],
+        [
+            "dfa.push.type5.down",
+            "dfa.push.type5.up",
+            "dfa.push.type5.left",
+            "dfa.push.type5.right",
+        ],
+        [
+            "dfa.push.type6.down",
+            "dfa.push.type6.up",
+            "dfa.push.type6.left",
+            "dfa.push.type6.right",
+        ],
+    ];
+    /// Steps the n-processor column DFA took to reach its final shape.
+    pub const NPROC_STEPS: &str = "nproc.steps";
+}
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -250,13 +317,18 @@ impl MetricsRegistry {
 
     /// Fetch-or-create a counter.
     pub fn counter(&self, name: &'static str) -> Arc<Counter> {
-        if let Some(c) = self.counters.read().expect("metrics poisoned").get(name) {
+        if let Some(c) = self
+            .counters
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+        {
             return Arc::clone(c);
         }
         Arc::clone(
             self.counters
                 .write()
-                .expect("metrics poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .entry(name)
                 .or_default(),
         )
@@ -264,13 +336,18 @@ impl MetricsRegistry {
 
     /// Fetch-or-create a gauge.
     pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
-        if let Some(g) = self.gauges.read().expect("metrics poisoned").get(name) {
+        if let Some(g) = self
+            .gauges
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+        {
             return Arc::clone(g);
         }
         Arc::clone(
             self.gauges
                 .write()
-                .expect("metrics poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .entry(name)
                 .or_default(),
         )
@@ -283,13 +360,18 @@ impl MetricsRegistry {
         name: &'static str,
         make: impl FnOnce() -> Histogram,
     ) -> Arc<Histogram> {
-        if let Some(h) = self.histograms.read().expect("metrics poisoned").get(name) {
+        if let Some(h) = self
+            .histograms
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+        {
             return Arc::clone(h);
         }
         Arc::clone(
             self.histograms
                 .write()
-                .expect("metrics poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .entry(name)
                 .or_insert_with(|| Arc::new(make())),
         )
@@ -301,21 +383,21 @@ impl MetricsRegistry {
             counters: self
                 .counters
                 .read()
-                .expect("metrics poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .iter()
                 .map(|(name, c)| (name.to_string(), c.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .read()
-                .expect("metrics poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .iter()
                 .map(|(name, g)| (name.to_string(), g.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .read()
-                .expect("metrics poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .iter()
                 .map(|(name, h)| h.snapshot(name))
                 .collect(),
@@ -324,13 +406,28 @@ impl MetricsRegistry {
 
     /// Zero every instrument, keeping identities (cached handles survive).
     pub fn reset(&self) {
-        for c in self.counters.read().expect("metrics poisoned").values() {
+        for c in self
+            .counters
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             c.value.store(0, Ordering::Relaxed);
         }
-        for g in self.gauges.read().expect("metrics poisoned").values() {
+        for g in self
+            .gauges
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             g.value.store(0, Ordering::Relaxed);
         }
-        for h in self.histograms.read().expect("metrics poisoned").values() {
+        for h in self
+            .histograms
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             h.reset();
         }
     }

@@ -71,7 +71,7 @@ impl Sink for FmtSink {
         if self.messages_only && !matches!(record.event, EventKind::Message { .. }) {
             return;
         }
-        let mut out = self.out.lock().expect("fmt sink poisoned");
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
         // Output errors (e.g. closed pipe) are deliberately swallowed:
         // observability must never take down the observed program.
         let _ = match &record.event {
@@ -83,7 +83,7 @@ impl Sink for FmtSink {
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("fmt sink poisoned").flush();
+        let _ = self.out.lock().unwrap_or_else(|p| p.into_inner()).flush();
     }
 }
 
@@ -110,13 +110,13 @@ impl JsonlSink {
 impl Sink for JsonlSink {
     fn on_event(&self, record: &EventRecord) {
         if let Ok(json) = serde_json::to_string(record) {
-            let mut out = self.out.lock().expect("jsonl sink poisoned");
+            let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
             let _ = writeln!(out, "{json}");
         }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+        let _ = self.out.lock().unwrap_or_else(|p| p.into_inner()).flush();
     }
 }
 
@@ -134,12 +134,12 @@ impl CollectSink {
 
     /// Drain and return everything collected so far.
     pub fn take(&self) -> Vec<EventRecord> {
-        std::mem::take(&mut *self.events.lock().expect("collect sink poisoned"))
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
     /// Number of records currently held.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("collect sink poisoned").len()
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// True when nothing has been collected.
@@ -152,7 +152,7 @@ impl Sink for CollectSink {
     fn on_event(&self, record: &EventRecord) {
         self.events
             .lock()
-            .expect("collect sink poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .push(record.clone());
     }
 }
@@ -170,7 +170,7 @@ impl SharedBuf {
 
     /// Copy out everything written so far.
     pub fn contents(&self) -> Vec<u8> {
-        self.0.lock().expect("shared buf poisoned").clone()
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 }
 
@@ -178,7 +178,7 @@ impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         self.0
             .lock()
-            .expect("shared buf poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .extend_from_slice(buf);
         Ok(buf.len())
     }

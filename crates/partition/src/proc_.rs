@@ -39,6 +39,7 @@ impl Proc {
             0 => Proc::R,
             1 => Proc::S,
             2 => Proc::P,
+            // hetmmm-lint: allow(L001) documented-panicking API on the DFA hot path; has a should_panic test
             _ => panic!("invalid q encoding {q}: must be 0 (R), 1 (S) or 2 (P)"),
         }
     }
@@ -193,7 +194,7 @@ impl Ratio {
         order.sort_by(|&a, &b| {
             let fa = quota[a] - quota[a].floor();
             let fb = quota[b] - quota[b].floor();
-            fb.partial_cmp(&fa).unwrap()
+            fb.total_cmp(&fa)
         });
         for k in order {
             if leftover == 0 {

@@ -17,7 +17,12 @@ fn majority_owner(part: &Partition, i0: usize, i1: usize, j0: usize, j1: usize) 
             counts[part.get(i, j).idx()] += 1;
         }
     }
-    let best = (0..3).max_by_key(|&k| counts[k]).unwrap();
+    let mut best = 0;
+    for k in 1..3 {
+        if counts[k] > counts[best] {
+            best = k;
+        }
+    }
     Proc::from_q(best as u8)
 }
 

@@ -272,7 +272,10 @@ impl DfaRunner {
                     }
                     if obs::metrics_enabled() {
                         obs::metrics()
-                            .counter(PUSH_COUNTER_NAMES[type_index(applied.ty)][dir_index(dir)])
+                            .counter(
+                                obs::metrics::names::DFA_PUSH[type_index(applied.ty)]
+                                    [dir_index(dir)],
+                            )
                             .inc();
                     }
                     if applied.delta_voc_units == 0 {
@@ -336,7 +339,7 @@ impl DfaRunner {
         }
         if obs::metrics_enabled() {
             obs::metrics()
-                .histogram("dfa.steps_to_convergence", || {
+                .histogram(obs::metrics::names::DFA_STEPS_TO_CONVERGENCE, || {
                     obs::Histogram::exponential(1, 2, 16)
                 })
                 .observe(steps as u64);
@@ -399,47 +402,6 @@ impl DfaRunner {
         self.run_many(seeds).into_iter().map(Self::check).collect()
     }
 }
-
-/// Metric names for accepted pushes, indexed `[type_index][dir_index]`.
-/// Static so call sites hand the registry `&'static str` keys.
-const PUSH_COUNTER_NAMES: [[&str; 4]; 6] = [
-    [
-        "dfa.push.type1.down",
-        "dfa.push.type1.up",
-        "dfa.push.type1.left",
-        "dfa.push.type1.right",
-    ],
-    [
-        "dfa.push.type2.down",
-        "dfa.push.type2.up",
-        "dfa.push.type2.left",
-        "dfa.push.type2.right",
-    ],
-    [
-        "dfa.push.type3.down",
-        "dfa.push.type3.up",
-        "dfa.push.type3.left",
-        "dfa.push.type3.right",
-    ],
-    [
-        "dfa.push.type4.down",
-        "dfa.push.type4.up",
-        "dfa.push.type4.left",
-        "dfa.push.type4.right",
-    ],
-    [
-        "dfa.push.type5.down",
-        "dfa.push.type5.up",
-        "dfa.push.type5.left",
-        "dfa.push.type5.right",
-    ],
-    [
-        "dfa.push.type6.down",
-        "dfa.push.type6.up",
-        "dfa.push.type6.left",
-        "dfa.push.type6.right",
-    ],
-];
 
 fn dir_index(dir: Direction) -> usize {
     match dir {

@@ -273,7 +273,7 @@ mod tests {
         let inner = &outer.children["inner"];
         assert_eq!(inner.calls, 2);
         assert_eq!(inner.total_nanos, 50);
-        assert!(p.roots.get("inner").is_none(), "inner is not a root");
+        assert!(!p.roots.contains_key("inner"), "inner is not a root");
     }
 
     #[test]

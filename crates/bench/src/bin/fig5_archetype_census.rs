@@ -7,12 +7,30 @@
 //! `--n 1000 --runs 10000` for full fidelity.
 //!
 //! ```text
-//! cargo run --release -p hetmmm-bench --bin fig5_archetype_census -- [--n 100] [--runs 200]
+//! cargo run --release -p hetmmm-bench --bin fig5_archetype_census -- \
+//!     [--n 100] [--runs 200] [--ratios 3:2:1,5:2:1]
 //! ```
+//!
+//! `--ratios` restricts the census to a comma-separated list of `P:R:S`
+//! specs (default: all eleven paper ratios); the nightly deep-census CI
+//! job uses it to shard the larger slice across ratios.
 
 use hetmmm::prelude::*;
 use hetmmm::{census, CensusConfig};
 use hetmmm_bench::{print_row, Args, BinSession};
+
+/// Parse the `--ratios` list, exiting with a usage message on a bad spec.
+fn parse_ratios(spec: &str) -> Vec<Ratio> {
+    spec.split(',')
+        .map(|tok| match tok.trim().parse::<Ratio>() {
+            Ok(ratio) => ratio,
+            Err(err) => {
+                eprintln!("error: --ratios: {err}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
 
 fn main() {
     let args = Args::parse();
@@ -20,9 +38,16 @@ fn main() {
     let n = args.get("n", 100usize);
     let runs = args.get("runs", 200u64);
     let seed0 = args.get("seed0", 0u64);
+    let ratios = match args.get_str("ratios") {
+        Some(spec) => parse_ratios(spec),
+        None => Ratio::paper_ratios(),
+    };
 
     println!("E1 / Fig. 5 — archetype census of DFA fixed points");
-    println!("N = {n}, {runs} runs per ratio, seeds from {seed0}\n");
+    println!(
+        "N = {n}, {runs} runs per ratio, seeds from {seed0}, {} ratio(s)\n",
+        ratios.len()
+    );
 
     let widths = [8, 6, 6, 6, 6, 10, 12, 12, 10];
     print_row(
@@ -42,7 +67,7 @@ fn main() {
     );
 
     let mut total_nonshape = 0usize;
-    for ratio in Ratio::paper_ratios() {
+    for ratio in ratios {
         let report = census(
             &CensusConfig::new(n, ratio)
                 .with_runs(runs)

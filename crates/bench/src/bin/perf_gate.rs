@@ -49,6 +49,7 @@ fn workloads(quick: bool) -> Vec<Workload> {
     let (census_n, census_runs) = if quick { (16, 4) } else { (48, 60) };
     let exec_n = if quick { 16 } else { 64 };
     let kernel_n = if quick { 24 } else { 256 };
+    let (probe_n, probe_parts, probe_reps) = if quick { (16, 2, 3) } else { (96, 4, 80) };
     vec![
         Workload {
             name: "fig5_census_slice",
@@ -72,6 +73,28 @@ fn workloads(quick: bool) -> Vec<Workload> {
                 let b = Matrix::random(exec_n, &mut rng);
                 let (_, stats) = multiply_partitioned(&a, &b, &part).expect("multiply");
                 assert_eq!(stats.recovery.faults_detected, 0);
+            }),
+        },
+        Workload {
+            name: "push_probe_fixed_point",
+            counter_prefixes: &["push.probe"],
+            run: Box::new(move || {
+                // Probe-heavy fixed-point checking: condense a handful of
+                // seeded random partitions, then hammer the 12-pair
+                // end-condition probe (`is_condensed`) on each fixed point.
+                // This is the hot shape of census post-processing — every
+                // probe answers "would any push apply?" without mutating.
+                let mut checks = 0usize;
+                for s in 0..probe_parts {
+                    let mut rng = StdRng::seed_from_u64(900 + s);
+                    let mut part = random_partition(probe_n, Ratio::new(3, 2, 1), &mut rng);
+                    beautify(&mut part);
+                    for _ in 0..probe_reps {
+                        assert!(is_condensed(&part), "beautify must condense");
+                        checks += 1;
+                    }
+                }
+                assert!(checks > 0);
             }),
         },
         Workload {

@@ -62,7 +62,7 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
     let current_text = std::fs::read_to_string(&current).unwrap();
     let suite: hetmmm_report::BenchSuite = serde_json::from_str(&current_text).unwrap();
     assert_eq!(suite.v, hetmmm_report::BENCH_VERSION);
-    assert_eq!(suite.entries.len(), 3);
+    assert_eq!(suite.entries.len(), 4);
     assert!(
         !suite
             .entry("fig5_census_slice")
@@ -70,6 +70,14 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
             .counters
             .is_empty(),
         "census slice records deterministic push counters"
+    );
+    assert!(
+        !suite
+            .entry("push_probe_fixed_point")
+            .unwrap()
+            .counters
+            .is_empty(),
+        "probe workload records deterministic probe counters"
     );
 
     // Inject a 100ms synthetic slowdown per repetition: every workload

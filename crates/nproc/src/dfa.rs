@@ -1,7 +1,7 @@
 //! The randomized search, generalized to `k` processors.
 
 use crate::grid::NPartition;
-use crate::push::{try_push_n, NDirection};
+use crate::push::{try_push_n, NDirection, NProbeCache};
 use hetmmm_obs as obs;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -93,19 +93,30 @@ impl NDfaRunner {
         let mut order: Vec<usize> = (0..entries.len()).collect();
         let mut seen = std::collections::HashSet::new();
         seen.insert(part.state_hash());
+        // Known-infeasible verdicts keyed on the exact state hash. A hit
+        // skips the attempt entirely; since a failed `try_push_n` changes
+        // no state and consumes no randomness, the skip leaves the seeded
+        // run bit-identical to the uncached search.
+        let mut probes = NProbeCache::new(k);
 
         'outer: loop {
             order.shuffle(&mut rng);
             let mut progressed = false;
+            let mut hash = part.state_hash();
             for &idx in &order {
                 let (proc, dir) = entries[idx];
+                if probes.lookup(hash, proc, dir) == Some(false) {
+                    continue;
+                }
                 if let Some(applied) = try_push_n(&mut part, proc, dir) {
                     steps += 1;
                     progressed = true;
+                    probes.evict_touched(applied.touched_mask);
                     if applied.delta_voc_units < 0 {
                         seen.clear();
                     }
-                    if !seen.insert(part.state_hash()) {
+                    hash = part.state_hash();
+                    if !seen.insert(hash) {
                         cycled = true;
                         converged = true;
                         break 'outer;
@@ -115,6 +126,7 @@ impl NDfaRunner {
                     }
                     break;
                 }
+                probes.record(hash, proc, dir, false);
             }
             if !progressed {
                 converged = true;

@@ -45,6 +45,34 @@ impl NRect {
     }
 }
 
+/// Incrementally maintained bounding box of one owner's cells (inclusive).
+/// The `EMPTY` sentinel (`top > bottom`) is canonical and chosen so that
+/// `expand` from empty yields the single-cell box directly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+struct Bounds {
+    top: usize,
+    bottom: usize,
+    left: usize,
+    right: usize,
+}
+
+impl Bounds {
+    const EMPTY: Bounds = Bounds {
+        top: usize::MAX,
+        bottom: 0,
+        left: usize::MAX,
+        right: 0,
+    };
+
+    #[inline]
+    fn expand(&mut self, i: usize, j: usize) {
+        self.top = self.top.min(i);
+        self.bottom = self.bottom.max(i);
+        self.left = self.left.min(j);
+        self.right = self.right.max(j);
+    }
+}
+
 #[inline]
 fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -67,6 +95,9 @@ pub struct NPartition {
     voc_units: u64,
     elems: Vec<usize>,
     zobrist: u64,
+    /// Per-owner enclosing-rectangle bounds, maintained incrementally in
+    /// [`NPartition::set`]; makes [`NPartition::enclosing_rect`] `O(1)`.
+    bounds: Vec<Bounds>,
 }
 
 impl NPartition {
@@ -87,6 +118,13 @@ impl NPartition {
         for idx in 0..(n * n) as u64 {
             zobrist ^= mix64(idx * k as u64);
         }
+        let mut bounds = vec![Bounds::EMPTY; k];
+        bounds[0] = Bounds {
+            top: 0,
+            bottom: n - 1,
+            left: 0,
+            right: n - 1,
+        };
         NPartition {
             n,
             k,
@@ -98,6 +136,7 @@ impl NPartition {
             voc_units: 0,
             elems,
             zobrist,
+            bounds,
         }
     }
 
@@ -179,6 +218,43 @@ impl NPartition {
             self.voc_units += 1;
         }
         *cc_new += 1;
+
+        // Enclosing-rectangle bookkeeping (see the three-processor grid):
+        // the gaining owner expands in O(1); the losing owner shrinks by
+        // scanning its per-line counts inward only when a boundary line
+        // just emptied.
+        self.bounds[proc as usize].expand(i, j);
+        if self.elems[old as usize] == 0 {
+            self.bounds[old as usize] = Bounds::EMPTY;
+        } else {
+            let rows = &self.row_count[old as usize * n..(old as usize + 1) * n];
+            let cols = &self.col_count[old as usize * n..(old as usize + 1) * n];
+            let b = &mut self.bounds[old as usize];
+            if rows[i] == 0 {
+                if i == b.top {
+                    while rows[b.top] == 0 {
+                        b.top += 1;
+                    }
+                }
+                if i == b.bottom {
+                    while rows[b.bottom] == 0 {
+                        b.bottom -= 1;
+                    }
+                }
+            }
+            if cols[j] == 0 {
+                if j == b.left {
+                    while cols[b.left] == 0 {
+                        b.left += 1;
+                    }
+                }
+                if j == b.right {
+                    while cols[b.right] == 0 {
+                        b.right -= 1;
+                    }
+                }
+            }
+        }
         old
     }
 
@@ -237,20 +313,18 @@ impl NPartition {
         self.zobrist
     }
 
-    /// Enclosing rectangle of `proc`.
+    /// Enclosing rectangle of `proc`; `O(1)` read of the incrementally
+    /// maintained bounds.
     pub fn enclosing_rect(&self, proc: u8) -> Option<NRect> {
-        let n = self.n;
-        let rows = &self.row_count[proc as usize * n..(proc as usize + 1) * n];
-        let cols = &self.col_count[proc as usize * n..(proc as usize + 1) * n];
-        let top = rows.iter().position(|&c| c > 0)?;
-        let bottom = rows.iter().rposition(|&c| c > 0)?;
-        let left = cols.iter().position(|&c| c > 0)?;
-        let right = cols.iter().rposition(|&c| c > 0)?;
+        let b = self.bounds[proc as usize];
+        if b.top > b.bottom {
+            return None;
+        }
         Some(NRect {
-            top,
-            bottom,
-            left,
-            right,
+            top: b.top,
+            bottom: b.bottom,
+            left: b.left,
+            right: b.right,
         })
     }
 
@@ -286,6 +360,13 @@ impl NPartition {
             units += u64::from(c) - 1;
         }
         assert_eq!(units, self.voc_units, "voc_units drift");
+        let mut bounds = vec![Bounds::EMPTY; k];
+        for i in 0..n {
+            for j in 0..n {
+                bounds[self.cells[i * n + j] as usize].expand(i, j);
+            }
+        }
+        assert_eq!(bounds, self.bounds, "enclosing-rect bounds drift");
     }
 }
 
@@ -348,6 +429,37 @@ mod tests {
             }
         }
         assert_eq!(part.voc(), (n * n * 2) as u64);
+    }
+
+    #[test]
+    fn bounds_track_random_set_churn() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 14;
+        let k = 5u8;
+        let mut part = NPartition::new(n, k as usize);
+        for step in 0..1500u64 {
+            use rand::RngExt;
+            let i = rng.random_range(0..n);
+            let j = rng.random_range(0..n);
+            let p = rng.random_range(0..k);
+            part.set(i, j, p);
+            // From-scratch recompute per owner must match the O(1) read.
+            for q in 0..k {
+                let rows: Vec<usize> = (0..n).filter(|&i| part.row_has(q, i)).collect();
+                let cols: Vec<usize> = (0..n).filter(|&j| part.col_has(q, j)).collect();
+                let scan = match (rows.first(), rows.last(), cols.first(), cols.last()) {
+                    (Some(&t), Some(&b), Some(&l), Some(&r)) => Some(NRect {
+                        top: t,
+                        bottom: b,
+                        left: l,
+                        right: r,
+                    }),
+                    _ => None,
+                };
+                assert_eq!(part.enclosing_rect(q), scan, "owner {q} at step {step}");
+            }
+        }
+        part.assert_invariants();
     }
 
     #[test]

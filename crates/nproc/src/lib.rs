@@ -37,5 +37,5 @@ pub mod stats;
 
 pub use dfa::{NDfaConfig, NDfaOutcome, NDfaRunner};
 pub use grid::NPartition;
-pub use push::{try_push_n, NDirection, PushMode};
+pub use push::{push_feasible_n, try_push_n, NDirection, PushMode};
 pub use stats::{OutcomeStats, ProcShapeStats};

@@ -8,9 +8,17 @@
 //! knobs the types combine), each still governed by the exact ΔVoC
 //! contract: `Strict` and `Budgeted` commit only on strict decrease,
 //! `Relaxed` on non-increase.
+//!
+//! Mirroring the three-processor engine, the operation is split into a
+//! mode-independent [`n_prepare`] (enclosing rectangle, cleaned line,
+//! per-owner target buckets) and a per-mode [`n_attempt`], both generic
+//! over the [`NPushGrid`] accessor trait. Two grids implement it: the
+//! mutable [`NView`] that applies real pushes, and the read-only overlay
+//! behind [`push_feasible_n`] that answers feasibility without cloning.
 
 use crate::grid::NPartition;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Push direction (same semantics as the three-processor engine: Down
 /// cleans the top edge of the active processor's enclosing rectangle).
@@ -34,6 +42,17 @@ impl NDirection {
         NDirection::Left,
         NDirection::Right,
     ];
+
+    /// Position in [`NDirection::ALL`]; used for dense per-(proc, dir)
+    /// tables such as the probe cache.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            NDirection::Down => 0,
+            NDirection::Up => 1,
+            NDirection::Left => 2,
+            NDirection::Right => 3,
+        }
+    }
 }
 
 /// Legality ladder, from the paper's Type 1 (strictest) to Type 6.
@@ -51,6 +70,32 @@ pub enum PushMode {
 impl PushMode {
     /// The ladder order `try_push_n` uses.
     pub const ALL: [PushMode; 3] = [PushMode::Strict, PushMode::Budgeted, PushMode::Relaxed];
+}
+
+/// Canonical-coordinate grid accessors the generalized push kernel needs.
+/// Implemented by the mutable [`NView`] and by the probe's read-only
+/// overlay, so applying and probing share one legality implementation.
+///
+/// `enclosing_rect_canonical` is only consulted by [`n_prepare`], before
+/// any swap; overlay implementations may answer it from their base grid.
+trait NPushGrid {
+    /// Owner of canonical cell `(u, v)`.
+    fn get(&self, u: usize, v: usize) -> u8;
+    /// Swap two canonical cells.
+    fn swap(&mut self, a: (usize, usize), b: (usize, usize));
+    /// Does canonical row `u` contain elements of `proc`?
+    fn row_has(&self, proc: u8, u: usize) -> bool;
+    /// Does canonical column `v` contain elements of `proc`?
+    fn col_has(&self, proc: u8, v: usize) -> bool;
+    /// Elements of `proc` in canonical column `v`.
+    fn col_count(&self, proc: u8, v: usize) -> u32;
+    /// Elements of `proc` in canonical row `u`.
+    fn row_count_canon(&self, proc: u8, u: usize) -> u32;
+    /// Enclosing rectangle `(top, bottom, left, right)` in canonical
+    /// coordinates.
+    fn enclosing_rect_canonical(&self, proc: u8) -> Option<(usize, usize, usize, usize)>;
+    /// VoC line units of the underlying grid.
+    fn voc_units(&self) -> u64;
 }
 
 /// Canonical-coordinate accessors for a direction.
@@ -75,7 +120,9 @@ impl<'a> NView<'a> {
             NDirection::Left => (v, self.n - 1 - u),
         }
     }
+}
 
+impl NPushGrid for NView<'_> {
     #[inline]
     fn get(&self, u: usize, v: usize) -> u8 {
         let (i, j) = self.map(u, v);
@@ -135,6 +182,11 @@ impl<'a> NView<'a> {
             NDirection::Left => (n - 1 - r.right, n - 1 - r.left, r.top, r.bottom),
         })
     }
+
+    #[inline]
+    fn voc_units(&self) -> u64 {
+        self.part.voc_units()
+    }
 }
 
 /// Result of an applied generalized push.
@@ -150,26 +202,30 @@ pub struct NAppliedPush {
     pub delta_voc_units: i64,
     /// Swaps performed.
     pub swaps: usize,
+    /// Bitmask (bit = processor id, `k ≤ 64` by construction) of every
+    /// processor whose elements the push moved: the active processor plus
+    /// each displaced receiver. The search uses it to evict probe-cache
+    /// slots for exactly the processors whose occupancy changed.
+    pub touched_mask: u64,
 }
 
-/// Attempt a push of `proc` in `dir`, trying modes strictest-first.
-/// Commits the first legal one; otherwise leaves the partition untouched.
-pub fn try_push_n(part: &mut NPartition, proc: u8, dir: NDirection) -> Option<NAppliedPush> {
-    PushMode::ALL
-        .iter()
-        .find_map(|&mode| try_push_mode(part, proc, dir, mode))
+/// Mode-independent preparation of a push attempt: the cleaned line and
+/// the per-owner candidate target lists (phase 1). Computed once and
+/// reused across the mode ladder by [`try_push_n`] and the probe.
+struct NPrepared {
+    /// Canonical index of the cleaned line.
+    kline: usize,
+    /// Canonical columns of the active processor's elements in that line.
+    cleaned: Vec<usize>,
+    /// Owner slot order: every processor except the active one.
+    owners: Vec<u8>,
+    /// Candidate interior targets per owner slot, best-first.
+    owner_targets: Vec<Vec<(usize, usize)>>,
 }
 
-/// Attempt a push under one specific mode.
-pub fn try_push_mode(
-    part: &mut NPartition,
-    proc: u8,
-    dir: NDirection,
-    mode: PushMode,
-) -> Option<NAppliedPush> {
-    let k = part.k();
-    let voc_before = part.voc_units() as i64;
-    let mut view = NView::new(part, dir);
+/// Phase 1 — locate the cleaned line and bucket interior targets per
+/// displaced owner by active dirty cost and owner-line cleaning bonus.
+fn n_prepare<G: NPushGrid>(view: &G, proc: u8, k: usize) -> Option<NPrepared> {
     let (top, bottom, left, right) = view.enclosing_rect_canonical(proc)?;
     if bottom == top {
         return None; // single-line rectangle: nowhere to go
@@ -186,8 +242,6 @@ pub fn try_push_mode(
     let owners: Vec<u8> = (0..k as u8).filter(|&p| p != proc).collect();
     let slot_of = |p: u8| owners.iter().position(|&o| o == p).expect("owner slot");
 
-    // Phase 1: bucket interior targets per owner by active dirty cost and
-    // owner-line cleaning bonus.
     let cap = m + 64;
     let mut buckets: Vec<[Vec<(usize, usize)>; 6]> =
         (0..owners.len()).map(|_| Default::default()).collect();
@@ -217,6 +271,35 @@ pub fn try_push_mode(
         .into_iter()
         .map(|b| b.into_iter().flatten().collect())
         .collect();
+    Some(NPrepared {
+        kline,
+        cleaned,
+        owners,
+        owner_targets,
+    })
+}
+
+/// Outcome of a successful [`n_attempt`].
+struct NAttemptOutcome {
+    delta: i64,
+    swaps: usize,
+    touched_mask: u64,
+}
+
+/// Phases 2 and 3 under one mode — owner assignment, greedy pairing,
+/// swaps, and the ΔVoC contract. Rolls back completely on failure.
+fn n_attempt<G: NPushGrid>(
+    view: &mut G,
+    proc: u8,
+    mode: PushMode,
+    prep: &NPrepared,
+    voc_before: i64,
+) -> Option<NAttemptOutcome> {
+    let kline = prep.kline;
+    let cleaned = &prep.cleaned;
+    let owners = &prep.owners;
+    let owner_targets = &prep.owner_targets;
+    let m = cleaned.len();
 
     // Phase 2: assign an owner to each vacated position. A position is
     // free for an owner when that owner already occupies both the cleaned
@@ -270,6 +353,7 @@ pub fn try_push_mode(
     let mut journal: Vec<((usize, usize), (usize, usize))> = Vec::with_capacity(m);
     let mut dirty_used = 0usize;
     let mut next = vec![0usize; owners.len()];
+    let mut touched_mask = 0u64;
     let mut ok = true;
     'elems: for (idx, &v) in cleaned.iter().enumerate() {
         let slot = assignment[idx];
@@ -299,12 +383,13 @@ pub fn try_push_mode(
             }
             view.swap((kline, v), (g, h));
             journal.push(((kline, v), (g, h)));
+            touched_mask |= 1u64 << owners[slot];
             dirty_used += cost;
             break;
         }
     }
 
-    let delta = view.part.voc_units() as i64 - voc_before;
+    let delta = view.voc_units() as i64 - voc_before;
     let contract_ok = match mode {
         PushMode::Strict | PushMode::Budgeted => delta < 0,
         PushMode::Relaxed => delta <= 0,
@@ -313,21 +398,371 @@ pub fn try_push_mode(
         for &(a, b) in journal.iter().rev() {
             view.swap(a, b);
         }
-        debug_assert_eq!(view.part.voc_units() as i64, voc_before);
+        debug_assert_eq!(view.voc_units() as i64, voc_before);
         return None;
     }
-    Some(NAppliedPush {
+    touched_mask |= 1u64 << proc;
+    Some(NAttemptOutcome {
+        delta,
+        swaps: journal.len(),
+        touched_mask,
+    })
+}
+
+/// Attempt a push of `proc` in `dir`, trying modes strictest-first.
+/// Commits the first legal one; otherwise leaves the partition untouched.
+/// Phase 1 is mode-independent (and failed attempts roll back exactly),
+/// so it is computed once and shared across the ladder.
+pub fn try_push_n(part: &mut NPartition, proc: u8, dir: NDirection) -> Option<NAppliedPush> {
+    let k = part.k();
+    let voc_before = part.voc_units() as i64;
+    let mut view = NView::new(part, dir);
+    let prep = n_prepare(&view, proc, k)?;
+    PushMode::ALL.iter().find_map(|&mode| {
+        n_attempt(&mut view, proc, mode, &prep, voc_before).map(|out| NAppliedPush {
+            proc,
+            dir,
+            mode,
+            delta_voc_units: out.delta,
+            swaps: out.swaps,
+            touched_mask: out.touched_mask,
+        })
+    })
+}
+
+/// Attempt a push under one specific mode.
+pub fn try_push_mode(
+    part: &mut NPartition,
+    proc: u8,
+    dir: NDirection,
+    mode: PushMode,
+) -> Option<NAppliedPush> {
+    let k = part.k();
+    let voc_before = part.voc_units() as i64;
+    let mut view = NView::new(part, dir);
+    let prep = n_prepare(&view, proc, k)?;
+    n_attempt(&mut view, proc, mode, &prep, voc_before).map(|out| NAppliedPush {
         proc,
         dir,
         mode,
-        delta_voc_units: delta,
-        swaps: journal.len(),
+        delta_voc_units: out.delta,
+        swaps: out.swaps,
+        touched_mask: out.touched_mask,
     })
+}
+
+/// Reusable overlay storage for the clone-free feasibility probe; the
+/// k-processor analogue of the three-processor `ProbeScratch`.
+#[derive(Debug, Default)]
+struct NProbeScratch {
+    /// `(n, k)` the flattened delta tables are sized for.
+    dims: (usize, usize),
+    /// Overlay cell assignments as `(flat index, owner)`.
+    cells: Vec<(u32, u8)>,
+    /// Per-(proc, row) count deltas, flattened as `proc * n + row`.
+    row_delta: Vec<i32>,
+    /// Per-(proc, col) count deltas, flattened as `proc * n + col`.
+    col_delta: Vec<i32>,
+    /// Flat `row_delta` indices that may be nonzero.
+    touched_rows: Vec<u32>,
+    /// Flat `col_delta` indices that may be nonzero.
+    touched_cols: Vec<u32>,
+    /// Overlay ΔVoC in line units relative to the base.
+    voc_delta: i64,
+}
+
+impl NProbeScratch {
+    fn ensure(&mut self, n: usize, k: usize) {
+        if self.dims != (n, k) {
+            self.dims = (n, k);
+            self.row_delta.clear();
+            self.row_delta.resize(n * k, 0);
+            self.col_delta.clear();
+            self.col_delta.resize(n * k, 0);
+            self.touched_rows.clear();
+            self.touched_cols.clear();
+            self.cells.clear();
+            self.voc_delta = 0;
+        } else {
+            self.reset();
+        }
+    }
+
+    fn reset(&mut self) {
+        for idx in self.touched_rows.drain(..) {
+            self.row_delta[idx as usize] = 0;
+        }
+        for idx in self.touched_cols.drain(..) {
+            self.col_delta[idx as usize] = 0;
+        }
+        self.cells.clear();
+        self.voc_delta = 0;
+    }
+}
+
+/// Read-only overlay view for probing: base partition plus scratch deltas,
+/// with the same canonical mapping as [`NView`].
+struct NProbeView<'a> {
+    base: &'a NPartition,
+    scratch: &'a mut NProbeScratch,
+    dir: NDirection,
+    n: usize,
+}
+
+impl NProbeView<'_> {
+    #[inline]
+    fn map(&self, u: usize, v: usize) -> (usize, usize) {
+        match self.dir {
+            NDirection::Down => (u, v),
+            NDirection::Up => (self.n - 1 - u, v),
+            NDirection::Right => (v, u),
+            NDirection::Left => (v, self.n - 1 - u),
+        }
+    }
+
+    #[inline]
+    fn get_real(&self, i: usize, j: usize) -> u8 {
+        let idx = (i * self.n + j) as u32;
+        for &(c, p) in &self.scratch.cells {
+            if c == idx {
+                return p;
+            }
+        }
+        self.base.get(i, j)
+    }
+
+    #[inline]
+    fn row_count_real(&self, proc: u8, i: usize) -> i64 {
+        i64::from(self.base.row_count(proc, i))
+            + i64::from(self.scratch.row_delta[proc as usize * self.n + i])
+    }
+
+    #[inline]
+    fn col_count_real(&self, proc: u8, j: usize) -> i64 {
+        i64::from(self.base.col_count(proc, j))
+            + i64::from(self.scratch.col_delta[proc as usize * self.n + j])
+    }
+
+    fn bump_row(&mut self, proc: u8, i: usize, by: i32) {
+        let idx = proc as usize * self.n + i;
+        if self.scratch.row_delta[idx] == 0 {
+            self.scratch.touched_rows.push(idx as u32);
+        }
+        self.scratch.row_delta[idx] += by;
+    }
+
+    fn bump_col(&mut self, proc: u8, j: usize, by: i32) {
+        let idx = proc as usize * self.n + j;
+        if self.scratch.col_delta[idx] == 0 {
+            self.scratch.touched_cols.push(idx as u32);
+        }
+        self.scratch.col_delta[idx] += by;
+    }
+
+    /// Overlay mirror of `NPartition::set`: same count-before-transition
+    /// ΔVoC rules, applied to the scratch deltas.
+    fn set_real(&mut self, i: usize, j: usize, proc: u8) {
+        let old = self.get_real(i, j);
+        if old == proc {
+            return;
+        }
+        let idx = (i * self.n + j) as u32;
+        match self.scratch.cells.iter_mut().find(|(c, _)| *c == idx) {
+            Some(entry) => entry.1 = proc,
+            None => self.scratch.cells.push((idx, proc)),
+        }
+        if self.row_count_real(old, i) == 1 {
+            self.scratch.voc_delta -= 1;
+        }
+        self.bump_row(old, i, -1);
+        if self.row_count_real(proc, i) == 0 {
+            self.scratch.voc_delta += 1;
+        }
+        self.bump_row(proc, i, 1);
+        if self.col_count_real(old, j) == 1 {
+            self.scratch.voc_delta -= 1;
+        }
+        self.bump_col(old, j, -1);
+        if self.col_count_real(proc, j) == 0 {
+            self.scratch.voc_delta += 1;
+        }
+        self.bump_col(proc, j, 1);
+    }
+}
+
+impl NPushGrid for NProbeView<'_> {
+    #[inline]
+    fn get(&self, u: usize, v: usize) -> u8 {
+        let (i, j) = self.map(u, v);
+        self.get_real(i, j)
+    }
+
+    fn swap(&mut self, a: (usize, usize), b: (usize, usize)) {
+        let ra = self.map(a.0, a.1);
+        let rb = self.map(b.0, b.1);
+        let pa = self.get_real(ra.0, ra.1);
+        let pb = self.get_real(rb.0, rb.1);
+        if pa == pb {
+            return;
+        }
+        self.set_real(ra.0, ra.1, pb);
+        self.set_real(rb.0, rb.1, pa);
+    }
+
+    #[inline]
+    fn row_has(&self, proc: u8, u: usize) -> bool {
+        self.row_count_canon(proc, u) > 0
+    }
+
+    #[inline]
+    fn col_has(&self, proc: u8, v: usize) -> bool {
+        self.col_count(proc, v) > 0
+    }
+
+    #[inline]
+    fn col_count(&self, proc: u8, v: usize) -> u32 {
+        let count = match self.dir {
+            NDirection::Down | NDirection::Up => self.col_count_real(proc, v),
+            NDirection::Right | NDirection::Left => self.row_count_real(proc, v),
+        };
+        debug_assert!(count >= 0, "overlay drove a line count negative");
+        count as u32
+    }
+
+    #[inline]
+    fn row_count_canon(&self, proc: u8, u: usize) -> u32 {
+        let count = match self.dir {
+            NDirection::Down => self.row_count_real(proc, u),
+            NDirection::Up => self.row_count_real(proc, self.n - 1 - u),
+            NDirection::Right => self.col_count_real(proc, u),
+            NDirection::Left => self.col_count_real(proc, self.n - 1 - u),
+        };
+        debug_assert!(count >= 0, "overlay drove a line count negative");
+        count as u32
+    }
+
+    /// Answered from the base grid: the kernel only consults the rectangle
+    /// in [`n_prepare`], before any overlay swap (rolled-back attempts
+    /// leave only zero-net-effect identity entries).
+    fn enclosing_rect_canonical(&self, proc: u8) -> Option<(usize, usize, usize, usize)> {
+        let r = self.base.enclosing_rect(proc)?;
+        let n = self.n;
+        Some(match self.dir {
+            NDirection::Down => (r.top, r.bottom, r.left, r.right),
+            NDirection::Up => (n - 1 - r.bottom, n - 1 - r.top, r.left, r.right),
+            NDirection::Right => (r.left, r.right, r.top, r.bottom),
+            NDirection::Left => (n - 1 - r.right, n - 1 - r.left, r.top, r.bottom),
+        })
+    }
+
+    #[inline]
+    fn voc_units(&self) -> u64 {
+        let units = self.base.voc_units() as i64 + self.scratch.voc_delta;
+        debug_assert!(units >= 0, "overlay drove voc_units negative");
+        units as u64
+    }
+}
+
+fn push_feasible_n_with(
+    scratch: &mut NProbeScratch,
+    part: &NPartition,
+    proc: u8,
+    dir: NDirection,
+) -> bool {
+    let k = part.k();
+    scratch.ensure(part.n(), k);
+    let voc_before = part.voc_units() as i64;
+    let mut view = NProbeView {
+        base: part,
+        scratch,
+        dir,
+        n: part.n(),
+    };
+    let Some(prep) = n_prepare(&view, proc, k) else {
+        return false;
+    };
+    PushMode::ALL
+        .iter()
+        .any(|&mode| n_attempt(&mut view, proc, mode, &prep, voc_before).is_some())
+}
+
+thread_local! {
+    static N_SCRATCH: RefCell<NProbeScratch> = RefCell::new(NProbeScratch::default());
+}
+
+/// Non-mutating query: would a push of `proc` in `dir` be legal under any
+/// [`PushMode`]? Decided by the same kernel as [`try_push_n`] against a
+/// reusable overlay — no clone of the `O(N²)` grid, safe on a shared
+/// reference.
+pub fn push_feasible_n(part: &NPartition, proc: u8, dir: NDirection) -> bool {
+    N_SCRATCH.with(|scratch| push_feasible_n_with(&mut scratch.borrow_mut(), part, proc, dir))
+}
+
+/// Hash-verified probe-verdict cache for one k-processor search run: one
+/// slot per `(pushable proc, direction)`. As in the three-processor
+/// engine, a lookup hits only on an exact `state_hash` match (a push by
+/// one processor can flip another's verdict, so touched-based invalidation
+/// alone would be unsound); [`NProbeCache::evict_touched`] is hygiene.
+#[derive(Debug)]
+pub(crate) struct NProbeCache {
+    /// `(state hash, verdict)` per slot; slot = `(proc - 1) * 4 + dir`.
+    /// Processor 0 (the fastest) is never pushed and has no slots.
+    slots: Vec<Option<(u64, bool)>>,
+}
+
+impl NProbeCache {
+    /// A cache for a `k`-processor search.
+    pub(crate) fn new(k: usize) -> NProbeCache {
+        NProbeCache {
+            slots: vec![None; k.saturating_sub(1) * 4],
+        }
+    }
+
+    fn slot(proc: u8, dir: NDirection) -> usize {
+        debug_assert!(proc >= 1, "processor 0 is never pushed");
+        (proc as usize - 1) * 4 + dir.index()
+    }
+
+    /// Cached verdict for `(proc, dir)` at exactly `hash`, if any.
+    pub(crate) fn lookup(&self, hash: u64, proc: u8, dir: NDirection) -> Option<bool> {
+        let (h, verdict) = self.slots[Self::slot(proc, dir)]?;
+        (h == hash).then_some(verdict)
+    }
+
+    /// Record a verdict computed at `hash`.
+    pub(crate) fn record(&mut self, hash: u64, proc: u8, dir: NDirection, verdict: bool) {
+        self.slots[Self::slot(proc, dir)] = Some((hash, verdict));
+    }
+
+    /// Probe through the cache.
+    #[cfg(test)]
+    pub(crate) fn probe(&mut self, part: &NPartition, proc: u8, dir: NDirection) -> bool {
+        let hash = part.state_hash();
+        if let Some(verdict) = self.lookup(hash, proc, dir) {
+            return verdict;
+        }
+        let verdict = push_feasible_n(part, proc, dir);
+        self.record(hash, proc, dir, verdict);
+        verdict
+    }
+
+    /// Drop the slots of every processor in `touched_mask` (hygiene — the
+    /// hash check alone guarantees correctness).
+    pub(crate) fn evict_touched(&mut self, touched_mask: u64) {
+        for proc in 1..=(self.slots.len() / 4) as u8 {
+            if touched_mask & (1u64 << proc) != 0 {
+                for dir in NDirection::ALL {
+                    self.slots[Self::slot(proc, dir)] = None;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -343,6 +778,7 @@ mod tests {
                     if let Some(ap) = try_push_n(&mut part, proc, dir) {
                         assert!(ap.delta_voc_units <= 0);
                         assert!(part.voc() <= voc);
+                        assert!(ap.touched_mask & (1 << proc) != 0);
                         voc = part.voc();
                         any = true;
                     }
@@ -403,7 +839,66 @@ mod tests {
                     try_push_n(&mut scratch, proc, dir).is_none(),
                     "{proc} {dir:?} should not push"
                 );
+                // And the probe agrees without needing the clone.
+                assert!(!push_feasible_n(&part, proc, dir));
             }
         }
+    }
+
+    /// Clone-based oracle for the probe equivalence properties.
+    fn would_push_n_reference(part: &NPartition, proc: u8, dir: NDirection) -> bool {
+        let mut scratch = part.clone();
+        try_push_n(&mut scratch, proc, dir).is_some()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The clone-free probe and the clone-based oracle agree for every
+        /// (pushable proc, direction) pair, including at intermediate
+        /// states of a push sequence, across processor counts.
+        #[test]
+        fn probe_matches_clone_reference(seed in 0u64..1_000_000, k in 3usize..=6) {
+            let weights: Vec<u32> = (0..k).map(|i| 1 + 2 * (k - i) as u32).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut part = NPartition::random(16, &weights, &mut rng);
+            for _round in 0..4 {
+                let mut moved = false;
+                for proc in 1..k as u8 {
+                    for dir in NDirection::ALL {
+                        prop_assert_eq!(
+                            push_feasible_n(&part, proc, dir),
+                            would_push_n_reference(&part, proc, dir),
+                            "disagreement at seed {} for proc {} {:?}", seed, proc, dir
+                        );
+                        moved |= try_push_n(&mut part, proc, dir).is_some();
+                    }
+                }
+                if !moved {
+                    break;
+                }
+            }
+            part.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn probe_cache_hits_on_exact_hash_and_evicts_touched() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let part = NPartition::random(14, &[5, 3, 2, 1], &mut rng);
+        let mut cache = NProbeCache::new(4);
+        let verdict = cache.probe(&part, 1, NDirection::Down);
+        assert_eq!(
+            cache.lookup(part.state_hash(), 1, NDirection::Down),
+            Some(verdict)
+        );
+        assert_eq!(
+            cache.lookup(part.state_hash() ^ 1, 1, NDirection::Down),
+            None
+        );
+        cache.probe(&part, 2, NDirection::Up);
+        cache.evict_touched(1 << 1); // proc 1 moved, proc 2 did not
+        assert_eq!(cache.lookup(part.state_hash(), 1, NDirection::Down), None);
+        assert!(cache.lookup(part.state_hash(), 2, NDirection::Up).is_some());
     }
 }

@@ -76,6 +76,14 @@ pub mod names {
     ];
     /// Steps the n-processor column DFA took to reach its final shape.
     pub const NPROC_STEPS: &str = "nproc.steps";
+    /// Push-feasibility probes actually evaluated (cache misses included,
+    /// cache hits not).
+    pub const PUSH_PROBES: &str = "push.probe.evals";
+    /// Probe verdicts served from a hash-verified [`ProbeCache`] slot
+    /// instead of being re-evaluated.
+    ///
+    /// [`ProbeCache`]: https://docs.rs/hetmmm-push
+    pub const PUSH_PROBE_CACHE_HITS: &str = "push.probe.cache_hits";
 }
 
 /// A monotonically increasing counter.

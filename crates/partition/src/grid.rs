@@ -44,6 +44,43 @@ pub struct Partition {
     /// key per `(cell, owner)` pair. Lets the Push DFA detect revisited
     /// states (VoC-neutral cycles) in `O(1)`.
     zobrist: u64,
+    /// Per-processor enclosing-rectangle bounds, maintained incrementally
+    /// in [`Partition::set`] like the Zobrist hash, making
+    /// [`Partition::enclosing_rect`] an `O(1)` read. Canonical: exactly the
+    /// bounding box while the processor owns any element, and
+    /// [`Bounds::EMPTY`] otherwise, so the derived `Eq`/serde stay
+    /// content-addressed regardless of mutation history.
+    bounds: [Bounds; 3],
+}
+
+/// Incrementally maintained bounding box of one processor's cells
+/// (inclusive on all four sides).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+struct Bounds {
+    top: usize,
+    bottom: usize,
+    left: usize,
+    right: usize,
+}
+
+impl Bounds {
+    /// Canonical "no elements" value; recognizable by `top > bottom`, and
+    /// chosen so that [`Bounds::expand`] from empty yields the single-cell
+    /// box directly.
+    const EMPTY: Bounds = Bounds {
+        top: usize::MAX,
+        bottom: 0,
+        left: usize::MAX,
+        right: 0,
+    };
+
+    #[inline]
+    fn expand(&mut self, i: usize, j: usize) {
+        self.top = self.top.min(i);
+        self.bottom = self.bottom.max(i);
+        self.left = self.left.min(j);
+        self.right = self.right.max(j);
+    }
 }
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixer used to derive the
@@ -79,6 +116,13 @@ impl Partition {
         for idx in 0..(n * n) as u64 {
             zobrist ^= mix64(idx * 3 + u64::from(fill.q()));
         }
+        let mut bounds = [Bounds::EMPTY; 3];
+        bounds[fill.idx()] = Bounds {
+            top: 0,
+            bottom: n - 1,
+            left: 0,
+            right: n - 1,
+        };
         Partition {
             n,
             cells: vec![fill.q(); n * n],
@@ -89,6 +133,7 @@ impl Partition {
             voc_units: 0,
             elems,
             zobrist,
+            bounds,
         }
     }
 
@@ -163,6 +208,44 @@ impl Partition {
             self.voc_units += 1;
         }
         *cc_new += 1;
+
+        // Enclosing-rectangle bookkeeping. The gaining processor expands in
+        // O(1); the losing processor shrinks by scanning its per-line counts
+        // inward from a boundary line that just emptied — only then, and
+        // never past the opposite edge (some line is nonzero while the
+        // processor owns elements).
+        self.bounds[proc.idx()].expand(i, j);
+        if self.elems[old.idx()] == 0 {
+            self.bounds[old.idx()] = Bounds::EMPTY;
+        } else {
+            let rows = &self.row_count[old.idx()];
+            let cols = &self.col_count[old.idx()];
+            let b = &mut self.bounds[old.idx()];
+            if rows[i] == 0 {
+                if i == b.top {
+                    while rows[b.top] == 0 {
+                        b.top += 1;
+                    }
+                }
+                if i == b.bottom {
+                    while rows[b.bottom] == 0 {
+                        b.bottom -= 1;
+                    }
+                }
+            }
+            if cols[j] == 0 {
+                if j == b.left {
+                    while cols[b.left] == 0 {
+                        b.left += 1;
+                    }
+                }
+                if j == b.right {
+                    while cols[b.right] == 0 {
+                        b.right -= 1;
+                    }
+                }
+            }
+        }
 
         old
     }
@@ -262,16 +345,14 @@ impl Partition {
     }
 
     /// The enclosing rectangle of `proc` (Fig. 4), or `None` if the processor
-    /// owns no elements. `O(N)` scan of the per-line counts.
+    /// owns no elements. `O(1)` read of the incrementally maintained bounds.
     pub fn enclosing_rect(&self, proc: Proc) -> Option<Rect> {
         let _span = hetmmm_obs::fine_span("partition.enclosing_rect");
-        let rows = &self.row_count[proc.idx()];
-        let cols = &self.col_count[proc.idx()];
-        let top = rows.iter().position(|&c| c > 0)?;
-        let bottom = rows.iter().rposition(|&c| c > 0)?;
-        let left = cols.iter().position(|&c| c > 0)?;
-        let right = cols.iter().rposition(|&c| c > 0)?;
-        Some(Rect::new(top, bottom, left, right))
+        let b = self.bounds[proc.idx()];
+        if b.top > b.bottom {
+            return None;
+        }
+        Some(Rect::new(b.top, b.bottom, b.left, b.right))
     }
 
     /// Iterate over the cells assigned to `proc`, row-major.
@@ -347,6 +428,14 @@ impl Partition {
             zobrist ^= mix64(idx as u64 * 3 + u64::from(q));
         }
         assert_eq!(zobrist, self.zobrist, "zobrist drift");
+        let mut bounds = [Bounds::EMPTY; 3];
+        for i in 0..n {
+            for j in 0..n {
+                let p = Proc::from_q(self.cells[i * n + j]);
+                bounds[p.idx()].expand(i, j);
+            }
+        }
+        assert_eq!(bounds, self.bounds, "enclosing-rect bounds drift");
     }
 }
 
@@ -498,6 +587,69 @@ mod tests {
                 assert_eq!(p.get(i, j), want);
             }
         }
+    }
+
+    #[test]
+    fn bounds_shrink_through_interior_and_edge_removals() {
+        let mut p = Partition::new(12, Proc::P);
+        p.fill_rect(Rect::new(2, 9, 3, 8), Proc::R);
+        assert_eq!(p.enclosing_rect(Proc::R), Some(Rect::new(2, 9, 3, 8)));
+        // Empty the top boundary row: top must skip past it.
+        for j in 3..=8 {
+            p.set(2, j, Proc::P);
+        }
+        assert_eq!(p.enclosing_rect(Proc::R), Some(Rect::new(3, 9, 3, 8)));
+        // Empty two boundary columns in one go (left edge 3 then 4).
+        for i in 3..=9 {
+            p.set(i, 3, Proc::P);
+            p.set(i, 4, Proc::P);
+        }
+        assert_eq!(p.enclosing_rect(Proc::R), Some(Rect::new(3, 9, 5, 8)));
+        // Interior removals never move the box.
+        p.set(5, 6, Proc::S);
+        assert_eq!(p.enclosing_rect(Proc::R), Some(Rect::new(3, 9, 5, 8)));
+        // Remove everything: back to None, and re-adding restarts cleanly.
+        for (i, j) in Rect::new(3, 9, 5, 8).cells() {
+            p.set(i, j, Proc::P);
+        }
+        assert_eq!(p.enclosing_rect(Proc::R), None);
+        p.set(11, 0, Proc::R);
+        assert_eq!(p.enclosing_rect(Proc::R), Some(Rect::new(11, 11, 0, 0)));
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn bounds_match_scan_recompute_on_random_set_sequences() {
+        // Deterministic pseudo-random set() churn; after every mutation the
+        // incremental bounds must equal a from-scratch scan.
+        let n = 16;
+        let mut p = Partition::new(n, Proc::P);
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let r = next();
+            let i = (r as usize >> 8) % n;
+            let j = (r as usize >> 24) % n;
+            let proc = Proc::from_q((r % 3) as u8);
+            p.set(i, j, proc);
+            for q in Proc::ALL {
+                let scan = {
+                    let rows: Vec<usize> = (0..n).filter(|&i| p.row_has(q, i)).collect();
+                    let cols: Vec<usize> = (0..n).filter(|&j| p.col_has(q, j)).collect();
+                    match (rows.first(), rows.last(), cols.first(), cols.last()) {
+                        (Some(&t), Some(&b), Some(&l), Some(&r)) => Some(Rect::new(t, b, l, r)),
+                        _ => None,
+                    }
+                };
+                assert_eq!(p.enclosing_rect(q), scan);
+            }
+        }
+        p.assert_invariants();
     }
 
     #[test]

@@ -213,6 +213,41 @@ impl fmt::Display for Ratio {
     }
 }
 
+impl std::str::FromStr for Ratio {
+    type Err = String;
+
+    /// Parse the `Display` form `"P:R:S"` (e.g. `"3:2:1"`), enforcing the
+    /// same positivity and `P_r >= R_r >= S_r` ordering as [`Ratio::new`]
+    /// but reporting violations as `Err` instead of panicking — suited to
+    /// command-line arguments.
+    fn from_str(spec: &str) -> Result<Ratio, String> {
+        let mut parts = spec.split(':');
+        let mut component = |name: &str| -> Result<u32, String> {
+            let tok = parts
+                .next()
+                .ok_or_else(|| format!("ratio {spec:?} is missing the {name} component"))?;
+            let value: u32 = tok
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad {name} component {tok:?} in ratio {spec:?}: {e}"))?;
+            if value == 0 {
+                return Err(format!("ratio {spec:?} has a zero {name} component"));
+            }
+            Ok(value)
+        };
+        let (p, r, s) = (component("P")?, component("R")?, component("S")?);
+        if parts.next().is_some() {
+            return Err(format!("ratio {spec:?} has more than three components"));
+        }
+        if p < r || r < s {
+            return Err(format!(
+                "ratio {spec:?} must satisfy P_r >= R_r >= S_r; relabel the processors"
+            ));
+        }
+        Ok(Ratio { p, r, s })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +320,20 @@ mod tests {
     #[test]
     fn paper_ratio_list_is_valid() {
         assert_eq!(Ratio::paper_ratios().len(), 11);
+    }
+
+    #[test]
+    fn ratio_parses_display_form() {
+        for ratio in Ratio::paper_ratios() {
+            assert_eq!(ratio.to_string().parse::<Ratio>(), Ok(ratio));
+        }
+        assert_eq!(" 5 : 3 : 1 ".parse::<Ratio>(), Ok(Ratio::new(5, 3, 1)));
+    }
+
+    #[test]
+    fn ratio_parse_rejects_malformed_specs() {
+        for bad in ["", "3:2", "3:2:1:1", "3:0:1", "1:2:3", "a:2:1", "3:2:-1"] {
+            assert!(bad.parse::<Ratio>().is_err(), "{bad:?} should not parse");
+        }
     }
 }

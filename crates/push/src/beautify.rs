@@ -11,7 +11,8 @@
 //! zero-delta streak guard as the DFA protects against VoC-neutral
 //! oscillation.
 
-use crate::op::{try_push_any_type, would_push, Direction};
+use crate::op::{try_push_any_type, Direction};
+use crate::probe::push_feasible;
 use hetmmm_partition::{Partition, Proc};
 
 /// Apply pushes in every direction until the partition is fully condensed.
@@ -57,9 +58,11 @@ pub fn beautify(part: &mut Partition) -> usize {
 /// Is the partition a fixed point — no legal push for either slower
 /// processor in any direction? (The paper's end condition, Section VI-C.)
 pub fn is_condensed(part: &Partition) -> bool {
-    Proc::PUSHABLE
-        .into_iter()
-        .all(|p| Direction::ALL.into_iter().all(|d| !would_push(part, p, d)))
+    Proc::PUSHABLE.into_iter().all(|p| {
+        Direction::ALL
+            .into_iter()
+            .all(|d| !push_feasible(part, p, d))
+    })
 }
 
 #[cfg(test)]

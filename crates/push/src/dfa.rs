@@ -14,7 +14,8 @@
 //! rayon — the paper ran "multiple instances of the program on multiple
 //! processors" of a cluster for the same reason.
 
-use crate::op::{try_push_any_type, would_push, Direction, PushType};
+use crate::op::{try_push_any_type, Direction, PushType};
+use crate::probe::ProbeCache;
 use hetmmm_error::{HetmmmError, NonConvergence};
 use hetmmm_obs as obs;
 use hetmmm_partition::{random_partition, Partition, Proc, Ratio};
@@ -245,10 +246,22 @@ impl DfaRunner {
         // shuffle elements without progress).
         let mut seen = std::collections::HashSet::new();
         seen.insert(part.state_hash());
-
-        if !self.config.snapshot_steps.contains(&0) && self.config.snapshot_steps.is_empty() {
-            // no snapshot of the start state requested
-        } else if self.config.snapshot_steps.contains(&0) {
+        // Known-infeasible (proc, dir) verdicts keyed on the exact state
+        // hash. A failed attempt is a pure function of the state, so when
+        // the hash still matches, re-running `try_push_any_type` is provably
+        // a no-op — skip it and emit the same rejection event. No RNG is
+        // consumed either way, so seeded runs are bit-identical.
+        let mut probes = ProbeCache::default();
+        // Sorted copy of the requested snapshot steps: one binary search
+        // per applied step instead of three linear scans.
+        let snapshot_at = {
+            let mut steps = self.config.snapshot_steps.clone();
+            steps.sort_unstable();
+            steps.dedup();
+            steps
+        };
+        let want_snapshot = |s: usize| snapshot_at.binary_search(&s).is_ok();
+        if want_snapshot(0) {
             snapshots.push((0, part.clone()));
         }
 
@@ -257,7 +270,18 @@ impl DfaRunner {
             let mut progressed = false;
             for &idx in &order {
                 let (proc, dir) = plan.entries[idx];
+                let hash = part.state_hash();
+                if probes.lookup(hash, proc, dir) == Some(false) {
+                    if obs::enabled() {
+                        obs::emit(obs::EventKind::DfaPushRejected {
+                            proc: proc.to_string(),
+                            dir: dir.to_string(),
+                        });
+                    }
+                    continue;
+                }
                 if let Some(applied) = try_push_any_type(&mut part, proc, dir) {
+                    probes.evict_touched(&applied.touched);
                     steps += 1;
                     progressed = true;
                     pushes_by_type[type_index(applied.ty)] += 1;
@@ -273,8 +297,7 @@ impl DfaRunner {
                     if obs::metrics_enabled() {
                         obs::metrics()
                             .counter(
-                                obs::metrics::names::DFA_PUSH[type_index(applied.ty)]
-                                    [dir_index(dir)],
+                                obs::metrics::names::DFA_PUSH[type_index(applied.ty)][dir.index()],
                             )
                             .inc();
                     }
@@ -284,17 +307,15 @@ impl DfaRunner {
                         zero_streak = 0;
                         seen.clear();
                     }
-                    if !seen.insert(part.state_hash()) {
+                    let revisited = !seen.insert(part.state_hash());
+                    if want_snapshot(steps) {
+                        snapshots.push((steps, part.clone()));
+                    }
+                    if revisited {
                         cycled = true;
                         converged = true;
                         termination = Termination::NeutralCycle;
-                        if self.config.snapshot_steps.contains(&steps) {
-                            snapshots.push((steps, part.clone()));
-                        }
                         break 'outer;
-                    }
-                    if self.config.snapshot_steps.contains(&steps) {
-                        snapshots.push((steps, part.clone()));
                     }
                     if steps >= self.config.step_cap {
                         termination = Termination::StepCapExhausted;
@@ -305,11 +326,14 @@ impl DfaRunner {
                         break 'outer;
                     }
                     break; // re-randomize the interleaving after each push
-                } else if obs::enabled() {
-                    obs::emit(obs::EventKind::DfaPushRejected {
-                        proc: proc.to_string(),
-                        dir: dir.to_string(),
-                    });
+                } else {
+                    probes.record(hash, proc, dir, false);
+                    if obs::enabled() {
+                        obs::emit(obs::EventKind::DfaPushRejected {
+                            proc: proc.to_string(),
+                            dir: dir.to_string(),
+                        });
+                    }
                 }
             }
             if !progressed {
@@ -319,10 +343,14 @@ impl DfaRunner {
             }
         }
 
+        // At a fixed point the final failed round has just recorded a
+        // `false` verdict for every plan pair at the final hash, so this
+        // re-probes only the pairs the plan did not cover (~4 of 12 for a
+        // typical random plan) instead of all 12.
         let residual_pushes: Vec<(Proc, Direction)> = Proc::PUSHABLE
             .into_iter()
             .flat_map(|p| Direction::ALL.into_iter().map(move |d| (p, d)))
-            .filter(|&(p, d)| would_push(&part, p, d))
+            .filter(|&(p, d)| probes.probe(&part, p, d))
             .collect();
 
         let voc_final = part.voc();
@@ -400,15 +428,6 @@ impl DfaRunner {
         seeds: impl IntoIterator<Item = u64>,
     ) -> Result<Vec<DfaOutcome>, HetmmmError> {
         self.run_many(seeds).into_iter().map(Self::check).collect()
-    }
-}
-
-fn dir_index(dir: Direction) -> usize {
-    match dir {
-        Direction::Down => 0,
-        Direction::Up => 1,
-        Direction::Left => 2,
-        Direction::Right => 3,
     }
 }
 

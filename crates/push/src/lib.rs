@@ -19,6 +19,9 @@
 //!   rollback,
 //! - [`view`]: the direction-canonicalizing coordinate view that lets one
 //!   implementation serve ↓, ↑, ← and →,
+//! - [`probe`]: clone-free feasibility probes ([`probe::push_feasible`])
+//!   answered by the same kernel through a read-only overlay, plus the
+//!   hash-verified per-run verdict cache the DFA uses,
 //! - [`dfa`]: the randomized search engine (random `q0`, random direction
 //!   sets, random interleaving) with snapshot support (Fig. 7),
 //! - [`beautify`]: exhaustive condensation in *all* directions, used to
@@ -30,8 +33,10 @@
 pub mod beautify;
 pub mod dfa;
 pub mod op;
+pub mod probe;
 pub mod view;
 
 pub use beautify::{beautify, is_condensed};
 pub use dfa::{DfaConfig, DfaOutcome, DfaRunner, PushPlan, Termination};
 pub use op::{try_push, try_push_any_type, AppliedPush, Direction, PushType};
+pub use probe::push_feasible;

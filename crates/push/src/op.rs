@@ -42,7 +42,7 @@
 //! dirtying within budget.
 
 use crate::view::View;
-use hetmmm_partition::{Partition, Proc};
+use hetmmm_partition::{Partition, Proc, Rect};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -67,6 +67,17 @@ impl Direction {
         Direction::Left,
         Direction::Right,
     ];
+
+    /// Position of this direction in [`Direction::ALL`] (down 0, up 1,
+    /// left 2, right 3). Used for dense per-(proc, dir) tables.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Direction::Down => 0,
+            Direction::Up => 1,
+            Direction::Left => 2,
+            Direction::Right => 3,
+        }
+    }
 
     /// Arrow glyph used in logs, matching the paper's notation.
     pub fn arrow(self) -> char {
@@ -178,20 +189,61 @@ pub struct AppliedPush {
     /// Number of element swaps performed (= active elements in the cleaned
     /// line).
     pub swaps: usize,
+    /// Which processors' elements the push moved — the active processor
+    /// plus every displaced receiver — indexed by `Proc::idx()`. The DFA
+    /// uses this to evict probe-cache entries for exactly the processors
+    /// whose occupancy changed.
+    pub touched: [bool; 3],
 }
 
-/// Try to apply a push of the given type. On success the partition is
-/// mutated and a record returned; on failure the partition is left exactly
-/// as it was.
-pub fn try_push(
-    part: &mut Partition,
-    proc: Proc,
-    dir: Direction,
-    ty: PushType,
-) -> Option<AppliedPush> {
-    let _span = hetmmm_obs::fine_span_arg("push.apply", ty as u64 + 1);
-    let voc_before = part.voc_units() as i64;
-    let mut view = View::new(part, dir);
+/// Canonical-coordinate grid accessors the push kernel needs.
+///
+/// Two implementations share the kernel: the mutable [`View`] applies
+/// pushes to a real [`Partition`], and the read-only overlay
+/// [`crate::probe::ProbeView`] answers feasibility without cloning or
+/// mutating. One kernel deciding both is what makes
+/// [`crate::probe::push_feasible`] agree with [`try_push_any_type`] by
+/// construction — there is no second legality implementation to drift.
+///
+/// `enclosing_rect` is only ever consulted by [`prepare`], before any swap;
+/// overlay implementations may therefore answer it from their base grid.
+pub(crate) trait PushGrid {
+    /// Owner of canonical cell `(u, v)`.
+    fn get(&self, u: usize, v: usize) -> Proc;
+    /// Swap two canonical cells.
+    fn swap(&mut self, a: (usize, usize), b: (usize, usize));
+    /// Does canonical row `u` contain elements of `proc`?
+    fn row_has(&self, proc: Proc, u: usize) -> bool;
+    /// Does canonical column `v` contain elements of `proc`?
+    fn col_has(&self, proc: Proc, v: usize) -> bool;
+    /// Elements of `proc` in canonical row `u`.
+    fn row_count(&self, proc: Proc, u: usize) -> u32;
+    /// Elements of `proc` in canonical column `v`.
+    fn col_count(&self, proc: Proc, v: usize) -> u32;
+    /// Enclosing rectangle of `proc` in canonical coordinates.
+    fn enclosing_rect(&self, proc: Proc) -> Option<Rect>;
+    /// VoC line units of the underlying grid.
+    fn voc_units(&self) -> u64;
+}
+
+/// The type-independent part of a push attempt: the cleaned line and the
+/// per-owner candidate target lists (phase 1). None of it depends on the
+/// [`PushType`], so [`try_push_any_type`] and the feasibility probe compute
+/// it once and reuse it across all six type attempts.
+pub(crate) struct Prepared {
+    /// Canonical index of the cleaned line (`rect.top`).
+    k: usize,
+    /// Canonical columns of the active processor's elements in that line.
+    cleaned: Vec<usize>,
+    /// Candidate interior targets per displaced owner slot, best-first.
+    owner_targets: [Vec<(usize, usize)>; 2],
+}
+
+/// Phase 1 — locate the cleaned line and collect candidate interior
+/// targets per displaced owner. Returns `None` when no push of `proc` in
+/// this view's direction can exist at all (no elements, or a single-line
+/// enclosing rectangle that a push would be forced to enlarge).
+pub(crate) fn prepare<G: PushGrid>(view: &G, proc: Proc) -> Option<Prepared> {
     let rect = view.enclosing_rect(proc)?;
     if rect.height() <= 1 {
         // No interior lines to receive the cleaned elements: the push would
@@ -208,14 +260,12 @@ pub fn try_push(
         !cleaned.is_empty(),
         "edge line of enclosing rect must contain proc"
     );
-
-    let active_side = ty.active_side();
-    let displaced_strict = ty.displaced_strict();
     let m = cleaned.len();
-    let [o1, o2] = proc.others();
+    // Owner slot 0 is `others()[0]`, slot 1 is `others()[1]`; only the
+    // second is needed here (slot = "is it the second other?").
+    let [_, o2] = proc.others();
 
-    // -----------------------------------------------------------------
-    // Phase 1 — collect candidate interior targets per displaced owner.
+    // Collect candidate interior targets per displaced owner.
     //
     // The paper's `find` scans the enclosing-rectangle interior row-major
     // from (k+1, left). We do the same but keep the candidates grouped by
@@ -224,7 +274,6 @@ pub fn try_push(
     // displaced owners is ours to choose. Within each owner group,
     // candidates whose removal cleans one of the owner's lines sort first
     // (they reduce VoC).
-    // -----------------------------------------------------------------
     let mut owner_targets: [Vec<(usize, usize)>; 2] = [Vec::new(), Vec::new()];
     {
         // Bucket candidates per owner by (active-side dirty cost, cleaning
@@ -269,6 +318,40 @@ pub fn try_push(
             }
         }
     }
+    Some(Prepared {
+        k,
+        cleaned,
+        owner_targets,
+    })
+}
+
+/// Outcome of a successful [`attempt`].
+pub(crate) struct AttemptOutcome {
+    /// Exact ΔVoC in line units.
+    pub(crate) delta: i64,
+    /// Swaps performed.
+    pub(crate) swaps: usize,
+    /// Processors whose elements moved, indexed by `Proc::idx()`.
+    pub(crate) touched: [bool; 3],
+}
+
+/// Phases 2 and 3 of a push of `ty` — owner assignment, greedy pairing,
+/// swaps, and the final ΔVoC contract check. On failure every swap is
+/// rolled back and the grid is left exactly as it was.
+pub(crate) fn attempt<G: PushGrid>(
+    view: &mut G,
+    proc: Proc,
+    ty: PushType,
+    prep: &Prepared,
+    voc_before: i64,
+) -> Option<AttemptOutcome> {
+    let k = prep.k;
+    let cleaned = &prep.cleaned;
+    let owner_targets = &prep.owner_targets;
+    let active_side = ty.active_side();
+    let displaced_strict = ty.displaced_strict();
+    let m = cleaned.len();
+    let [o1, o2] = proc.others();
 
     // -----------------------------------------------------------------
     // Phase 2 — decide which owner fills each vacated position.
@@ -344,6 +427,7 @@ pub fn try_push(
     let mut journal: Vec<((usize, usize), (usize, usize))> = Vec::with_capacity(m);
     let mut dirty_lines_used = 0usize; // OneDirty budget
     let mut next_target = [0usize; 2];
+    let mut touched = [false; 3];
     let mut ok = true;
 
     'elems: for (idx, &v) in cleaned.iter().enumerate() {
@@ -381,6 +465,7 @@ pub fn try_push(
             }
             view.swap((k, v), (g, h));
             journal.push(((k, v), (g, h)));
+            touched[[o1, o2][slot].idx()] = true;
             dirty_lines_used += dirty_cost;
             break;
         }
@@ -406,12 +491,34 @@ pub fn try_push(
         return None;
     }
 
-    Some(AppliedPush {
+    touched[proc.idx()] = true;
+    Some(AttemptOutcome {
+        delta,
+        swaps: journal.len(),
+        touched,
+    })
+}
+
+/// Try to apply a push of the given type. On success the partition is
+/// mutated and a record returned; on failure the partition is left exactly
+/// as it was.
+pub fn try_push(
+    part: &mut Partition,
+    proc: Proc,
+    dir: Direction,
+    ty: PushType,
+) -> Option<AppliedPush> {
+    let _span = hetmmm_obs::fine_span_arg("push.apply", ty as u64 + 1);
+    let voc_before = part.voc_units() as i64;
+    let mut view = View::new(part, dir);
+    let prep = prepare(&view, proc)?;
+    attempt(&mut view, proc, ty, &prep, voc_before).map(|out| AppliedPush {
         proc,
         dir,
         ty,
-        delta_voc_units: delta,
-        swaps: journal.len(),
+        delta_voc_units: out.delta,
+        swaps: out.swaps,
+        touched: out.touched,
     })
 }
 
@@ -434,16 +541,32 @@ pub fn try_push(
 /// assert!(part.voc() < voc_before);
 /// ```
 pub fn try_push_any_type(part: &mut Partition, proc: Proc, dir: Direction) -> Option<AppliedPush> {
-    PushType::ALL
-        .iter()
-        .find_map(|&ty| try_push(part, proc, dir, ty))
+    let voc_before = part.voc_units() as i64;
+    let mut view = View::new(part, dir);
+    // Phase 1 is type-independent (and failed attempts roll back exactly),
+    // so compute it once instead of once per type.
+    let prep = prepare(&view, proc)?;
+    PushType::ALL.iter().find_map(|&ty| {
+        let _span = hetmmm_obs::fine_span_arg("push.apply", ty as u64 + 1);
+        attempt(&mut view, proc, ty, &prep, voc_before).map(|out| AppliedPush {
+            proc,
+            dir,
+            ty,
+            delta_voc_units: out.delta,
+            swaps: out.swaps,
+            touched: out.touched,
+        })
+    })
 }
 
-/// Non-mutating query: would *any* type of push of `proc` in `dir` be legal?
+/// Clone-based reference probe: would *any* type of push of `proc` in `dir`
+/// be legal?
 ///
-/// Clones the partition; intended for end-condition analysis, not hot loops.
-pub fn would_push(part: &Partition, proc: Proc, dir: Direction) -> bool {
-    let _span = hetmmm_obs::fine_span("push.probe");
+/// Kept only as the test oracle for [`crate::probe::push_feasible`], which
+/// answers the same question without cloning or mutating. Production code
+/// must use the probe.
+#[cfg(test)]
+pub(crate) fn would_push_reference(part: &Partition, proc: Proc, dir: Direction) -> bool {
     let mut scratch = part.clone();
     try_push_any_type(&mut scratch, proc, dir).is_some()
 }
@@ -592,7 +715,7 @@ mod tests {
             .rect(Rect::new(1, 2, 0, 5), Proc::R)
             .build();
         let copy = part.clone();
-        let _ = would_push(&part, Proc::R, Direction::Down);
+        let _ = would_push_reference(&part, Proc::R, Direction::Down);
         assert_eq!(part, copy);
     }
 
@@ -607,7 +730,7 @@ mod tests {
         for proc in Proc::PUSHABLE {
             for dir in Direction::ALL {
                 assert!(
-                    !would_push(&part, proc, dir),
+                    !would_push_reference(&part, proc, dir),
                     "square-corner should be condensed, but {proc} {dir} is legal"
                 );
             }

@@ -131,6 +131,42 @@ impl<'a> View<'a> {
     }
 }
 
+/// The push kernel sees a mutable `View` through the same trait as the
+/// read-only probe overlay — pure delegation to the inherent methods.
+impl crate::op::PushGrid for View<'_> {
+    #[inline]
+    fn get(&self, u: usize, v: usize) -> Proc {
+        View::get(self, u, v)
+    }
+    #[inline]
+    fn swap(&mut self, a: (usize, usize), b: (usize, usize)) {
+        View::swap(self, a, b)
+    }
+    #[inline]
+    fn row_has(&self, proc: Proc, u: usize) -> bool {
+        View::row_has(self, proc, u)
+    }
+    #[inline]
+    fn col_has(&self, proc: Proc, v: usize) -> bool {
+        View::col_has(self, proc, v)
+    }
+    #[inline]
+    fn row_count(&self, proc: Proc, u: usize) -> u32 {
+        View::row_count(self, proc, u)
+    }
+    #[inline]
+    fn col_count(&self, proc: Proc, v: usize) -> u32 {
+        View::col_count(self, proc, v)
+    }
+    fn enclosing_rect(&self, proc: Proc) -> Option<Rect> {
+        View::enclosing_rect(self, proc)
+    }
+    #[inline]
+    fn voc_units(&self) -> u64 {
+        View::voc_units(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,62 @@
+//! Property suite for the incrementally maintained enclosing rectangles:
+//! through arbitrary push sequences, `Partition::enclosing_rect` must
+//! always equal a from-scratch occupancy scan. The partition's own
+//! `assert_invariants` cross-validates the same bounds; this suite drives
+//! them through the real mutation pattern (push swap journals, including
+//! rollbacks of failed type attempts).
+
+use hetmmm_partition::{random_partition, Partition, Proc, Ratio, Rect};
+use hetmmm_push::{try_push_any_type, Direction};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// From-scratch recompute of the enclosing rectangle from per-line
+/// occupancy, the way the pre-incremental implementation derived it.
+fn scan_rect(part: &Partition, proc: Proc) -> Option<Rect> {
+    let n = part.n();
+    let top = (0..n).find(|&i| part.row_has(proc, i))?;
+    let bottom = (0..n).rfind(|&i| part.row_has(proc, i))?;
+    let left = (0..n).find(|&j| part.col_has(proc, j))?;
+    let right = (0..n).rfind(|&j| part.col_has(proc, j))?;
+    Some(Rect::new(top, bottom, left, right))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every intermediate state of a push sequence keeps the cached
+    /// rectangles equal to a full recompute, for all three processors.
+    #[test]
+    fn rects_match_recompute_through_push_sequences(
+        seed in 0u64..1_000_000,
+        n in 8usize..=24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut part = random_partition(n, Ratio::new(3, 2, 1), &mut rng);
+        for p in Proc::ALL {
+            prop_assert_eq!(part.enclosing_rect(p), scan_rect(&part, p));
+        }
+        for _round in 0..16 {
+            let mut moved = false;
+            for proc in Proc::PUSHABLE {
+                for dir in Direction::ALL {
+                    if try_push_any_type(&mut part, proc, dir).is_some() {
+                        moved = true;
+                        for p in Proc::ALL {
+                            prop_assert_eq!(
+                                part.enclosing_rect(p),
+                                scan_rect(&part, p),
+                                "rect drift after {} {} at seed {}", proc, dir, seed
+                            );
+                        }
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        part.assert_invariants();
+    }
+}

@@ -106,8 +106,19 @@ fn live_profile_reflects_real_span_nesting_across_threads() {
         .expect("fine push.apply spans nest under dfa.run");
     assert!(apply.calls > 0);
     assert!(
-        apply.children.contains_key("partition.enclosing_rect"),
-        "occupancy recompute nests under the push that triggers it"
+        apply.children.contains_key("push.clean"),
+        "the swap phase nests under the per-type attempt span"
+    );
+    // Phase-1 preparation (which reads the cached enclosing rectangle) is
+    // computed once per (proc, dir) and shared across the six types, so
+    // the rect lookup nests directly under dfa.run, not under push.apply.
+    assert!(
+        dfa.children.contains_key("partition.enclosing_rect"),
+        "hoisted phase-1 rect lookup nests under the search loop"
+    );
+    assert!(
+        dfa.children.contains_key("push.probe"),
+        "fixed-point residual probes nest under the search loop"
     );
 
     // Funnel cross-check against the same stream: every accepted push is

@@ -92,6 +92,15 @@ pub enum HetmmmError {
         /// Recovery attempts made before giving up.
         retries: u64,
     },
+    /// An execution/config knob holds a value that can only hang or wedge
+    /// the run (e.g. a zero receive timeout or zero channel capacity).
+    /// Surfaced eagerly at entry instead of deadlocking later.
+    InvalidConfig {
+        /// The offending field, e.g. `"recv_timeout"`.
+        field: String,
+        /// Why the value is rejected.
+        detail: String,
+    },
 }
 
 impl HetmmmError {
@@ -150,6 +159,9 @@ impl fmt::Display for HetmmmError {
             HetmmmError::NoSurvivors { retries } => {
                 write!(f, "all workers failed (after {retries} recovery retries)")
             }
+            HetmmmError::InvalidConfig { field, detail } => {
+                write!(f, "invalid config: {field}: {detail}")
+            }
         }
     }
 }
@@ -180,6 +192,17 @@ mod tests {
             detail: "injected crash".into(),
         };
         assert_eq!(e.to_string(), "worker S failed at step 12: injected crash");
+    }
+
+    #[test]
+    fn invalid_config_names_the_field() {
+        let e = HetmmmError::InvalidConfig {
+            field: "channel_capacity".into(),
+            detail: "must be nonzero (a zero-capacity channel deadlocks)".into(),
+        };
+        assert!(e.to_string().contains("channel_capacity"));
+        let back: HetmmmError = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

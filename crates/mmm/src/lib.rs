@@ -20,9 +20,15 @@
 //!
 //! The executor is fault-tolerant: worker failures (scripted through
 //! [`fault::FaultPlan`] or real) are detected via channel disconnects and
-//! receive timeouts, the dead processor's C cells are re-assigned onto the
-//! survivors with [`hetmmm_twoproc::degrade_partition`], and the multiply
-//! restarts on the degraded partition — see DESIGN.md's "Failure model".
+//! receive timeouts, then run through a layered recovery engine — receive
+//! re-waits with bounded exponential backoff absorb transient silences,
+//! step checkpoints banked with the supervisor let re-attempts resume
+//! instead of restarting, convictions re-assign the dead processor's C
+//! cells onto the survivors with [`hetmmm_twoproc::degrade_partition`],
+//! and when survivors, retries, or the recovery deadline run out the
+//! supervisor finishes the tail serially and reports
+//! [`parallel::RecoveryStats::degraded_mode`] instead of erroring — see
+//! DESIGN.md's "Failure model".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +36,7 @@
 pub mod fault;
 pub mod matrix;
 pub mod parallel;
+mod supervise;
 
 pub use fault::{FaultKind, FaultPlan};
 pub use matrix::{kij_serial, naive_multiply, Matrix};

@@ -9,7 +9,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A monotonic nanosecond source.
 ///
@@ -18,6 +18,16 @@ use std::time::Instant;
 pub trait Clock: Send + Sync + fmt::Debug {
     /// Nanoseconds since this clock's (arbitrary) epoch.
     fn now_nanos(&self) -> u64;
+
+    /// Block the calling thread for `d` *on this clock's axis*.
+    ///
+    /// The production clock really sleeps; [`FakeClock`] advances its
+    /// reading instantly instead, so retry/backoff schedules driven
+    /// through a clock handle stay deterministic (and fast) in tests.
+    fn sleep(&self, d: Duration) {
+        // hetmmm-lint: allow(L005) the Clock trait is the sanctioned home of wall-time waiting
+        std::thread::sleep(d);
+    }
 }
 
 /// Shared process-wide origin so every [`MonotonicClock`] instance reports
@@ -69,6 +79,11 @@ impl Clock for FakeClock {
     fn now_nanos(&self) -> u64 {
         self.nanos.load(Ordering::SeqCst)
     }
+
+    /// Fake sleep: advance the reading by `d` and return immediately.
+    fn sleep(&self, d: Duration) {
+        self.advance(d.as_nanos() as u64);
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +107,22 @@ mod tests {
         assert_eq!(c.now_nanos(), 12);
         c.set(3);
         assert_eq!(c.now_nanos(), 3);
+    }
+
+    #[test]
+    fn fake_sleep_advances_instead_of_blocking() {
+        let c = FakeClock::new();
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(5), "must not block");
+        assert_eq!(c.now_nanos(), 3600 * 1_000_000_000);
+    }
+
+    #[test]
+    fn real_sleep_moves_the_monotonic_clock() {
+        let c = MonotonicClock;
+        let before = c.now_nanos();
+        c.sleep(Duration::from_millis(2));
+        assert!(c.now_nanos() - before >= 1_000_000);
     }
 }

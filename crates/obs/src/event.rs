@@ -22,7 +22,12 @@ use serde::{Deserialize, Serialize};
 /// v2: span events carry the emitting thread's ordinal (`tid`), required by
 /// the `hetmmm-report` profiler to reconstruct per-thread call trees from
 /// an interleaved multi-thread stream.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: recovery-engine vocabulary — `ExecRetry` (worker-level receive
+/// re-waits), `ExecResume` (supervisor attempt retries with backoff and a
+/// checkpointed resume step), `ExecCheckpoint` (per-worker step-checkpoint
+/// writes), and `ExecDegraded` (graceful serial fallback).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A structured event from one of the instrumented layers.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -143,6 +148,58 @@ pub enum EventKind {
         /// Human-readable detail.
         detail: String,
     },
+    /// A worker's receive timed out and it re-armed the wait instead of
+    /// declaring the peer lost (transient-fault absorption, layer 1).
+    ExecRetry {
+        /// The waiting worker.
+        worker: String,
+        /// The peer it is still waiting on.
+        peer: String,
+        /// Pivot step `k` of the awaited fragment.
+        step: u64,
+        /// 1-based re-wait ordinal within this step's receive.
+        attempt: u64,
+        /// Extra wait granted by this retry (the backoff slice).
+        wait_nanos: u64,
+    },
+    /// The supervisor re-ran the multiply from a checkpointed step
+    /// (transient-fault absorption layer 2, and post-conviction resume).
+    ExecResume {
+        /// 1-based attempt number (the initial run is attempt 1).
+        attempt: u64,
+        /// First pivot step that still needs work somewhere.
+        resume_step: u64,
+        /// Pivot steps already banked for every cell (skipped entirely).
+        resumed: u64,
+        /// Worst-case steps re-run for the least-advanced cell.
+        replayed: u64,
+        /// Workers participating in this attempt.
+        survivors: u64,
+        /// Backoff slept before this attempt (0 for post-conviction
+        /// resumes, which restart immediately).
+        backoff_nanos: u64,
+    },
+    /// A worker banked its per-cell accumulators with the supervisor.
+    ExecCheckpoint {
+        /// The checkpointing worker.
+        worker: String,
+        /// All pivot steps `< through` are folded into the banked cells.
+        through: u64,
+        /// C cells in the snapshot.
+        cells: u64,
+    },
+    /// The executor gave up on parallel recovery and finished the multiply
+    /// serially from the last checkpoint (degraded mode, still `Ok`).
+    ExecDegraded {
+        /// Workers still alive when the fallback fired.
+        survivors: u64,
+        /// Convictions absorbed before falling back.
+        cascade_depth: u64,
+        /// Why: `sole-survivor`, `deadline`, or `retry-budget`.
+        reason: String,
+        /// Pivot steps the serial tail had to finish (worst cell).
+        replayed: u64,
+    },
     /// The supervisor aggregated worker verdicts into a culprit.
     ExecBlame {
         /// The processor judged dead.
@@ -234,6 +291,47 @@ mod tests {
         let json = serde_json::to_string(&record).unwrap();
         let back: EventRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, record);
+    }
+
+    #[test]
+    fn recovery_events_round_trip_through_json() {
+        for event in [
+            EventKind::ExecRetry {
+                worker: "R".into(),
+                peer: "S".into(),
+                step: 4,
+                attempt: 2,
+                wait_nanos: 1_500_000,
+            },
+            EventKind::ExecResume {
+                attempt: 3,
+                resume_step: 7,
+                resumed: 7,
+                replayed: 9,
+                survivors: 2,
+                backoff_nanos: 50_000_000,
+            },
+            EventKind::ExecCheckpoint {
+                worker: "P".into(),
+                through: 11,
+                cells: 64,
+            },
+            EventKind::ExecDegraded {
+                survivors: 1,
+                cascade_depth: 2,
+                reason: "sole-survivor".into(),
+                replayed: 5,
+            },
+        ] {
+            let record = EventRecord {
+                v: SCHEMA_VERSION,
+                ts_nanos: 9,
+                event,
+            };
+            let back: EventRecord =
+                serde_json::from_str(&serde_json::to_string(&record).unwrap()).unwrap();
+            assert_eq!(back, record);
+        }
     }
 
     #[test]

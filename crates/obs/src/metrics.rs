@@ -31,6 +31,28 @@ pub mod names {
     pub const EXEC_RECOVERIES: &str = "exec.recoveries";
     /// Nanoseconds a worker spent blocked in `recv` during one step.
     pub const EXEC_RECV_WAIT_NANOS: &str = "exec.recv_wait_nanos";
+    /// Worker-level receive re-waits (timeouts absorbed without blame).
+    pub const EXEC_RECV_RETRIES: &str = "exec.recv_retries";
+    /// Supervisor-level attempt retries before any conviction.
+    pub const EXEC_ATTEMPT_RETRIES: &str = "exec.attempt_retries";
+    /// Nanoseconds spent in supervisor backoff between attempts.
+    pub const EXEC_BACKOFF_NANOS: &str = "exec.backoff_nanos";
+    /// Step-checkpoint snapshots workers banked with the supervisor.
+    pub const EXEC_CHECKPOINTS: &str = "exec.checkpoints";
+    /// Pivot steps recovery skipped thanks to checkpointed resume.
+    pub const EXEC_RESUMED_STEPS: &str = "exec.resumed_steps";
+    /// Pivot steps recovery re-ran past the resume point (worst cell).
+    pub const EXEC_REPLAYED_STEPS: &str = "exec.replayed_steps";
+    /// Runs that finished in degraded mode (serial fallback).
+    pub const EXEC_DEGRADED_RUNS: &str = "exec.degraded_runs";
+    /// Fault schedules the chaos harness drove to completion.
+    pub const CHAOS_SCHEDULES: &str = "chaos.schedules";
+    /// Chaos runs whose faults were absorbed without any conviction.
+    pub const CHAOS_ABSORBED: &str = "chaos.absorbed";
+    /// Chaos runs that convicted at least one worker and still matched.
+    pub const CHAOS_RECOVERED: &str = "chaos.recovered";
+    /// Chaos runs that ended in the typed degraded-mode outcome.
+    pub const CHAOS_DEGRADED: &str = "chaos.degraded";
     /// Steps the 3-processor push DFA took to reach its final shape.
     pub const DFA_STEPS_TO_CONVERGENCE: &str = "dfa.steps_to_convergence";
     /// Accepted pushes by the 3-processor DFA, indexed

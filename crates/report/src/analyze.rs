@@ -89,11 +89,63 @@ impl PushFunnel {
     }
 }
 
+/// The recovery funnel: how faults moved through the executor's
+/// four-layer recovery engine, from transient absorption (receive
+/// re-waits) through checkpointed resumes and convictions down to the
+/// degraded serial fallback. Aggregated from the v3 recovery events.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryFunnel {
+    /// Worker-level receive re-waits (`ExecRetry`) — layer 1.
+    pub recv_retries: u64,
+    /// Extra wait granted by those re-waits (total backoff slices, ns).
+    pub retry_wait_nanos: u64,
+    /// Per-worker checkpoint writes (`ExecCheckpoint`) — layer 2.
+    pub checkpoints: u64,
+    /// Supervisor attempt resumes (`ExecResume`).
+    pub resumes: u64,
+    /// Backoff slept before resumes (ns; 0 for post-conviction restarts).
+    pub backoff_nanos: u64,
+    /// Pivot steps skipped thanks to banked checkpoints, over all resumes.
+    pub resumed_steps: u64,
+    /// Worst-case pivot steps re-run, over all resumes.
+    pub replayed_steps: u64,
+    /// Peer-lost testimonies workers filed (`ExecPeerLost`).
+    pub peer_lost: u64,
+    /// Convictions by convicted processor (`ExecBlame`) — layer 3.
+    pub convictions_by_proc: BTreeMap<String, u64>,
+    /// Survivor re-partitionings (`ExecRepartition`).
+    pub repartitions: u64,
+    /// C elements whose owner changed across all repartitions.
+    pub elems_reassigned: u64,
+    /// Degraded serial fallbacks by reason (`ExecDegraded`) — layer 4.
+    pub degraded_by_reason: BTreeMap<String, u64>,
+}
+
+impl RecoveryFunnel {
+    /// Total convictions across processors.
+    pub fn convictions(&self) -> u64 {
+        self.convictions_by_proc.values().sum()
+    }
+
+    /// Total degraded fallbacks across reasons.
+    pub fn degraded(&self) -> u64 {
+        self.degraded_by_reason.values().sum()
+    }
+
+    /// True when the stream carried no recovery activity at all (the
+    /// render skips the section entirely for clean runs).
+    pub fn is_empty(&self) -> bool {
+        *self == RecoveryFunnel::default()
+    }
+}
+
 /// Everything the analyzer extracts from one event stream.
 #[derive(Debug, Default, Clone)]
 pub struct Analysis {
     /// The push funnel.
     pub funnel: PushFunnel,
+    /// The recovery funnel.
+    pub recovery: RecoveryFunnel,
     /// Steps-to-convergence over `DfaRunEnd.steps`.
     pub steps_to_convergence: Option<ExactSummary>,
     /// Receive-wait times over `ExecRecv.wait_nanos`.
@@ -164,6 +216,39 @@ impl Analysis {
                     *a.recv_elems_by_proc.entry(to.clone()).or_default() += elems;
                     waits.push(*wait_nanos);
                 }
+                EventKind::ExecRetry { wait_nanos, .. } => {
+                    a.recovery.recv_retries += 1;
+                    a.recovery.retry_wait_nanos += wait_nanos;
+                }
+                EventKind::ExecCheckpoint { .. } => a.recovery.checkpoints += 1,
+                EventKind::ExecResume {
+                    resumed,
+                    replayed,
+                    backoff_nanos,
+                    ..
+                } => {
+                    a.recovery.resumes += 1;
+                    a.recovery.resumed_steps += resumed;
+                    a.recovery.replayed_steps += replayed;
+                    a.recovery.backoff_nanos += backoff_nanos;
+                }
+                EventKind::ExecPeerLost { .. } => a.recovery.peer_lost += 1,
+                EventKind::ExecBlame { dead, .. } => {
+                    *a.recovery
+                        .convictions_by_proc
+                        .entry(dead.clone())
+                        .or_default() += 1;
+                }
+                EventKind::ExecRepartition { reassigned, .. } => {
+                    a.recovery.repartitions += 1;
+                    a.recovery.elems_reassigned += reassigned;
+                }
+                EventKind::ExecDegraded { reason, .. } => {
+                    *a.recovery
+                        .degraded_by_reason
+                        .entry(reason.clone())
+                        .or_default() += 1;
+                }
                 _ => {}
             }
         }
@@ -198,6 +283,30 @@ impl Analysis {
         }
         for (kind, n) in &f.terminations {
             let _ = writeln!(out, "  termination {kind} {n}");
+        }
+        if !self.recovery.is_empty() {
+            let r = &self.recovery;
+            let _ = writeln!(
+                out,
+                "recovery funnel: {} recv re-waits, {} checkpoints, {} resumes \
+                 (resumed {} / replayed {} steps), {} convictions -> {} repartitions \
+                 ({} elems), {} degraded",
+                r.recv_retries,
+                r.checkpoints,
+                r.resumes,
+                r.resumed_steps,
+                r.replayed_steps,
+                r.convictions(),
+                r.repartitions,
+                r.elems_reassigned,
+                r.degraded()
+            );
+            for (proc, n) in &r.convictions_by_proc {
+                let _ = writeln!(out, "  convicted {proc} {n}");
+            }
+            for (reason, n) in &r.degraded_by_reason {
+                let _ = writeln!(out, "  degraded {reason} {n}");
+            }
         }
         if let Some(s) = &self.steps_to_convergence {
             out.push_str(&s.render_line("steps_to_convergence"));
@@ -235,6 +344,27 @@ impl Analysis {
             let _ = writeln!(funnel, "rejected,{proc},{dir},{n}");
         }
         sections.push(("push_funnel".to_string(), funnel));
+        if !self.recovery.is_empty() {
+            let r = &self.recovery;
+            let mut rec = String::from("stage,key,count\n");
+            let _ = writeln!(rec, "recv_retry,,{}", r.recv_retries);
+            let _ = writeln!(rec, "retry_wait_nanos,,{}", r.retry_wait_nanos);
+            let _ = writeln!(rec, "checkpoint,,{}", r.checkpoints);
+            let _ = writeln!(rec, "resume,,{}", r.resumes);
+            let _ = writeln!(rec, "backoff_nanos,,{}", r.backoff_nanos);
+            let _ = writeln!(rec, "resumed_steps,,{}", r.resumed_steps);
+            let _ = writeln!(rec, "replayed_steps,,{}", r.replayed_steps);
+            let _ = writeln!(rec, "peer_lost,,{}", r.peer_lost);
+            for (proc, n) in &r.convictions_by_proc {
+                let _ = writeln!(rec, "conviction,{proc},{n}");
+            }
+            let _ = writeln!(rec, "repartition,,{}", r.repartitions);
+            let _ = writeln!(rec, "elems_reassigned,,{}", r.elems_reassigned);
+            for (reason, n) in &r.degraded_by_reason {
+                let _ = writeln!(rec, "degraded,{reason},{n}");
+            }
+            sections.push(("recovery_funnel".to_string(), rec));
+        }
         let mut hist = String::from("metric,count,sum,min,p50,p95,p99,max\n");
         for (label, s) in [
             ("steps_to_convergence", &self.steps_to_convergence),
@@ -494,6 +624,101 @@ mod tests {
         assert!(ExactSummary::from_values(vec![]).is_none());
         let single = ExactSummary::from_values(vec![7]).unwrap();
         assert_eq!((single.p50, single.p99), (7, 7));
+    }
+
+    fn recovery_log() -> EventLog {
+        EventLog {
+            records: vec![
+                rec(EventKind::ExecRetry {
+                    worker: "R".into(),
+                    peer: "S".into(),
+                    step: 4,
+                    attempt: 1,
+                    wait_nanos: 10_000_000,
+                }),
+                rec(EventKind::ExecCheckpoint {
+                    worker: "R".into(),
+                    through: 5,
+                    cells: 16,
+                }),
+                rec(EventKind::ExecCheckpoint {
+                    worker: "P".into(),
+                    through: 5,
+                    cells: 8,
+                }),
+                rec(EventKind::ExecPeerLost {
+                    worker: "R".into(),
+                    peer: "S".into(),
+                    step: 5,
+                    detail: "recv timeout".into(),
+                }),
+                rec(EventKind::ExecBlame {
+                    dead: "S".into(),
+                    weights: vec![0, 6, 0],
+                }),
+                rec(EventKind::ExecRepartition {
+                    dead: "S".into(),
+                    reassigned: 40,
+                    survivors: 2,
+                }),
+                rec(EventKind::ExecResume {
+                    attempt: 2,
+                    resume_step: 5,
+                    resumed: 5,
+                    replayed: 11,
+                    survivors: 2,
+                    backoff_nanos: 0,
+                }),
+                rec(EventKind::ExecDegraded {
+                    survivors: 1,
+                    cascade_depth: 2,
+                    reason: "sole-survivor".into(),
+                    replayed: 3,
+                }),
+            ],
+            skipped_lines: 0,
+        }
+    }
+
+    #[test]
+    fn recovery_funnel_aggregates_all_stages() {
+        let a = Analysis::from_events(&recovery_log());
+        let r = &a.recovery;
+        assert!(!r.is_empty());
+        assert_eq!(r.recv_retries, 1);
+        assert_eq!(r.retry_wait_nanos, 10_000_000);
+        assert_eq!(r.checkpoints, 2);
+        assert_eq!(r.peer_lost, 1);
+        assert_eq!(r.convictions(), 1);
+        assert_eq!(r.convictions_by_proc["S"], 1);
+        assert_eq!(r.repartitions, 1);
+        assert_eq!(r.elems_reassigned, 40);
+        assert_eq!((r.resumes, r.resumed_steps, r.replayed_steps), (1, 5, 11));
+        assert_eq!(r.degraded(), 1);
+        assert_eq!(r.degraded_by_reason["sole-survivor"], 1);
+        let text = a.render_text();
+        assert!(text.contains("recovery funnel:"), "{text}");
+        assert!(text.contains("convicted S 1"), "{text}");
+        assert!(text.contains("degraded sole-survivor 1"), "{text}");
+        let sections = a.csv_sections();
+        let rec = &sections
+            .iter()
+            .find(|(name, _)| name == "recovery_funnel")
+            .expect("recovery_funnel csv section")
+            .1;
+        assert!(rec.contains("conviction,S,1"), "{rec}");
+        assert!(rec.contains("degraded,sole-survivor,1"), "{rec}");
+    }
+
+    #[test]
+    fn clean_stream_omits_recovery_funnel() {
+        let a = Analysis::from_events(&sample_log());
+        assert!(a.recovery.is_empty());
+        assert!(!a.render_text().contains("recovery funnel"));
+        assert!(a
+            .csv_sections()
+            .iter()
+            .all(|(name, _)| name != "recovery_funnel"));
     }
 
     #[test]

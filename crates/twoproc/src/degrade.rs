@@ -122,6 +122,17 @@ pub fn degrade_partition(part: &Partition, dead: Proc) -> DegradeOutcome {
     }
 }
 
+/// Which survivor should carry a degraded run's serial tail: the fastest
+/// by inferred speed (element counts are proportional to speeds by
+/// construction, as in [`degrade_partition`]), ties broken toward the
+/// lower processor index. `None` when no survivors remain.
+pub fn fallback_survivor(part: &Partition, active: &[Proc]) -> Option<Proc> {
+    active
+        .iter()
+        .copied()
+        .max_by_key(|&p| (part.elems(p), std::cmp::Reverse(p.idx())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +239,26 @@ mod tests {
         let out = degrade_partition(&part, Proc::R);
         assert_eq!(out.reassigned, 0);
         assert_eq!(out.partition, part);
+    }
+
+    #[test]
+    fn fallback_survivor_prefers_fastest_then_lower_index() {
+        let part = PartitionBuilder::new(8)
+            .rect(Rect::new(0, 1, 0, 7), Proc::R) // 16 cells
+            .rect(Rect::new(2, 7, 0, 7), Proc::S) // 48 cells
+            .build(); // P owns nothing.
+        assert_eq!(
+            fallback_survivor(&part, &[Proc::R, Proc::S, Proc::P]),
+            Some(Proc::S)
+        );
+        assert_eq!(fallback_survivor(&part, &[Proc::R, Proc::P]), Some(Proc::R));
+        // Tie on element count (both zero): lower index wins.
+        let empty_tie = Partition::new(8, Proc::S);
+        assert_eq!(
+            fallback_survivor(&empty_tie, &[Proc::R, Proc::P]),
+            Some(Proc::R)
+        );
+        assert_eq!(fallback_survivor(&part, &[]), None);
     }
 
     #[test]

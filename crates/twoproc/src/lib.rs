@@ -31,6 +31,6 @@ pub mod search2;
 pub mod shapes2;
 
 pub use analysis::{crossover_ratio, sc_vs_sl, Comparison};
-pub use degrade::{degrade_partition, DegradeOutcome};
+pub use degrade::{degrade_partition, fallback_survivor, DegradeOutcome};
 pub use search2::{classify_two_proc, run_two_proc_search, TwoProcOutcome};
 pub use shapes2::TwoProcShape;

@@ -367,6 +367,13 @@ fn stats_types_round_trip_for_manifest_embedding() {
             faults_detected: 1,
             elems_reassigned: 42,
             retries: 1,
+            recv_retries: 3,
+            attempt_retries: 2,
+            backoff_nanos: 50_000_000,
+            resumed_steps: 7,
+            replayed_steps: 9,
+            checkpoints: 21,
+            degraded_mode: true,
         };
         s
     };

@@ -1,0 +1,70 @@
+//! **Bench-history trend analyzer** — catches slow drift the perf gate
+//! cannot.
+//!
+//! The single-baseline gate (`perf_gate`) passes any run within a 1.8×
+//! ratio of the committed baseline, so a few-percent-per-PR slowdown
+//! compounds silently. This binary reads the append-only history store
+//! (`results/bench_history.jsonl`, one flattened suite per gate run) and
+//! compares each workload's newest median against the median-of-medians of
+//! its predecessors inside a sliding window, plus deterministic-counter
+//! deltas against the immediately preceding entry.
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin bench_trend -- \
+//!     [--history results/bench_history.jsonl] [--window 10] \
+//!     [--threshold 1.5]
+//! ```
+//!
+//! Exit code 1 on wall-time drift beyond `--threshold`; counter deltas are
+//! reported but do not fail (the perf gate's exact-equality check already
+//! owns that). Fewer than two history entries is a graceful pass —
+//! "insufficient history" — so the CI step is a no-op on a fresh checkout
+//! or a cold cache.
+//!
+//! Like `obs_report`, this is a pure analyzer over existing artifacts: it
+//! deliberately opens no `BinSession` and appends nothing anywhere.
+
+use hetmmm_bench::{results_dir, Args};
+use hetmmm_report::trend::{analyze, parse_history};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let history_path = args
+        .get_str("history")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("bench_history.jsonl"));
+    let window = args.get("window", 10usize).max(2);
+    let threshold = args.get("threshold", 1.5f64);
+
+    let text = match std::fs::read_to_string(&history_path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            println!(
+                "bench_trend: no history at {} — nothing to analyze yet \
+                 (perf_gate appends an entry per run)",
+                history_path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        Err(err) => {
+            eprintln!("bench_trend: cannot read {}: {err}", history_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (entries, skipped) = parse_history(&text);
+    let mut report = analyze(&entries, window, threshold);
+    report.skipped_lines = skipped;
+    print!("{}", report.render_text(threshold));
+
+    if report.has_drift() {
+        eprintln!(
+            "bench_trend: DRIFT beyond {threshold:.2}x over the last {window} entries \
+             — investigate or refresh the baseline deliberately"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

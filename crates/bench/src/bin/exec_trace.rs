@@ -1,0 +1,67 @@
+//! **Seeded executor trace capture** — one instrumented threaded multiply
+//! whose event stream feeds the timeline/audit tooling.
+//!
+//! Runs exactly one `multiply_partitioned` over a seeded random partition
+//! (the partition is the *first* draw from the seeded rng, so
+//! `obs_report --audit --n <n> --ratio <p:r:s> --seed <seed>` can
+//! reconstruct it) and relies on the standard `BinSession` environment
+//! plumbing for capture:
+//!
+//! ```text
+//! HETMMM_OBS_JSONL=results/exec_events.jsonl \
+//!     cargo run --release -p hetmmm-bench --bin exec_trace -- \
+//!     [--n 64] [--ratio 2:1:1] [--seed 7] [--checkpoint]
+//! ```
+//!
+//! `--checkpoint` arms the checkpoint subsystem (via an empty fault plan)
+//! so the stream also carries `checkpoint` segments. Follow with
+//! `obs_report --events ... --trace trace.json --audit` for the Perfetto
+//! export and the model-vs-measured table; the nightly deep-census CI job
+//! does exactly that.
+
+use hetmmm::mmm::{multiply_partitioned_with, ExecConfig, FaultPlan, Matrix};
+use hetmmm::prelude::*;
+use hetmmm_bench::{Args, BinSession};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let _session = BinSession::start("exec_trace", &args);
+    let n = args.get("n", 64usize);
+    let seed = args.get("seed", 7u64);
+    let ratio = match args.get_str("ratio").unwrap_or("2:1:1").parse::<Ratio>() {
+        Ok(ratio) => ratio,
+        Err(err) => {
+            eprintln!("exec_trace: --ratio: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("exec_trace — instrumented threaded multiply, N = {n}, ratio {ratio}, seed {seed}");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let part = random_partition(n, ratio, &mut rng);
+    let a = Matrix::random(n, &mut rng);
+    let b = Matrix::random(n, &mut rng);
+    let mut config = ExecConfig::default();
+    if args.get_str("checkpoint").is_some() {
+        config = config.with_fault_plan(FaultPlan::new());
+    }
+    let (_, stats) = match multiply_partitioned_with(&a, &b, &part, &config) {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("exec_trace: executor failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "done: {} updates, {} elements exchanged in {} messages, {} fault(s)",
+        stats.total_updates(),
+        stats.total_sent(),
+        stats.total_messages(),
+        stats.recovery.faults_detected,
+    );
+    ExitCode::SUCCESS
+}

@@ -11,14 +11,27 @@
 //! cargo run --release -p hetmmm-bench --bin obs_report -- \
 //!     --events results/fig5_events.jsonl [--manifests results/manifests.jsonl] \
 //!     [--folded results/profile.folded] [--fold-weight nanos|calls] \
-//!     [--csv-dir results/report]
+//!     [--csv-dir results/report] [--trace results/trace.json] \
+//!     [--audit [--n 64] [--ratio 2:1:1] [--seed 7]]
 //! ```
+//!
+//! `--trace` exports the stream's `ExecSegment` timeline as Chrome
+//! trace-event JSON (open in Perfetto / `chrome://tracing`). `--audit`
+//! joins the measured timeline against all five cost models' predictions:
+//! `--n/--ratio/--seed` must match the run that produced the stream so the
+//! partition can be reconstructed (defaults mirror the perf-gate executor
+//! workload).
 //!
 //! Deliberately does **not** open a `BinSession`: the analyzer reads
 //! `manifests.jsonl` and must never grow the file it is reporting on.
 
+use hetmmm::prelude::*;
 use hetmmm_bench::Args;
-use hetmmm_report::{full_report, Analysis, EventLog, FoldWeight, ManifestLog, SpanProfile};
+use hetmmm_report::{
+    audit::audit, full_report, Analysis, EventLog, FoldWeight, ManifestLog, SpanProfile, Timeline,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -57,6 +70,43 @@ fn main() -> ExitCode {
     let empty_events = EventLog::default();
     let event_log = events.as_ref().unwrap_or(&empty_events);
     print!("{}", full_report(event_log, manifests.as_ref()));
+
+    if args.get_str("trace").is_some() || args.get_str("audit").is_some() {
+        let timeline = Timeline::from_events(&event_log.records);
+        if let Some(path) = args.get_str("trace") {
+            if let Err(err) = std::fs::write(path, timeline.chrome_trace_json()) {
+                eprintln!("obs_report: cannot write {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            println!("chrome trace -> {path}");
+        }
+        if args.get_str("audit").is_some() {
+            let n = args.get("n", 64usize);
+            let seed = args.get("seed", 7u64);
+            let ratio = match args.get_str("ratio").unwrap_or("2:1:1").parse::<Ratio>() {
+                Ok(ratio) => ratio,
+                Err(err) => {
+                    eprintln!("obs_report: --ratio: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Reconstruct the partition the instrumented run used: the
+            // executor workloads draw it as the *first* sample from a
+            // seeded rng, so (n, ratio, seed) pins it exactly.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let part = random_partition(n, ratio, &mut rng);
+            match audit(&timeline, &part, ratio) {
+                Ok(report) => {
+                    println!();
+                    print!("{}", report.render_text());
+                }
+                Err(err) => {
+                    eprintln!("obs_report: audit: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
 
     let fold_weight = match args.get_str("fold-weight").unwrap_or("nanos") {
         "calls" => FoldWeight::Calls,

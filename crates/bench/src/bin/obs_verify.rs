@@ -1,10 +1,12 @@
 //! Schema validator for observability artifacts.
 //!
 //! Reads an event JSONL file (written by a `JsonlSink`) and checks that
-//! every line parses as an `EventRecord` with the current schema version
-//! and that span start/end events pair up. Optionally validates a
-//! manifest JSONL (`results/manifests.jsonl`) the same way. CI runs this
-//! after a small `fig5_archetype_census` run to guard the wire format.
+//! every line parses as an `EventRecord` with the current schema version,
+//! that span start/end events pair up, and that every `ExecSegment` is
+//! well-formed (known kind, `end >= start`, peer present exactly when the
+//! kind is peer-directed). Optionally validates a manifest JSONL
+//! (`results/manifests.jsonl`) the same way. CI runs this after a small
+//! `fig5_archetype_census` run to guard the wire format.
 //!
 //! Usage:
 //!   obs_verify --file results/fig5_events.jsonl [--manifest results/manifests.jsonl]
@@ -14,11 +16,17 @@ use hetmmm_obs::{EventKind, EventRecord, RunManifest, MANIFEST_VERSION, SCHEMA_V
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn verify_events(path: &str) -> Result<(usize, usize), String> {
+/// Timeline vocabulary an `ExecSegment.kind` may use (schema v4).
+const SEGMENT_KINDS: [&str; 5] = ["compute", "send", "recv-wait", "checkpoint", "blocked"];
+/// The subset of [`SEGMENT_KINDS`] that must carry a non-empty `peer`.
+const PEER_KINDS: [&str; 3] = ["send", "recv-wait", "blocked"];
+
+fn verify_events(path: &str) -> Result<(usize, usize, usize), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut open_spans: HashMap<u64, String> = HashMap::new();
     let mut events = 0usize;
     let mut spans = 0usize;
+    let mut segments = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let record: EventRecord = serde_json::from_str(line)
             .map_err(|e| format!("{path}:{}: unparseable record: {e}", lineno + 1))?;
@@ -54,6 +62,37 @@ fn verify_events(path: &str) -> Result<(usize, usize), String> {
                     ));
                 }
             },
+            EventKind::ExecSegment {
+                worker,
+                kind,
+                peer,
+                start_nanos,
+                end_nanos,
+                ..
+            } => {
+                if worker.is_empty() {
+                    return Err(format!("{path}:{}: segment with empty worker", lineno + 1));
+                }
+                if !SEGMENT_KINDS.contains(&kind.as_str()) {
+                    return Err(format!(
+                        "{path}:{}: unknown segment kind {kind:?}",
+                        lineno + 1
+                    ));
+                }
+                if end_nanos < start_nanos {
+                    return Err(format!(
+                        "{path}:{}: segment ends before it starts ({end_nanos} < {start_nanos})",
+                        lineno + 1
+                    ));
+                }
+                if PEER_KINDS.contains(&kind.as_str()) == peer.is_empty() {
+                    return Err(format!(
+                        "{path}:{}: segment kind {kind:?} with peer {peer:?}",
+                        lineno + 1
+                    ));
+                }
+                segments += 1;
+            }
             _ => {}
         }
         events += 1;
@@ -71,7 +110,7 @@ fn verify_events(path: &str) -> Result<(usize, usize), String> {
             "{path}: no events — instrumentation produced nothing"
         ));
     }
-    Ok((events, spans))
+    Ok((events, spans, segments))
 }
 
 fn verify_manifests(path: &str) -> Result<usize, String> {
@@ -108,9 +147,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     match verify_events(file) {
-        Ok((events, spans)) => {
+        Ok((events, spans, segments)) => {
             println!(
-                "{file}: OK — {events} events, {spans} balanced span(s), schema v{SCHEMA_VERSION}"
+                "{file}: OK — {events} events, {spans} balanced span(s), \
+                 {segments} well-formed segment(s), schema v{SCHEMA_VERSION}"
             );
         }
         Err(err) => {

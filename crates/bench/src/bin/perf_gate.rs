@@ -23,6 +23,12 @@
 //! CLI self-test; `--slowdown-nanos` injects a synthetic sleep into each
 //! timed repetition so tests can demonstrate the gate failing.
 //!
+//! Every gate run (not `--write-baseline`) also appends one flattened
+//! [`TrendEntry`] to the bench-history store (`results/bench_history.jsonl`
+//! by default, `--history <path>` / `--no-history` to override), which the
+//! `bench_trend` binary analyzes for slow drift the single-baseline ratio
+//! gate cannot see.
+//!
 //! Deliberately does **not** open a `BinSession`: the gate measures the
 //! uninstrumented fast path (no sinks installed → spans are inert), and
 //! must not append to `results/manifests.jsonl`.
@@ -30,9 +36,9 @@
 use hetmmm::mmm::{kij_serial, multiply_partitioned, Matrix};
 use hetmmm::prelude::*;
 use hetmmm::{census, CensusConfig};
-use hetmmm_bench::Args;
+use hetmmm_bench::{results_dir, Args};
 use hetmmm_obs as obs;
-use hetmmm_report::{compare, median, BenchEntry, BenchSuite, BENCH_VERSION};
+use hetmmm_report::{compare, median, BenchEntry, BenchSuite, TrendEntry, BENCH_VERSION};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -50,6 +56,7 @@ fn workloads(quick: bool) -> Vec<Workload> {
     let exec_n = if quick { 16 } else { 64 };
     let kernel_n = if quick { 24 } else { 256 };
     let (probe_n, probe_parts, probe_reps) = if quick { (16, 2, 3) } else { (96, 4, 80) };
+    let (cache_n, cache_runs) = if quick { (16, 2u64) } else { (40, 12u64) };
     vec![
         Workload {
             name: "fig5_census_slice",
@@ -84,6 +91,12 @@ fn workloads(quick: bool) -> Vec<Workload> {
                 // end-condition probe (`is_condensed`) on each fixed point.
                 // This is the hot shape of census post-processing — every
                 // probe answers "would any push apply?" without mutating.
+                //
+                // `push.probe.cache_hits` is 0 here *by design*: this
+                // workload gates the cold probe path (`is_condensed` calls
+                // `push_feasible` directly, no `ProbeCache` in front), so
+                // every evaluation pays full kernel cost. The warm cached
+                // path is gated separately by `dfa_probe_cache` below.
                 let mut checks = 0usize;
                 for s in 0..probe_parts {
                     let mut rng = StdRng::seed_from_u64(900 + s);
@@ -95,6 +108,24 @@ fn workloads(quick: bool) -> Vec<Workload> {
                     }
                 }
                 assert!(checks > 0);
+            }),
+        },
+        Workload {
+            name: "dfa_probe_cache",
+            counter_prefixes: &["push.probe"],
+            run: Box::new(move || {
+                // Warm probe path: seeded DFA runs answer repeat
+                // (proc, dir) rejections from the hash-verified
+                // `ProbeCache`, so this workload pins down both counters —
+                // `push.probe.evals` (misses that paid the kernel) and
+                // `push.probe.cache_hits` (verdicts served from a slot).
+                // A cache regression shows up as hits collapsing to 0
+                // (exact-equality gate) before it shows up as wall time.
+                let runner = DfaRunner::new(DfaConfig::new(cache_n, Ratio::new(2, 1, 1)));
+                for seed in 0..cache_runs {
+                    let outcome = runner.run_seed(500 + seed);
+                    assert!(outcome.steps > 0 || outcome.converged);
+                }
             }),
         },
         Workload {
@@ -193,6 +224,41 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("current -> {current_path}");
+
+    // Append this run to the bench-history trend store (best-effort: a
+    // read-only checkout must not fail the gate).
+    if args.get_str("no-history").is_none() {
+        let history_path = args
+            .get_str("history")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| results_dir().join("bench_history.jsonl"));
+        // hetmmm-lint: allow(L002) the trend store records real wall-clock epoch, not modeled time
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let entry = TrendEntry::from_suite(&suite, unix_secs);
+        match serde_json::to_string(&entry) {
+            Ok(line) => {
+                use std::io::Write as _;
+                let appended = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&history_path)
+                    .and_then(|mut f| writeln!(f, "{line}"));
+                match appended {
+                    Ok(()) => println!("history -> {}", history_path.display()),
+                    Err(err) => {
+                        eprintln!(
+                            "perf_gate: cannot append {}: {err} (continuing)",
+                            history_path.display()
+                        );
+                    }
+                }
+            }
+            Err(err) => eprintln!("perf_gate: cannot serialize history entry: {err}"),
+        }
+    }
 
     let baseline_text = match std::fs::read_to_string(baseline_path) {
         Ok(text) => text,

@@ -27,6 +27,7 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
     // Record a baseline.
     let out = gate(&[
         "--quick",
+        "--no-history",
         "--k",
         "2",
         "--baseline",
@@ -46,6 +47,7 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
     // wall times are within threshold → exit 0 and BENCH_current written.
     let out = gate(&[
         "--quick",
+        "--no-history",
         "--k",
         "2",
         "--baseline",
@@ -62,7 +64,7 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
     let current_text = std::fs::read_to_string(&current).unwrap();
     let suite: hetmmm_report::BenchSuite = serde_json::from_str(&current_text).unwrap();
     assert_eq!(suite.v, hetmmm_report::BENCH_VERSION);
-    assert_eq!(suite.entries.len(), 4);
+    assert_eq!(suite.entries.len(), 5);
     assert!(
         !suite
             .entry("fig5_census_slice")
@@ -79,11 +81,30 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
             .is_empty(),
         "probe workload records deterministic probe counters"
     );
+    let cache = suite.entry("dfa_probe_cache").unwrap();
+    let counter = |name: &str| {
+        cache
+            .counters
+            .iter()
+            .find(|(c, _)| c == name)
+            .map(|(_, v)| *v)
+    };
+    assert!(
+        counter("push.probe.cache_hits").unwrap_or(0) > 0,
+        "warm DFA workload must exercise the probe cache: {:?}",
+        cache.counters
+    );
+    assert!(
+        counter("push.probe.evals").unwrap_or(0) > 0,
+        "warm DFA workload still pays kernel evals on misses: {:?}",
+        cache.counters
+    );
 
     // Inject a 100ms synthetic slowdown per repetition: every workload
     // blows the 1.8x ratio → non-zero exit naming the regressions.
     let out = gate(&[
         "--quick",
+        "--no-history",
         "--k",
         "2",
         "--baseline",
@@ -114,6 +135,7 @@ fn gate_without_baseline_exits_zero_with_note() {
     let _ = std::fs::remove_file(&baseline);
     let out = gate(&[
         "--quick",
+        "--no-history",
         "--k",
         "1",
         "--baseline",
@@ -125,4 +147,78 @@ fn gate_without_baseline_exits_zero_with_note() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("no baseline"), "explains itself: {stdout}");
     let _ = std::fs::remove_file(&current);
+}
+
+#[test]
+fn history_appends_and_bench_trend_analyzes() {
+    let baseline = tmp("trend_baseline.json");
+    let current = tmp("trend_current.json");
+    let history = tmp("trend_history.jsonl");
+    let history_s = history.to_str().unwrap();
+    let _ = std::fs::remove_file(&baseline);
+    let _ = std::fs::remove_file(&current);
+    let _ = std::fs::remove_file(&history);
+
+    let trend = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_bench_trend"))
+            .args(args)
+            .output()
+            .expect("spawn bench_trend")
+    };
+
+    // No history file at all: graceful no-op.
+    let out = trend(&["--history", history_s]);
+    assert!(out.status.success(), "missing history is a pass");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no history"));
+
+    // One gate run appends one entry; a single entry is still a pass.
+    let base = [
+        "--quick",
+        "--k",
+        "1",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        current.to_str().unwrap(),
+        "--history",
+        history_s,
+    ];
+    let out = gate(&base);
+    assert!(out.status.success(), "gate run failed");
+    let text = std::fs::read_to_string(&history).expect("history appended");
+    assert_eq!(text.lines().count(), 1, "one entry per gate run");
+    let out = trend(&["--history", history_s]);
+    assert!(out.status.success(), "insufficient history is a pass");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("insufficient history"));
+
+    // A second run gives the analyzer a reference; same seeded workloads
+    // on the same machine stay within any sane threshold.
+    let out = gate(&base);
+    assert!(out.status.success(), "second gate run failed");
+    let text = std::fs::read_to_string(&history).unwrap();
+    assert_eq!(text.lines().count(), 2, "history is append-only");
+    let out = trend(&["--history", history_s, "--threshold", "1000"]);
+    assert!(
+        out.status.success(),
+        "trend must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("== bench trend"),
+        "renders report: {stdout}"
+    );
+    assert!(
+        stdout.contains("dfa_probe_cache"),
+        "covers workloads: {stdout}"
+    );
+
+    // An absurdly low threshold flags drift and exits nonzero.
+    let out = trend(&["--history", history_s, "--threshold", "0.0000001"]);
+    assert!(!out.status.success(), "tiny threshold must flag drift");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("DRIFT"));
+
+    let _ = std::fs::remove_file(&baseline);
+    let _ = std::fs::remove_file(&current);
+    let _ = std::fs::remove_file(&history);
 }

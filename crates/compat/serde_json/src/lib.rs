@@ -4,7 +4,8 @@
 
 #![forbid(unsafe_code)]
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
+pub use serde::Value;
 
 /// Serialization/deserialization error.
 pub type Error = DeError;

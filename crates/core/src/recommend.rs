@@ -38,7 +38,7 @@ pub fn recommend(n: usize, ratio: Ratio, platform: &Platform, algo: Algorithm) -
         !scored.is_empty(),
         "no feasible candidate shape for n={n}, ratio={ratio}"
     );
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     let ranking = scored.iter().map(|(c, t)| (c.ty, *t)).collect();
     let (candidate, predicted_total) = scored.swap_remove(0);
     Recommendation {

@@ -53,8 +53,7 @@ pub fn scb_comm_norm(shape: ShapeCost, ratio: Ratio) -> Option<f64> {
 /// infeasible.)
 pub fn sc_beats_br(ratio: Ratio) -> Option<bool> {
     let sc = scb_comm_norm(ShapeCost::SquareCorner, ratio)?;
-    let br = scb_comm_norm(ShapeCost::BlockRectangle, ratio)
-        .expect("block-rectangle is always feasible");
+    let br = scb_comm_norm(ShapeCost::BlockRectangle, ratio)?;
     Some(sc < br)
 }
 

@@ -359,23 +359,31 @@ enum Verdict {
 /// `try_send` with a deadline: a full channel is retried until `timeout`
 /// elapses, so a stalled (but connected) receiver is eventually treated as
 /// lost instead of blocking the sender forever.
+///
+/// On success returns the full-channel wait interval `(start, end)` on the
+/// clock axis, or `None` when the first `try_send` went through — the
+/// caller turns it into a `blocked` timeline segment. The fast path pays
+/// no extra clock reads.
 fn send_with_deadline(
     tx: &SyncSender<StepMessage>,
     mut msg: StepMessage,
     timeout: Duration,
     clock: &dyn Clock,
-) -> Result<(), &'static str> {
+) -> Result<Option<(u64, u64)>, &'static str> {
     let deadline = clock
         .now_nanos()
         .saturating_add(timeout.as_nanos().min(u64::MAX as u128) as u64);
+    let mut blocked_since: Option<u64> = None;
     loop {
         match tx.try_send(msg) {
-            Ok(()) => return Ok(()),
+            Ok(()) => return Ok(blocked_since.map(|since| (since, clock.now_nanos()))),
             Err(TrySendError::Disconnected(_)) => return Err("channel disconnected"),
             Err(TrySendError::Full(m)) => {
-                if clock.now_nanos() >= deadline {
+                let now = clock.now_nanos();
+                if now >= deadline {
                     return Err("send timed out (peer stalled)");
                 }
+                blocked_since.get_or_insert(now);
                 msg = m;
                 // hetmmm-lint: allow(L005) bounded backoff while a real channel is full
                 std::thread::sleep(Duration::from_micros(200));
@@ -427,6 +435,20 @@ struct Worker {
 }
 
 impl Worker {
+    /// Emit one timeline segment attributing `[start, end]` of this
+    /// worker's wall time to `kind`. Callers gate on [`obs::enabled`] so
+    /// the uninstrumented path never constructs the arguments.
+    fn segment(&self, kind: &str, peer: &str, step: usize, start_nanos: u64, end_nanos: u64) {
+        obs::emit(obs::EventKind::ExecSegment {
+            worker: self.proc.to_string(),
+            kind: kind.to_string(),
+            peer: peer.to_string(),
+            step: step as u64,
+            start_nanos,
+            end_nanos,
+        });
+    }
+
     /// Bank the current accumulators with the supervisor: every owned
     /// cell, tagged with the step it is valid through (its own resume
     /// point if that is further along than this attempt's progress).
@@ -434,6 +456,8 @@ impl Worker {
         let Some(cp) = &self.checkpoint else {
             return;
         };
+        let seg = obs::enabled();
+        let bank_start = if seg { self.clock.now_nanos() } else { 0 };
         let through = through as u32;
         let cells = self
             .c_cells
@@ -443,7 +467,9 @@ impl Worker {
             .map(|((&(i, j), &v), &nk)| (i, j, v, nk.max(through)))
             .collect();
         cp.bank(self.proc.idx(), ProcSnapshot { cells });
-        if obs::enabled() {
+        if seg {
+            let bank_end = self.clock.now_nanos();
+            self.segment("checkpoint", "", through as usize, bank_start, bank_end);
             obs::emit(obs::EventKind::ExecCheckpoint {
                 worker: self.proc.to_string(),
                 through: through as u64,
@@ -518,6 +544,9 @@ impl Worker {
             }
 
             // Send the needed slices of our fragments to each peer.
+            // `seg` gates all timeline-segment work this step; like the
+            // event emissions it costs one relaxed load when off.
+            let seg = obs::enabled();
             if !drop_sends {
                 for (peer, tx) in &self.out {
                     let a_part: Vec<(u32, f64)> = self.a_frags[k]
@@ -531,24 +560,33 @@ impl Worker {
                         .filter(|&(j, _)| self.col_needed[peer.idx()][j as usize])
                         .collect();
                     let payload = (a_part.len() + b_part.len()) as u64;
+                    let send_start = if seg { self.clock.now_nanos() } else { 0 };
                     match send_with_deadline(
                         tx,
                         (k, a_part, b_part),
                         self.send_patience,
                         &*self.clock,
                     ) {
-                        Ok(()) => {
+                        Ok(blocked) => {
                             stats.elems_sent += payload;
                             if payload > 0 {
                                 stats.messages += 1;
                             }
-                            if obs::enabled() && payload > 0 {
-                                obs::emit(obs::EventKind::ExecSend {
-                                    from: self.proc.to_string(),
-                                    to: peer.to_string(),
-                                    step: k as u64,
-                                    elems: payload,
-                                });
+                            if seg {
+                                let send_end = self.clock.now_nanos();
+                                let peer_name = peer.to_string();
+                                if let Some((b0, b1)) = blocked {
+                                    self.segment("blocked", &peer_name, k, b0, b1);
+                                }
+                                self.segment("send", &peer_name, k, send_start, send_end);
+                                if payload > 0 {
+                                    obs::emit(obs::EventKind::ExecSend {
+                                        from: self.proc.to_string(),
+                                        to: peer_name,
+                                        step: k as u64,
+                                        elems: payload,
+                                    });
+                                }
                             }
                         }
                         Err(detail) => return self.peer_lost(&acc, stats, *peer, k, detail),
@@ -617,8 +655,16 @@ impl Worker {
                             .observe(wait_nanos);
                     }
                     if obs::enabled() {
+                        let peer_name = peer.to_string();
+                        self.segment(
+                            "recv-wait",
+                            &peer_name,
+                            k,
+                            wait_start,
+                            wait_start.saturating_add(wait_nanos),
+                        );
                         obs::emit(obs::EventKind::ExecRecv {
-                            from: peer.to_string(),
+                            from: peer_name,
                             to: self.proc.to_string(),
                             step: k as u64,
                             elems: received,
@@ -635,6 +681,7 @@ impl Worker {
             }
             // Update every owned C element that still needs this step
             // (checkpointed cells skip steps already folded in).
+            let compute_start = if seg { self.clock.now_nanos() } else { 0 };
             let mut applied = 0u64;
             for ((cell, accum), &nk) in self.c_cells.iter().zip(acc.iter_mut()).zip(&self.next0) {
                 if k as u32 >= nk {
@@ -644,6 +691,10 @@ impl Worker {
                 }
             }
             stats.updates += applied;
+            if seg {
+                let compute_end = self.clock.now_nanos();
+                self.segment("compute", "", k, compute_start, compute_end);
+            }
             // Periodically bank progress so a later crash of *anyone*
             // resumes from here instead of step zero. The final step skips
             // the bank — the Completed verdict carries everything.

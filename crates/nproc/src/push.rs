@@ -240,7 +240,16 @@ fn n_prepare<G: NPushGrid>(view: &G, proc: u8, k: usize) -> Option<NPrepared> {
 
     // Owner slots: every processor except the active one.
     let owners: Vec<u8> = (0..k as u8).filter(|&p| p != proc).collect();
-    let slot_of = |p: u8| owners.iter().position(|&o| o == p).expect("owner slot");
+    // `owners` is ascending `0..k` with `proc` removed, so an owner's slot
+    // is its id shifted down by one past the gap — no search needed.
+    let slot_of = |p: u8| {
+        debug_assert!(p != proc);
+        if p < proc {
+            p as usize
+        } else {
+            p as usize - 1
+        }
+    };
 
     let cap = m + 64;
     let mut buckets: Vec<[Vec<(usize, usize)>; 6]> =

@@ -27,7 +27,14 @@ use serde::{Deserialize, Serialize};
 /// re-waits), `ExecResume` (supervisor attempt retries with backoff and a
 /// checkpointed resume step), `ExecCheckpoint` (per-worker step-checkpoint
 /// writes), and `ExecDegraded` (graceful serial fallback).
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: timeline vocabulary — `ExecSegment` attributes one contiguous slice
+/// of a worker's wall time to a phase (`compute` / `send` / `recv-wait` /
+/// `checkpoint` / `blocked`), carrying clock-axis start/end so the
+/// `hetmmm-report` timeline module can reconstruct per-processor
+/// timelines, export Chrome traces, and compute the cross-worker critical
+/// path.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A structured event from one of the instrumented layers.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -216,6 +223,26 @@ pub enum EventKind {
         /// Workers remaining.
         survivors: u64,
     },
+    /// One contiguous slice of a worker's wall time attributed to a phase
+    /// (the timeline vocabulary, v4). Start/end are readings of the
+    /// installed [`crate::Clock`], so segments from one run share an axis
+    /// and are bit-identical under a `FakeClock`.
+    ExecSegment {
+        /// The worker whose time this is (processor letter).
+        worker: String,
+        /// Phase: `compute`, `send`, `recv-wait`, `checkpoint`, or
+        /// `blocked` (sender stalled on a full channel).
+        kind: String,
+        /// Peer processor for `send`/`recv-wait`/`blocked` segments
+        /// (empty for `compute`/`checkpoint`).
+        peer: String,
+        /// Pivot step `k` the segment belongs to.
+        step: u64,
+        /// Segment start on the installed clock.
+        start_nanos: u64,
+        /// Segment end on the installed clock (`end >= start`).
+        end_nanos: u64,
+    },
     /// One simulator run completed (aggregate timeline).
     SimRun {
         /// Algorithm name (SCB/PCB/SCO/PCO/PIO).
@@ -327,6 +354,33 @@ mod tests {
                 v: SCHEMA_VERSION,
                 ts_nanos: 9,
                 event,
+            };
+            let back: EventRecord =
+                serde_json::from_str(&serde_json::to_string(&record).unwrap()).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn segment_events_round_trip_through_json() {
+        for (kind, peer) in [
+            ("compute", ""),
+            ("send", "R"),
+            ("recv-wait", "S"),
+            ("checkpoint", ""),
+            ("blocked", "P"),
+        ] {
+            let record = EventRecord {
+                v: SCHEMA_VERSION,
+                ts_nanos: 17,
+                event: EventKind::ExecSegment {
+                    worker: "P".into(),
+                    kind: kind.into(),
+                    peer: peer.into(),
+                    step: 3,
+                    start_nanos: 1_000,
+                    end_nanos: 2_500,
+                },
             };
             let back: EventRecord =
                 serde_json::from_str(&serde_json::to_string(&record).unwrap()).unwrap();

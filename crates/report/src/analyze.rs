@@ -46,7 +46,7 @@ impl ExactSummary {
             count: values.len() as u64,
             sum: values.iter().sum(),
             min: values[0],
-            max: *values.last().unwrap(),
+            max: values[values.len() - 1],
             p50: rank(0.50),
             p95: rank(0.95),
             p99: rank(0.99),
@@ -487,6 +487,21 @@ impl ManifestSummary {
             }
             for (name, v) in &s.counters {
                 let _ = writeln!(out, "  counter {name} {v}");
+            }
+            // Derived probe-cache hit rate: hits over total probe
+            // evaluations (cached + evaluated). Only meaningful when the
+            // bin recorded probe activity at all.
+            let hits = s.counters.get("push.probe.cache_hits").copied();
+            let evals = s.counters.get("push.probe.evals").copied();
+            if let (Some(hits), Some(evals)) = (hits, evals) {
+                let lookups = hits + evals;
+                if lookups > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  derived push.probe.hit_rate {:.1}% ({hits}/{lookups})",
+                        100.0 * hits as f64 / lookups as f64
+                    );
+                }
             }
             for (name, h) in &s.histograms {
                 let q = |p: f64| {

@@ -1,0 +1,292 @@
+//! Model-vs-measured prediction audit.
+//!
+//! The paper's argument rests on predicted T_comm/T_exe from the five cost
+//! models (Eqs. 2–9); this module closes the loop by joining a *measured*
+//! executor timeline (from [`crate::timeline`]) against what the models
+//! predict for the same `(shape, speeds, Hockney params)`.
+//!
+//! Raw wall times are not directly comparable to model seconds — the
+//! models are parameterized by an abstract per-update speed and per-element
+//! send cost. The audit therefore *calibrates* an effective platform from
+//! the measured run itself:
+//!
+//! - effective `base_speed` — measured updates of the slowest processor
+//!   `S` divided by its measured compute time (cross-checked against the
+//!   other processors through the declared speed ratio);
+//! - effective `β` — total hop-weighted elements sent divided by the sum
+//!   of measured send time.
+//!
+//! With that platform, `evaluate_all` yields each model's predicted
+//! total; the per-model relative error against the measured makespan is
+//! the audit's verdict: which composition rule (serial/parallel, barrier/
+//! overlap) best explains where the executor's time actually went.
+
+use crate::timeline::Timeline;
+use hetmmm_cost::{evaluate_all, Platform, Topology};
+use hetmmm_partition::{pairwise_volumes, Partition, Proc, Ratio};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One model's predicted-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct AuditRow {
+    /// Model abbreviation (SCB/PCB/SCO/PCO/PIO).
+    pub model: String,
+    /// Predicted communication time (s).
+    pub predicted_comm: f64,
+    /// Predicted total execution time (s).
+    pub predicted_total: f64,
+    /// `(predicted_total − measured) / measured`.
+    pub rel_error: f64,
+}
+
+/// Measured per-processor summary carried into the report.
+#[derive(Debug, Clone)]
+pub struct MeasuredProc {
+    /// Measured communication time (s): send + recv-wait.
+    pub comm_secs: f64,
+    /// Measured execution time (s): the worker's timeline extent.
+    pub exe_secs: f64,
+    /// Measured compute time (s).
+    pub compute_secs: f64,
+    /// Comm/compute overlap fraction (see
+    /// [`crate::timeline::WorkerSummary::overlap_fraction`]).
+    pub overlap_fraction: f64,
+}
+
+/// The full audit: measured per-processor breakdown, calibrated platform
+/// parameters, and one row per cost model.
+#[derive(Debug, Clone)]
+pub struct Audit {
+    /// Per-processor measurements, keyed by processor letter.
+    pub measured: BTreeMap<String, MeasuredProc>,
+    /// Measured makespan (s) — what every model's total is compared to.
+    pub measured_makespan_secs: f64,
+    /// Calibrated effective updates/s of the slowest processor.
+    pub base_speed: f64,
+    /// Calibrated effective per-element send cost (s).
+    pub beta: f64,
+    /// One row per model, in `Algorithm::ALL` order.
+    pub rows: Vec<AuditRow>,
+}
+
+/// Run the audit: calibrate a platform from the measured timeline, then
+/// compare every model's prediction for `part` against the measurement.
+///
+/// Fails (with a human-readable reason) when the timeline carries no
+/// usable signal — no segments, zero measured compute time, or zero
+/// measured send time — which is what a `FakeClock` stream that never
+/// advanced looks like.
+pub fn audit(timeline: &Timeline, part: &Partition, ratio: Ratio) -> Result<Audit, String> {
+    if timeline.is_empty() {
+        return Err("no ExecSegment events in the stream (schema v4, \
+                    emitted when a sink is installed during an executor run)"
+            .to_string());
+    }
+    let summaries = timeline.summarize();
+    let n = part.n() as u64;
+
+    // Measured updates per processor for a clean full run: every owned C
+    // cell is updated once per pivot step.
+    let updates = |p: Proc| n * part.elems(p) as u64;
+
+    // Effective per-proc speed (updates/s), then normalize through the
+    // declared ratio down to the slowest processor S.
+    let mut speed_estimates: Vec<f64> = Vec::new();
+    for p in Proc::ALL {
+        let Some(s) = summaries.get(&p.to_string()) else {
+            continue;
+        };
+        let secs = s.compute_nanos as f64 / 1e9;
+        let u = updates(p);
+        if secs > 0.0 && u > 0 {
+            let rel = f64::from(ratio.speed(p)) / f64::from(ratio.s);
+            speed_estimates.push(u as f64 / secs / rel);
+        }
+    }
+    if speed_estimates.is_empty() {
+        return Err("no measurable compute time in any worker \
+                    (did the clock advance during the run?)"
+            .to_string());
+    }
+    speed_estimates.sort_by(f64::total_cmp);
+    let base_speed = speed_estimates[speed_estimates.len() / 2];
+
+    // Effective β from total measured send seconds over hop-weighted
+    // elements (fully connected: hops = 1 everywhere).
+    let vol = pairwise_volumes(part);
+    let total_elems: u64 = Proc::ALL
+        .iter()
+        .flat_map(|x| Proc::ALL.iter().map(move |y| (x, y)))
+        .filter(|(x, y)| x != y)
+        .map(|(x, y)| vol[x.idx()][y.idx()])
+        .sum();
+    let total_send_secs: f64 = summaries.values().map(|s| s.send_nanos as f64 / 1e9).sum();
+    if total_elems == 0 {
+        return Err("partition has no cross-processor traffic to calibrate β from".to_string());
+    }
+    if total_send_secs <= 0.0 {
+        return Err("no measurable send time in any worker \
+                    (did the clock advance during the run?)"
+            .to_string());
+    }
+    let beta = total_send_secs / total_elems as f64;
+
+    let plat = Platform {
+        network: hetmmm_cost::HockneyModel::per_element(beta),
+        topology: Topology::FullyConnected,
+        ratio,
+        base_speed,
+    };
+    let measured_makespan_secs = timeline.makespan_nanos() as f64 / 1e9;
+    if measured_makespan_secs <= 0.0 {
+        return Err("measured makespan is zero".to_string());
+    }
+
+    let measured = summaries
+        .iter()
+        .map(|(w, s)| {
+            (
+                w.clone(),
+                MeasuredProc {
+                    comm_secs: s.comm_nanos() as f64 / 1e9,
+                    exe_secs: s.exe_nanos() as f64 / 1e9,
+                    compute_secs: s.compute_nanos as f64 / 1e9,
+                    overlap_fraction: s.overlap_fraction,
+                },
+            )
+        })
+        .collect();
+
+    let rows = evaluate_all(part, &plat)
+        .into_iter()
+        .map(|(algo, t)| AuditRow {
+            model: algo.name().to_string(),
+            predicted_comm: t.comm,
+            predicted_total: t.total,
+            rel_error: (t.total - measured_makespan_secs) / measured_makespan_secs,
+        })
+        .collect();
+
+    Ok(Audit {
+        measured,
+        measured_makespan_secs,
+        base_speed,
+        beta,
+        rows,
+    })
+}
+
+impl Audit {
+    /// Human-readable audit table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== prediction audit (measured makespan {:.6} s) ==",
+            self.measured_makespan_secs
+        );
+        let _ = writeln!(
+            out,
+            "calibrated platform: base_speed {:.3e} updates/s, beta {:.3e} s/elem",
+            self.base_speed, self.beta
+        );
+        let _ = writeln!(out, "measured per processor:");
+        for (proc, m) in &self.measured {
+            let _ = writeln!(
+                out,
+                "  {proc}: T_comm={:.6} s T_exe={:.6} s compute={:.6} s overlap={:.1}%",
+                m.comm_secs,
+                m.exe_secs,
+                m.compute_secs,
+                100.0 * m.overlap_fraction
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<6} {:>14} {:>14} {:>10}",
+            "model", "pred_comm_s", "pred_total_s", "rel_err"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>14.6} {:>14.6} {:>+9.1}%",
+                row.model,
+                row.predicted_comm,
+                row.predicted_total,
+                100.0 * row.rel_error
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmmm_obs::{EventKind, EventRecord, SCHEMA_VERSION};
+
+    fn seg(worker: &str, kind: &str, peer: &str, start: u64, end: u64) -> EventRecord {
+        EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: start,
+            event: EventKind::ExecSegment {
+                worker: worker.into(),
+                kind: kind.into(),
+                peer: peer.into(),
+                step: 0,
+                start_nanos: start,
+                end_nanos: end,
+            },
+        }
+    }
+
+    fn strips(n: usize) -> Partition {
+        Partition::from_fn(n, |i, _| {
+            if i < n / 3 {
+                Proc::P
+            } else if i < 2 * n / 3 {
+                Proc::R
+            } else {
+                Proc::S
+            }
+        })
+    }
+
+    #[test]
+    fn audit_reports_all_five_models() {
+        let part = strips(12);
+        // A synthetic measured run: everyone computes 1 ms and sends for
+        // 0.5 ms; S is the makespan tail.
+        let tl = Timeline::from_events(&[
+            seg("P", "send", "R", 0, 500_000),
+            seg("P", "compute", "", 500_000, 1_500_000),
+            seg("R", "send", "S", 0, 500_000),
+            seg("R", "compute", "", 500_000, 1_500_000),
+            seg("S", "send", "P", 0, 500_000),
+            seg("S", "compute", "", 500_000, 2_000_000),
+        ]);
+        let audit = audit(&tl, &part, Ratio::new(1, 1, 1)).expect("calibratable");
+        assert_eq!(audit.rows.len(), 5);
+        let names: Vec<&str> = audit.rows.iter().map(|r| r.model.as_str()).collect();
+        assert_eq!(names, ["SCB", "PCB", "SCO", "PCO", "PIO"]);
+        assert!(audit.base_speed > 0.0);
+        assert!(audit.beta > 0.0);
+        assert!(audit.rows.iter().all(|r| r.rel_error.is_finite()));
+        let text = audit.render_text();
+        assert!(text.contains("prediction audit"));
+        assert!(text.contains("SCB"));
+        assert!(text.contains("PIO"));
+    }
+
+    #[test]
+    fn audit_fails_gracefully_without_signal() {
+        let part = strips(12);
+        let tl = Timeline::from_events(&[]);
+        assert!(audit(&tl, &part, Ratio::new(1, 1, 1)).is_err());
+        // All-zero clock: segments exist but carry no duration.
+        let tl = Timeline::from_events(&[seg("P", "compute", "", 0, 0)]);
+        let err = audit(&tl, &part, Ratio::new(1, 1, 1)).unwrap_err();
+        assert!(err.contains("clock"), "{err}");
+    }
+}

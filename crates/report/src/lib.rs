@@ -17,6 +17,14 @@
 //! - [`perf`] — the perf-gate data model: seeded workload results
 //!   ([`BenchSuite`]) and the noise-tolerant baseline comparison
 //!   ([`compare`]);
+//! - [`timeline`] — per-processor timeline reconstruction from
+//!   `ExecSegment` events: Chrome-trace export, critical-path analysis,
+//!   and measured T_comm/T_exe/overlap per worker ([`Timeline`]);
+//! - [`audit`] — the model-vs-measured prediction audit: calibrates an
+//!   effective platform from a measured timeline and reports per-model
+//!   relative error for all five cost models ([`audit::audit`]);
+//! - [`trend`] — the bench-history trend store: drift detection over
+//!   `results/bench_history.jsonl` ([`trend::analyze`]);
 //! - [`input`] — lenient JSONL loaders that survive truncated lines
 //!   ([`EventLog`], [`ManifestLog`]).
 //!
@@ -29,19 +37,26 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod audit;
 pub mod input;
 pub mod perf;
 pub mod profile;
+pub mod timeline;
+pub mod trend;
 
 pub use analyze::{Analysis, ExactSummary, ManifestSummary, PushFunnel};
+pub use audit::{Audit, AuditRow};
 pub use input::{EventLog, ManifestLog};
 pub use perf::{compare, median, BenchEntry, BenchSuite, GateIssue, BENCH_VERSION};
 pub use profile::{FoldWeight, SpanNode, SpanProfile};
+pub use timeline::{CriticalPath, Segment, Timeline, WorkerSummary};
+pub use trend::{analyze as analyze_trend, TrendEntry, TrendReport, TREND_VERSION};
 
 /// Render the combined text report for one event stream (and optionally a
-/// manifest log): analysis sections, manifest summary, then the span-tree
-/// profile. This is what the `obs_report` binary prints; tests call it
-/// directly to assert byte-identical output for seeded runs.
+/// manifest log): analysis sections, manifest summary, the timeline
+/// section (when the stream carries `ExecSegment` events), then the
+/// span-tree profile. This is what the `obs_report` binary prints; tests
+/// call it directly to assert byte-identical output for seeded runs.
 pub fn full_report(events: &EventLog, manifests: Option<&ManifestLog>) -> String {
     let mut out = String::new();
     let analysis = Analysis::from_events(events);
@@ -49,6 +64,11 @@ pub fn full_report(events: &EventLog, manifests: Option<&ManifestLog>) -> String
     if let Some(log) = manifests {
         out.push('\n');
         out.push_str(&ManifestSummary::from_manifests(log).render_text());
+    }
+    let tl = Timeline::from_events(&events.records);
+    if !tl.is_empty() {
+        out.push('\n');
+        out.push_str(&tl.render_text());
     }
     let profile = SpanProfile::from_events(&events.records);
     out.push('\n');

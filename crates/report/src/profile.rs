@@ -65,13 +65,16 @@ struct Frame {
     name: String,
 }
 
-fn node_at_mut<'a>(roots: &'a mut BTreeMap<String, SpanNode>, path: &[String]) -> &'a mut SpanNode {
-    let (first, rest) = path.split_first().expect("span path is never empty");
+fn node_at_mut<'a>(
+    roots: &'a mut BTreeMap<String, SpanNode>,
+    path: &[String],
+) -> Option<&'a mut SpanNode> {
+    let (first, rest) = path.split_first()?;
     let mut node = roots.entry(first.clone()).or_default();
     for name in rest {
         node = node.children.entry(name.clone()).or_default();
     }
-    node
+    Some(node)
 }
 
 fn stack_path(stack: &[Frame]) -> Vec<String> {
@@ -95,7 +98,9 @@ impl SpanProfile {
                         name: name.clone(),
                     });
                     let path = stack_path(stack);
-                    node_at_mut(&mut profile.roots, &path).calls += 1;
+                    if let Some(node) = node_at_mut(&mut profile.roots, &path) {
+                        node.calls += 1;
+                    }
                 }
                 EventKind::SpanEnd {
                     span, nanos, tid, ..
@@ -110,11 +115,15 @@ impl SpanProfile {
                     // unclosed so time is still attributed to the match.
                     while stack.len() > pos + 1 {
                         let path = stack_path(stack);
-                        node_at_mut(&mut profile.roots, &path).unclosed += 1;
+                        if let Some(node) = node_at_mut(&mut profile.roots, &path) {
+                            node.unclosed += 1;
+                        }
                         stack.pop();
                     }
                     let path = stack_path(stack);
-                    node_at_mut(&mut profile.roots, &path).total_nanos += nanos;
+                    if let Some(node) = node_at_mut(&mut profile.roots, &path) {
+                        node.total_nanos += nanos;
+                    }
                     stack.pop();
                 }
                 _ => {}
@@ -124,7 +133,9 @@ impl SpanProfile {
         for stack in stacks.values_mut() {
             while !stack.is_empty() {
                 let path = stack_path(stack);
-                node_at_mut(&mut profile.roots, &path).unclosed += 1;
+                if let Some(node) = node_at_mut(&mut profile.roots, &path) {
+                    node.unclosed += 1;
+                }
                 stack.pop();
             }
         }

@@ -1,0 +1,363 @@
+//! The bench-history trend store and drift analyzer.
+//!
+//! The single-baseline perf gate ([`crate::perf`]) catches step
+//! regressions but is blind to *slow* drift: a 5% slowdown per PR never
+//! trips a 1.8× ratio, yet compounds into one within a quarter. To close
+//! that hole, `perf_gate` appends one [`TrendEntry`] per run to
+//! `results/bench_history.jsonl`, and the `bench_trend` binary analyzes
+//! the last `window` entries per workload: the newest median against the
+//! median-of-medians of its predecessors (robust to one noisy run), plus
+//! deterministic-counter deltas against the immediately preceding entry.
+//!
+//! Fewer than two history entries is not an error — the analyzer reports
+//! "insufficient history" and passes, so the CI step is a graceful no-op
+//! on a fresh checkout or cache miss.
+
+use crate::perf::{median, BenchSuite};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version of a history line.
+pub const TREND_VERSION: u32 = 1;
+
+/// One appended history record: the run's medians and counters, flattened
+/// from the [`BenchSuite`] the gate measured.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrendEntry {
+    /// Always [`TREND_VERSION`] for entries produced by this build.
+    pub v: u32,
+    /// Git revision the run was measured at.
+    pub git_rev: String,
+    /// Unix timestamp (seconds) of the run; 0 when unavailable.
+    pub unix_secs: u64,
+    /// Repetitions per workload in the run.
+    pub k: u64,
+    /// `(workload, median wall ns)` pairs, in suite order.
+    pub medians: Vec<(String, u64)>,
+    /// `(workload, counter, value)` triples, in suite order.
+    pub counters: Vec<(String, String, u64)>,
+}
+
+impl TrendEntry {
+    /// Flatten one measured suite into a history record.
+    pub fn from_suite(suite: &BenchSuite, unix_secs: u64) -> TrendEntry {
+        TrendEntry {
+            v: TREND_VERSION,
+            git_rev: suite.git_rev.clone(),
+            unix_secs,
+            k: suite.k,
+            medians: suite
+                .entries
+                .iter()
+                .map(|e| (e.name.clone(), e.median_wall_nanos))
+                .collect(),
+            counters: suite
+                .entries
+                .iter()
+                .flat_map(|e| {
+                    e.counters
+                        .iter()
+                        .map(|(c, v)| (e.name.clone(), c.clone(), *v))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parse a history file leniently: unparsable or wrong-version lines are
+/// counted and skipped, never fatal (the store is append-only across
+/// schema generations).
+pub fn parse_history(text: &str) -> (Vec<TrendEntry>, usize) {
+    let mut entries = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TrendEntry>(line) {
+            Ok(e) if e.v == TREND_VERSION => entries.push(e),
+            _ => skipped += 1,
+        }
+    }
+    (entries, skipped)
+}
+
+/// One workload's drift verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadTrend {
+    /// Workload name.
+    pub name: String,
+    /// History points considered (including the newest).
+    pub points: usize,
+    /// Median-of-medians of the predecessor entries (ns).
+    pub reference_nanos: u64,
+    /// The newest entry's median (ns).
+    pub latest_nanos: u64,
+    /// `latest / reference` (1.0 when the reference is 0).
+    pub ratio: f64,
+    /// Did the ratio exceed the threshold?
+    pub drifted: bool,
+    /// Counters whose value changed vs the previous entry:
+    /// `(counter, previous, latest)`.
+    pub counter_deltas: Vec<(String, Option<u64>, Option<u64>)>,
+}
+
+/// The full analysis over one history window.
+#[derive(Clone, Debug, Default)]
+pub struct TrendReport {
+    /// Per-workload verdicts, sorted by name.
+    pub workloads: Vec<WorkloadTrend>,
+    /// History entries available (before windowing).
+    pub entries: usize,
+    /// Unparsable/foreign lines skipped by the loader.
+    pub skipped_lines: usize,
+    /// True when there was not enough history to say anything.
+    pub insufficient_history: bool,
+}
+
+impl TrendReport {
+    /// Any workload beyond the drift threshold?
+    pub fn has_drift(&self) -> bool {
+        self.workloads.iter().any(|w| w.drifted)
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== bench trend ({} entries, {} skipped lines) ==",
+            self.entries, self.skipped_lines
+        );
+        if self.insufficient_history {
+            let _ = writeln!(
+                out,
+                "insufficient history (< 2 entries) — nothing to compare yet"
+            );
+            return out;
+        }
+        for w in &self.workloads {
+            let verdict = if w.drifted { "DRIFT" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "  {}: {} -> {} ns over {} points ({:.2}x vs {:.2}x limit) {}",
+                w.name, w.reference_nanos, w.latest_nanos, w.points, w.ratio, threshold, verdict
+            );
+            for (counter, prev, cur) in &w.counter_deltas {
+                let _ = writeln!(out, "    counter {counter} changed {prev:?} -> {cur:?}");
+            }
+        }
+        out
+    }
+}
+
+/// Analyze the last `window` history entries with a drift `threshold` on
+/// the `latest / median-of-predecessor-medians` ratio.
+pub fn analyze(entries: &[TrendEntry], window: usize, threshold: f64) -> TrendReport {
+    let mut report = TrendReport {
+        entries: entries.len(),
+        ..TrendReport::default()
+    };
+    if entries.len() < 2 {
+        report.insufficient_history = true;
+        return report;
+    }
+    let start = entries.len().saturating_sub(window.max(2));
+    let window_entries = &entries[start..];
+    let latest = match window_entries.last() {
+        Some(e) => e,
+        None => {
+            report.insufficient_history = true;
+            return report;
+        }
+    };
+    let predecessors = &window_entries[..window_entries.len() - 1];
+    let previous = predecessors.last();
+
+    // Per-workload series over the predecessors.
+    let mut series: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for entry in predecessors {
+        for (name, med) in &entry.medians {
+            series.entry(name).or_default().push(*med);
+        }
+    }
+
+    for (name, latest_nanos) in &latest.medians {
+        let Some(history) = series.get(name.as_str()) else {
+            // New workload: no reference yet, nothing to drift against.
+            continue;
+        };
+        let reference = median(history);
+        let ratio = if reference > 0 {
+            *latest_nanos as f64 / reference as f64
+        } else {
+            1.0
+        };
+        let mut counter_deltas = Vec::new();
+        if let Some(prev) = previous {
+            let prev_val = |counter: &str| {
+                prev.counters
+                    .iter()
+                    .find(|(w, c, _)| w == name && c == counter)
+                    .map(|(_, _, v)| *v)
+            };
+            for (w, counter, v) in &latest.counters {
+                if w != name {
+                    continue;
+                }
+                let p = prev_val(counter);
+                if p != Some(*v) {
+                    counter_deltas.push((counter.clone(), p, Some(*v)));
+                }
+            }
+            for (w, counter, v) in &prev.counters {
+                if w == name
+                    && !latest
+                        .counters
+                        .iter()
+                        .any(|(lw, lc, _)| lw == name && lc == counter)
+                {
+                    counter_deltas.push((counter.clone(), Some(*v), None));
+                }
+            }
+        }
+        report.workloads.push(WorkloadTrend {
+            name: name.clone(),
+            points: history.len() + 1,
+            reference_nanos: reference,
+            latest_nanos: *latest_nanos,
+            ratio,
+            drifted: ratio > threshold,
+            counter_deltas,
+        });
+    }
+    report.workloads.sort_by(|a, b| a.name.cmp(&b.name));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{BenchEntry, BENCH_VERSION};
+
+    fn entry_at(median: u64, counters: &[(&str, u64)]) -> TrendEntry {
+        TrendEntry {
+            v: TREND_VERSION,
+            git_rev: "r".into(),
+            unix_secs: 0,
+            k: 3,
+            medians: vec![("w".into(), median)],
+            counters: counters
+                .iter()
+                .map(|(c, v)| ("w".to_string(), c.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn insufficient_history_is_a_pass() {
+        let r = analyze(&[], 10, 1.5);
+        assert!(r.insufficient_history);
+        assert!(!r.has_drift());
+        let r = analyze(&[entry_at(100, &[])], 10, 1.5);
+        assert!(r.insufficient_history);
+        assert!(r.render_text(1.5).contains("insufficient history"));
+    }
+
+    #[test]
+    fn slow_drift_is_caught_step_noise_is_not() {
+        // Five stable runs then a 2x jump.
+        let mut h: Vec<TrendEntry> = (0..5).map(|_| entry_at(100, &[])).collect();
+        h.push(entry_at(200, &[]));
+        let r = analyze(&h, 10, 1.5);
+        assert!(r.has_drift());
+        assert_eq!(r.workloads[0].reference_nanos, 100);
+        assert_eq!(r.workloads[0].latest_nanos, 200);
+
+        // One noisy predecessor does not poison the median reference.
+        let h = vec![
+            entry_at(100, &[]),
+            entry_at(100, &[]),
+            entry_at(900, &[]),
+            entry_at(100, &[]),
+            entry_at(120, &[]),
+        ];
+        let r = analyze(&h, 10, 1.5);
+        assert!(!r.has_drift(), "{:?}", r.workloads);
+    }
+
+    #[test]
+    fn windowing_ignores_ancient_history() {
+        // Old fast entries outside the window must not flag today's
+        // stable-but-slower steady state.
+        let mut h: Vec<TrendEntry> = (0..20).map(|_| entry_at(10, &[])).collect();
+        h.extend((0..6).map(|_| entry_at(100, &[])));
+        let r = analyze(&h, 5, 1.5);
+        assert!(!r.has_drift());
+        assert_eq!(r.workloads[0].reference_nanos, 100);
+    }
+
+    #[test]
+    fn counter_deltas_compare_against_previous_entry() {
+        let h = vec![
+            entry_at(100, &[("pushes", 42), ("gone", 1)]),
+            entry_at(100, &[("pushes", 43), ("fresh", 9)]),
+        ];
+        let r = analyze(&h, 10, 1.5);
+        let deltas = &r.workloads[0].counter_deltas;
+        assert_eq!(deltas.len(), 3, "{deltas:?}");
+        assert!(deltas.contains(&("pushes".into(), Some(42), Some(43))));
+        assert!(deltas.contains(&("fresh".into(), None, Some(9))));
+        assert!(deltas.contains(&("gone".into(), Some(1), None)));
+        // Counter changes alone are not wall drift.
+        assert!(!r.has_drift());
+    }
+
+    #[test]
+    fn history_round_trips_and_parses_leniently() {
+        let suite = BenchSuite {
+            v: BENCH_VERSION,
+            git_rev: "abc".into(),
+            k: 5,
+            entries: vec![BenchEntry {
+                name: "w".into(),
+                median_wall_nanos: 123,
+                wall_nanos: vec![123, 124],
+                counters: vec![("c".into(), 7)],
+            }],
+        };
+        let e = TrendEntry::from_suite(&suite, 1_700_000_000);
+        let line = serde_json::to_string(&e).unwrap();
+        let text = format!("{line}\nnot json\n{line}\n");
+        let (entries, skipped) = parse_history(&text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(skipped, 1);
+        assert_eq!(entries[0], e);
+        assert_eq!(entries[0].medians, vec![("w".to_string(), 123)]);
+        assert_eq!(entries[0].counters, vec![("w".into(), "c".into(), 7)]);
+    }
+
+    #[test]
+    fn zero_reference_never_divides() {
+        let h = vec![entry_at(0, &[]), entry_at(100, &[])];
+        let r = analyze(&h, 10, 1.5);
+        assert!(!r.has_drift());
+        assert!((r.workloads[0].ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_workload_without_reference_is_skipped() {
+        let h = vec![
+            entry_at(100, &[]),
+            TrendEntry {
+                medians: vec![("w".into(), 100), ("brand_new".into(), 5)],
+                ..entry_at(100, &[])
+            },
+        ];
+        let r = analyze(&h, 10, 1.5);
+        assert_eq!(r.workloads.len(), 1);
+        assert_eq!(r.workloads[0].name, "w");
+    }
+}

@@ -98,7 +98,13 @@ impl RegionProfile {
                     last = j;
                 }
             }
-            let first = first.expect("row_count > 0 implies a cell");
+            // `row_count > 0` guarantees a cell, but stay total: a rowless
+            // scan degrades to non-contiguous instead of panicking.
+            let Some(first) = first else {
+                row_contiguous = false;
+                intervals.push(None);
+                continue;
+            };
             if last - first + 1 != count {
                 row_contiguous = false;
             }
@@ -107,9 +113,14 @@ impl RegionProfile {
 
         let bands = if row_contiguous {
             let mut bands: Vec<Band> = Vec::new();
-            for (offset, interval) in intervals.iter().enumerate() {
+            // A contiguous profile has an interval in every row; gapped
+            // rows (impossible here) would simply be skipped.
+            let rows = intervals
+                .iter()
+                .enumerate()
+                .filter_map(|(offset, interval)| interval.map(|cols| (offset, cols)));
+            for (offset, cols) in rows {
                 let i = rect.top + offset;
-                let cols = interval.expect("contiguous profile has no gaps");
                 match bands.last_mut() {
                     Some(b) if b.cols == cols && b.bottom + 1 == i => b.bottom = i,
                     _ => bands.push(Band {

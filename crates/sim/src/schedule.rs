@@ -161,6 +161,8 @@ pub fn simulate(part: &Partition, config: &SimConfig) -> SimResult {
             messages: result.messages as u64,
             elems_sent: result.elems_sent,
         });
+        // Simulated seconds → integer nanos on the shared segment axis.
+        let nanos = |t: f64| (t * 1e9).round().max(0.0) as u64;
         for span in &result.spans {
             let (phase, from, to, elems) = match span.phase {
                 Phase::Transfer { from, to, elems } => {
@@ -171,6 +173,22 @@ pub fn simulate(part: &Partition, config: &SimConfig) -> SimResult {
                 }
                 Phase::Compute { proc } => ("compute", proc.to_string(), proc.to_string(), 0),
             };
+            // Mirror each simulated span as an ExecSegment so the report
+            // timeline (Chrome trace, critical path, T_comm/T_exe) works
+            // identically on simulated and measured streams: transfers
+            // become the sender's `send` time, compute phases `compute`.
+            let (seg_kind, seg_peer) = match span.phase {
+                Phase::Transfer { .. } => ("send", to.clone()),
+                _ => ("compute", String::new()),
+            };
+            obs::emit(obs::EventKind::ExecSegment {
+                worker: from.clone(),
+                kind: seg_kind.to_string(),
+                peer: seg_peer,
+                step: 0,
+                start_nanos: nanos(span.start),
+                end_nanos: nanos(span.end),
+            });
             obs::emit(obs::EventKind::SimPhase {
                 phase: phase.to_string(),
                 from,

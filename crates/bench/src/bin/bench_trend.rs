@@ -1,5 +1,5 @@
 //! **Bench-history trend analyzer** — catches slow drift the perf gate
-//! cannot.
+//! cannot, and triages it when it fires.
 //!
 //! The single-baseline gate (`perf_gate`) passes any run within a 1.8×
 //! ratio of the committed baseline, so a few-percent-per-PR slowdown
@@ -12,7 +12,9 @@
 //! ```text
 //! cargo run --release -p hetmmm-bench --bin bench_trend -- \
 //!     [--history results/bench_history.jsonl] [--window 10] \
-//!     [--threshold 1.5]
+//!     [--threshold 1.5] \
+//!     [--events-baseline <a.jsonl>] [--events-latest <b.jsonl>] \
+//!     [--triage-out <triage.json>]
 //! ```
 //!
 //! Exit code 1 on wall-time drift beyond `--threshold`; counter deltas are
@@ -21,12 +23,36 @@
 //! "insufficient history" — so the CI step is a no-op on a fresh checkout
 //! or a cold cache.
 //!
+//! Every run also emits a triage verdict: with `--events-baseline` and
+//! `--events-latest` it diffs span self-time per path between the two
+//! streams and names the suspect ("push.clean self-nanos under dfa.run
+//! grew 2.1x"); without them it degrades to counters-only mode.
+//! `--triage-out` writes the same verdict as schema-versioned JSON for
+//! `$GITHUB_STEP_SUMMARY` tooling.
+//!
 //! Like `obs_report`, this is a pure analyzer over existing artifacts: it
 //! deliberately opens no `BinSession` and appends nothing anywhere.
 
 use hetmmm_bench::{results_dir, Args};
 use hetmmm_report::trend::{analyze, parse_history};
+use hetmmm_report::{triage, EventLog, SpanProfile};
 use std::process::ExitCode;
+
+/// Load a span profile from an event JSONL file named by `flag`, when
+/// given. A missing/unreadable file downgrades to counters-only triage
+/// with a note, never a failure.
+fn load_profile(args: &Args, flag: &str) -> Option<SpanProfile> {
+    let path = args.get_str(flag)?;
+    match std::fs::read_to_string(path) {
+        Ok(text) => Some(SpanProfile::from_events(
+            &EventLog::parse_str(&text).records,
+        )),
+        Err(err) => {
+            eprintln!("bench_trend: cannot read --{flag} {path}: {err} (triage degrades)");
+            None
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args = Args::parse();
@@ -57,6 +83,20 @@ fn main() -> ExitCode {
     let mut report = analyze(&entries, window, threshold);
     report.skipped_lines = skipped;
     print!("{}", report.render_text(threshold));
+
+    // Triage: join the drift verdict against span-profile diffs (when
+    // baseline/latest streams were supplied) and exact counter deltas.
+    let baseline = load_profile(&args, "events-baseline");
+    let latest = load_profile(&args, "events-latest");
+    let triage_report = triage(&report, baseline.as_ref(), latest.as_ref());
+    print!("{}", triage_report.render_text());
+    if let Some(out) = args.get_str("triage-out") {
+        if let Err(err) = std::fs::write(out, triage_report.to_json()) {
+            eprintln!("bench_trend: cannot write --triage-out {out}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("triage -> {out}");
+    }
 
     if report.has_drift() {
         eprintln!(

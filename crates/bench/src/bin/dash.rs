@@ -1,0 +1,132 @@
+//! **dash** — render the self-contained census dashboard.
+//!
+//! Joins every telemetry artifact the workspace produces into one static
+//! `dashboard.html` (zero scripts, zero network — inline SVG only):
+//!
+//! ```text
+//! cargo run --release -p hetmmm-bench --bin dash -- \
+//!     [--history results/bench_history.jsonl] \
+//!     [--manifests results/manifests.jsonl] \
+//!     [--events <events.jsonl>]                 # funnel + timeline source
+//!     [--baseline-events <a.jsonl>] [--latest-events <b.jsonl>]  # triage
+//!     [--winners results/optimal_shape_map.csv] \
+//!     [--window 30] [--threshold 1.3] \
+//!     [--out results/dashboard.html]
+//! ```
+//!
+//! Every input is optional: a missing or unreadable file renders its
+//! panel as an explicit "no data" note, so the nightly job and a fresh
+//! checkout produce a valid page either way. Like `obs_report` and
+//! `bench_trend`, this is a pure analyzer over files already on disk —
+//! it deliberately does **not** open a `BinSession` (no sinks, no
+//! manifest append: reading telemetry must not generate telemetry).
+//!
+//! Output is a pure function of the inputs — byte-identical across runs
+//! on the same files (the golden CLI test relies on this).
+
+use hetmmm_bench::{results_dir, Args};
+use hetmmm_report::{
+    analyze_trend, render_dashboard, triage, Analysis, DashboardInputs, EventLog, ManifestLog,
+    RunStore, SpanProfile, Timeline, WinnerMap,
+};
+use std::process::ExitCode;
+
+/// Read a file if the flag was given or the default exists; `None` means
+/// "panel renders as no-data".
+fn read_optional(args: &Args, flag: &str, default: Option<std::path::PathBuf>) -> Option<String> {
+    let path = args
+        .get_str(flag)
+        .map(std::path::PathBuf::from)
+        .or(default)?;
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Some(text),
+        Err(err) => {
+            eprintln!("dash: skipping {} ({err})", path.display());
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let window = args.get("window", 30usize).max(2);
+    let threshold = args.get("threshold", 1.3f64);
+    let out_path = args
+        .get_str("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("dashboard.html"));
+
+    let mut store = RunStore::default();
+    if let Some(text) = read_optional(
+        &args,
+        "history",
+        Some(results_dir().join("bench_history.jsonl")),
+    ) {
+        store.ingest_history_str(&text);
+    }
+    if let Some(text) = read_optional(
+        &args,
+        "manifests",
+        Some(results_dir().join("manifests.jsonl")),
+    ) {
+        store.ingest_manifests(&ManifestLog::parse_str(&text));
+    }
+
+    let trend = if store.history.len() >= 2 {
+        Some(analyze_trend(&store.history, window, threshold))
+    } else {
+        None
+    };
+
+    // One event stream feeds both the funnel and the timeline; panels
+    // individually degrade when the stream lacks their event kinds.
+    let (analysis, timeline) = match read_optional(&args, "events", None) {
+        Some(text) => {
+            let log = EventLog::parse_str(&text);
+            let analysis = Analysis::from_events(&log);
+            let tl = Timeline::from_events(&log.records);
+            store.ingest_events("events", log);
+            (Some(analysis), if tl.is_empty() { None } else { Some(tl) })
+        }
+        None => (None, None),
+    };
+
+    // Baseline/latest streams (when both given) enable span-diff triage;
+    // otherwise triage runs counters-only off the trend report.
+    let baseline_profile = read_optional(&args, "baseline-events", None)
+        .map(|t| SpanProfile::from_events(&EventLog::parse_str(&t).records));
+    let latest_profile = read_optional(&args, "latest-events", None)
+        .map(|t| SpanProfile::from_events(&EventLog::parse_str(&t).records));
+    let triage_report = trend
+        .as_ref()
+        .map(|t| triage(t, baseline_profile.as_ref(), latest_profile.as_ref()));
+
+    let winners = read_optional(
+        &args,
+        "winners",
+        Some(results_dir().join("optimal_shape_map.csv")),
+    )
+    .map(|t| WinnerMap::parse_csv(&t));
+
+    let inputs = DashboardInputs {
+        store,
+        trend,
+        timeline,
+        analysis,
+        winners,
+        triage: triage_report,
+    };
+    let html = render_dashboard(&inputs);
+    if let Err(err) = std::fs::write(&out_path, &html) {
+        eprintln!("dash: cannot write {}: {err}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "dashboard -> {} ({} bytes, {} history entries, {} manifest runs)",
+        out_path.display(),
+        html.len(),
+        inputs.store.history.len(),
+        inputs.store.total_runs()
+    );
+    ExitCode::SUCCESS
+}

@@ -11,11 +11,17 @@
 //!   functions of the seed and gate on **exact equality**, catching quiet
 //!   behavioral drift even when it is fast.
 //!
+//! Plus the `obs_overhead` pair: the same seeded DFA batch measured with
+//! sinks delivering (a counting `NullSink`, fine spans on) and with sinks
+//! suspended, gating the instrumentation's own cost to a within-run
+//! on/off ratio (`--overhead-threshold`, default 2.5) — "measure the
+//! observer".
+//!
 //! ```text
 //! cargo run --release -p hetmmm-bench --bin perf_gate -- \
 //!     [--baseline BENCH_baseline.json] [--current BENCH_current.json] \
-//!     [--k 5] [--threshold 1.8] [--write-baseline] [--quick] \
-//!     [--slowdown-nanos 0]
+//!     [--k 5] [--threshold 1.8] [--overhead-threshold 2.5] \
+//!     [--write-baseline] [--quick] [--slowdown-nanos 0]
 //! ```
 //!
 //! `--write-baseline` records the suite as the new baseline (see DESIGN.md
@@ -38,7 +44,10 @@ use hetmmm::prelude::*;
 use hetmmm::{census, CensusConfig};
 use hetmmm_bench::{results_dir, Args};
 use hetmmm_obs as obs;
-use hetmmm_report::{compare, median, BenchEntry, BenchSuite, TrendEntry, BENCH_VERSION};
+use hetmmm_report::{
+    append_history_capped, compare, history_cap, median, BenchEntry, BenchSuite, TrendEntry,
+    BENCH_VERSION,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -142,6 +151,79 @@ fn workloads(quick: bool) -> Vec<Workload> {
     ]
 }
 
+/// The `obs_overhead` workload: the same seeded DFA batch measured twice —
+/// sinks delivering (a counting [`obs::NullSink`] plus fine spans) vs
+/// sinks suspended ([`obs::suspend_sinks`], the uninstrumented fast path)
+/// — so the gate "measures the observer" itself. Returns the two suite
+/// entries (`obs_overhead_on`, `obs_overhead_off`) plus the on/off median
+/// ratio gated by `--overhead-threshold`.
+///
+/// The `events_per_pass` counter on the instrumented arm is a pure
+/// function of the seed (every event the facade emits reaches the
+/// `NullSink`), so the baseline's exact-equality gate catches changes in
+/// instrumentation *volume* even when wall time hides them.
+fn measure_overhead(k: u64, quick: bool, slowdown_nanos: u64) -> (BenchEntry, BenchEntry, f64) {
+    let (n, runs) = if quick { (16, 2u64) } else { (40, 8u64) };
+    let body = move || {
+        let runner = DfaRunner::new(DfaConfig::new(n, Ratio::new(2, 1, 1)));
+        for seed in 0..runs {
+            let outcome = runner.run_seed(300 + seed);
+            assert!(outcome.steps > 0 || outcome.converged);
+        }
+    };
+    let timed = |k: u64| -> Vec<u64> {
+        let mut wall_nanos = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            let start = Instant::now();
+            body();
+            if slowdown_nanos > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(slowdown_nanos));
+            }
+            wall_nanos.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        wall_nanos
+    };
+
+    // Instrumented arm: a counting sink receives every event, fine spans
+    // included — the full enabled path minus backend I/O.
+    let sink = obs::NullSink::new();
+    let id = obs::install_sink(sink.clone());
+    obs::set_fine_spans(true);
+    let before = sink.seen();
+    body();
+    let events_per_pass = sink.seen() - before;
+    let on_wall = timed(k);
+    obs::set_fine_spans(false);
+
+    // Uninstrumented arm: suspend delivery without uninstalling — the
+    // facade's `enabled()` gate must read false and spans go inert.
+    let was_active = obs::suspend_sinks();
+    assert!(was_active, "overhead arm installed a sink");
+    assert!(!obs::enabled(), "suspend must close the emit gate");
+    let off_wall = timed(k);
+    obs::resume_sinks();
+    obs::uninstall_sink(id);
+
+    let on = BenchEntry {
+        name: "obs_overhead_on".to_string(),
+        median_wall_nanos: median(&on_wall),
+        wall_nanos: on_wall,
+        counters: vec![("events_per_pass".to_string(), events_per_pass)],
+    };
+    let off = BenchEntry {
+        name: "obs_overhead_off".to_string(),
+        median_wall_nanos: median(&off_wall),
+        wall_nanos: off_wall,
+        counters: vec![],
+    };
+    let ratio = if off.median_wall_nanos > 0 {
+        on.median_wall_nanos as f64 / off.median_wall_nanos as f64
+    } else {
+        1.0
+    };
+    (on, off, ratio)
+}
+
 fn measure(workload: &Workload, k: u64, slowdown_nanos: u64) -> BenchEntry {
     // Counter pass (untimed): metrics on, capture the deterministic
     // subset. Histograms and timing-dependent metrics (recv waits) are
@@ -190,24 +272,51 @@ fn main() -> ExitCode {
     let write_baseline = args.get_str("write-baseline").is_some();
     let quick = args.get_str("quick").is_some();
     let slowdown_nanos = args.get("slowdown-nanos", 0u64);
+    let overhead_threshold = args.get("overhead-threshold", 2.5f64);
+
+    let mut entries: Vec<BenchEntry> = workloads(quick)
+        .iter()
+        .map(|w| {
+            let entry = measure(w, k, slowdown_nanos);
+            println!(
+                "{:<24} median {:>12} ns  ({} counters)",
+                entry.name,
+                entry.median_wall_nanos,
+                entry.counters.len()
+            );
+            entry
+        })
+        .collect();
+
+    // The observer-of-the-observer workload: instrumented vs suspended,
+    // gated on its own ratio within this run (machine-relative, so it is
+    // robust where a cross-machine wall baseline would not be).
+    let (on, off, overhead_ratio) = measure_overhead(k, quick, slowdown_nanos);
+    println!(
+        "{:<24} median {:>12} ns  ({} counters)",
+        on.name,
+        on.median_wall_nanos,
+        on.counters.len()
+    );
+    println!(
+        "{:<24} median {:>12} ns  ({} counters)",
+        off.name,
+        off.median_wall_nanos,
+        off.counters.len()
+    );
+    println!(
+        "obs overhead: {overhead_ratio:.3}x instrumented/suspended \
+         (limit {overhead_threshold:.2}x)"
+    );
+    let overhead_ok = overhead_ratio <= overhead_threshold;
+    entries.push(on);
+    entries.push(off);
 
     let suite = BenchSuite {
         v: BENCH_VERSION,
         git_rev: obs::git_rev(),
         k,
-        entries: workloads(quick)
-            .iter()
-            .map(|w| {
-                let entry = measure(w, k, slowdown_nanos);
-                println!(
-                    "{:<24} median {:>12} ns  ({} counters)",
-                    entry.name,
-                    entry.median_wall_nanos,
-                    entry.counters.len()
-                );
-                entry
-            })
-            .collect(),
+        entries,
     };
 
     let json = serde_json::to_string(&suite).expect("serialize suite");
@@ -238,25 +347,14 @@ fn main() -> ExitCode {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         let entry = TrendEntry::from_suite(&suite, unix_secs);
-        match serde_json::to_string(&entry) {
-            Ok(line) => {
-                use std::io::Write as _;
-                let appended = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(&history_path)
-                    .and_then(|mut f| writeln!(f, "{line}"));
-                match appended {
-                    Ok(()) => println!("history -> {}", history_path.display()),
-                    Err(err) => {
-                        eprintln!(
-                            "perf_gate: cannot append {}: {err} (continuing)",
-                            history_path.display()
-                        );
-                    }
-                }
+        match append_history_capped(&history_path, &entry, history_cap()) {
+            Ok(()) => println!("history -> {}", history_path.display()),
+            Err(err) => {
+                eprintln!(
+                    "perf_gate: cannot append {}: {err} (continuing)",
+                    history_path.display()
+                );
             }
-            Err(err) => eprintln!("perf_gate: cannot serialize history entry: {err}"),
         }
     }
 
@@ -267,6 +365,15 @@ fn main() -> ExitCode {
                 "perf_gate: no baseline at {baseline_path} — nothing to gate against \
                  (run with --write-baseline to record one)"
             );
+            // The overhead gate is within-run: it needs no baseline and
+            // still applies.
+            if !overhead_ok {
+                eprintln!(
+                    "perf gate FAIL: instrumentation overhead {overhead_ratio:.3}x exceeds \
+                     {overhead_threshold:.2}x (sinks enabled vs suspended)"
+                );
+                return ExitCode::FAILURE;
+            }
             return ExitCode::SUCCESS;
         }
         Err(err) => {
@@ -283,16 +390,25 @@ fn main() -> ExitCode {
     };
 
     let issues = compare(&baseline, &suite, threshold);
-    if issues.is_empty() {
+    if !overhead_ok {
+        eprintln!(
+            "perf gate FAIL: instrumentation overhead {overhead_ratio:.3}x exceeds \
+             {overhead_threshold:.2}x (sinks enabled vs suspended)"
+        );
+    }
+    if issues.is_empty() && overhead_ok {
         println!(
-            "perf gate PASS against {baseline_path} (rev {}, threshold {threshold:.2}x)",
+            "perf gate PASS against {baseline_path} (rev {}, threshold {threshold:.2}x, \
+             overhead {overhead_ratio:.3}x <= {overhead_threshold:.2}x)",
             baseline.git_rev
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!("perf gate FAIL against {baseline_path}:");
-        for issue in &issues {
-            eprintln!("  {issue}");
+        if !issues.is_empty() {
+            eprintln!("perf gate FAIL against {baseline_path}:");
+            for issue in &issues {
+                eprintln!("  {issue}");
+            }
         }
         ExitCode::FAILURE
     }

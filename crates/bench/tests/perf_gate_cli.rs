@@ -64,7 +64,19 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
     let current_text = std::fs::read_to_string(&current).unwrap();
     let suite: hetmmm_report::BenchSuite = serde_json::from_str(&current_text).unwrap();
     assert_eq!(suite.v, hetmmm_report::BENCH_VERSION);
-    assert_eq!(suite.entries.len(), 5);
+    assert_eq!(suite.entries.len(), 7, "5 workloads + obs_overhead on/off");
+    let on = suite.entry("obs_overhead_on").unwrap();
+    assert!(
+        on.counters
+            .iter()
+            .any(|(c, v)| c == "events_per_pass" && *v > 0),
+        "instrumented arm must count delivered events: {:?}",
+        on.counters
+    );
+    assert!(
+        suite.entry("obs_overhead_off").is_some(),
+        "suspended arm recorded"
+    );
     assert!(
         !suite
             .entry("fig5_census_slice")
@@ -125,6 +137,35 @@ fn gate_passes_against_fresh_baseline_and_fails_under_slowdown() {
     );
 
     let _ = std::fs::remove_file(&baseline);
+    let _ = std::fs::remove_file(&current);
+}
+
+#[test]
+fn overhead_gate_fails_under_impossible_threshold() {
+    let baseline = tmp("overhead_baseline.json");
+    let current = tmp("overhead_current.json");
+    let _ = std::fs::remove_file(&baseline);
+    // Instrumented-vs-suspended is always >= some cost: a sub-1.0
+    // threshold that no real instrumentation can meet must fail the gate
+    // and say why, even with no wall baseline to compare against.
+    let out = gate(&[
+        "--quick",
+        "--no-history",
+        "--k",
+        "1",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        current.to_str().unwrap(),
+        "--overhead-threshold",
+        "0.000001",
+    ]);
+    assert!(!out.status.success(), "impossible overhead threshold");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("instrumentation overhead"),
+        "failure names the overhead gate: {stderr}"
+    );
     let _ = std::fs::remove_file(&current);
 }
 

@@ -1,0 +1,213 @@
+//! End-to-end CLI tests for `bench_trend` lenient history parsing and
+//! span-diff triage, and the `dash` dashboard golden run.
+
+use hetmmm_obs::{EventKind, EventRecord, SCHEMA_VERSION};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hetmmm_trend_cli_{}_{name}", std::process::id()))
+}
+
+fn trend(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_trend"))
+        .args(args)
+        .output()
+        .expect("spawn bench_trend")
+}
+
+fn dash(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dash"))
+        .args(args)
+        .output()
+        .expect("spawn dash")
+}
+
+/// One well-formed v1 history line for workload `w`.
+fn history_line(rev: &str, median: u64, counters: &[(&str, u64)]) -> String {
+    let counters_json: Vec<String> = counters
+        .iter()
+        .map(|(c, v)| format!("[\"w\",\"{c}\",{v}]"))
+        .collect();
+    format!(
+        "{{\"v\":1,\"git_rev\":\"{rev}\",\"unix_secs\":0,\"k\":3,\
+         \"medians\":[[\"w\",{median}]],\"counters\":[{}]}}",
+        counters_json.join(",")
+    )
+}
+
+fn span_events_jsonl(clean_nanos: u64) -> String {
+    let start = |span: u64, name: &str| EventRecord {
+        v: SCHEMA_VERSION,
+        ts_nanos: 0,
+        event: EventKind::SpanStart {
+            span,
+            name: name.into(),
+            arg: 0,
+            tid: 1,
+        },
+    };
+    let end = |span: u64, name: &str, nanos: u64| EventRecord {
+        v: SCHEMA_VERSION,
+        ts_nanos: nanos,
+        event: EventKind::SpanEnd {
+            span,
+            name: name.into(),
+            nanos,
+            tid: 1,
+        },
+    };
+    [
+        start(1, "dfa.run"),
+        start(2, "push.apply"),
+        start(3, "push.clean"),
+        end(3, "push.clean", clean_nanos),
+        end(2, "push.apply", clean_nanos + 10),
+        end(1, "dfa.run", clean_nanos + 30),
+    ]
+    .iter()
+    .map(|r| serde_json::to_string(r).expect("serialize record"))
+    .collect::<Vec<_>>()
+    .join("\n")
+}
+
+#[test]
+fn corrupted_truncated_and_mixed_version_history_is_survivable() {
+    let history = tmp("mixed_history.jsonl");
+    let good1 = history_line("a", 100, &[]);
+    let good2 = history_line("b", 110, &[]);
+    let truncated = &good1[..good1.len() / 2];
+    // Two good v1 lines, one truncated line, one garbage line, one
+    // foreign-version line, one blank: the analyzer must use exactly the
+    // good lines and *count* the rest.
+    let text = format!(
+        "{good1}\n{truncated}\nnot json at all\n\n\
+         {{\"v\":999,\"git_rev\":\"z\",\"unix_secs\":0,\"k\":1,\"medians\":[],\"counters\":[]}}\n\
+         {good2}\n"
+    );
+    std::fs::write(&history, text).unwrap();
+
+    let out = trend(&["--history", history.to_str().unwrap(), "--threshold", "2.0"]);
+    assert!(
+        out.status.success(),
+        "lenient parse must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("(2 entries, 3 skipped lines)"),
+        "counts good and skipped lines: {stdout}"
+    );
+    assert!(stdout.contains("w: 100 -> 110 ns"), "{stdout}");
+    let _ = std::fs::remove_file(&history);
+}
+
+#[test]
+fn drift_plus_event_streams_yields_span_level_triage() {
+    let history = tmp("triage_history.jsonl");
+    let baseline_events = tmp("triage_baseline.jsonl");
+    let latest_events = tmp("triage_latest.jsonl");
+    let triage_out = tmp("triage.json");
+
+    // Five stable entries then a 2x jump, with one counter change.
+    let mut lines: Vec<String> = (0..5)
+        .map(|i| history_line(&format!("r{i}"), 100, &[("pushes", 7)]))
+        .collect();
+    lines.push(history_line("r5", 200, &[("pushes", 9)]));
+    std::fs::write(&history, lines.join("\n")).unwrap();
+    // The injected regression: push.clean self time grew 100 -> 210 ns.
+    std::fs::write(&baseline_events, span_events_jsonl(100)).unwrap();
+    std::fs::write(&latest_events, span_events_jsonl(210)).unwrap();
+
+    let out = trend(&[
+        "--history",
+        history.to_str().unwrap(),
+        "--threshold",
+        "1.5",
+        "--events-baseline",
+        baseline_events.to_str().unwrap(),
+        "--events-latest",
+        latest_events.to_str().unwrap(),
+        "--triage-out",
+        triage_out.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "2x drift must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("push.clean self-nanos under dfa.run grew 2.1x"),
+        "triage names the injected span: {stdout}"
+    );
+    assert!(
+        stdout.contains("span dfa.run;push.apply;push.clean: 100 -> 210 self ns"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("counter pushes changed Some(7) -> Some(9)"),
+        "{stdout}"
+    );
+
+    let json = std::fs::read_to_string(&triage_out).expect("triage json written");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+    assert_eq!(v.get("v").and_then(|x| x.as_u64()), Some(1));
+    assert!(json.contains("dfa.run;push.apply;push.clean"), "{json}");
+
+    for p in [&history, &baseline_events, &latest_events, &triage_out] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn dash_renders_byte_identical_dashboards_for_identical_inputs() {
+    let history = tmp("dash_history.jsonl");
+    let winners = tmp("dash_winners.csv");
+    let out_a = tmp("dash_a.html");
+    let out_b = tmp("dash_b.html");
+    let lines: Vec<String> = (0..4)
+        .map(|i| history_line(&format!("r{i}"), 100 + i, &[]))
+        .collect();
+    std::fs::write(&history, lines.join("\n")).unwrap();
+    std::fs::write(
+        &winners,
+        "topology,algorithm,p_r,r_r,winner,predicted_s\n\
+         full,SCB,12,1,SC,0.000903\nfull,SCB,12,2,BR,0.000979\n",
+    )
+    .unwrap();
+
+    let args = |out: &PathBuf| {
+        vec![
+            "--history".to_string(),
+            history.to_str().unwrap().to_string(),
+            "--winners".to_string(),
+            winners.to_str().unwrap().to_string(),
+            "--manifests".to_string(),
+            tmp("dash_no_manifests.jsonl").to_str().unwrap().to_string(),
+            "--out".to_string(),
+            out.to_str().unwrap().to_string(),
+        ]
+    };
+    let run_a = dash(&args(&out_a).iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(
+        run_a.status.success(),
+        "dash failed: {}",
+        String::from_utf8_lossy(&run_a.stderr)
+    );
+    let run_b = dash(&args(&out_b).iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(run_b.status.success());
+
+    let a = std::fs::read_to_string(&out_a).unwrap();
+    let b = std::fs::read_to_string(&out_b).unwrap();
+    assert_eq!(a, b, "same inputs must render byte-identical dashboards");
+    for needle in [
+        "Bench trend",
+        "Optimal-shape winner map",
+        "Regression triage",
+        "Optimality gap",
+        "<polyline",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?}");
+    }
+
+    for p in [&history, &winners, &out_a, &out_b] {
+        let _ = std::fs::remove_file(p);
+    }
+}

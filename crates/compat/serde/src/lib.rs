@@ -74,6 +74,14 @@ impl Value {
         }
     }
 
+    /// The value as a `u64` when this is a [`Value::Int`] in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
     /// Borrow the elements when this is a [`Value::Seq`].
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {

@@ -19,8 +19,13 @@ pub const EVENT_RS: &str = "crates/obs/src/event.rs";
 pub const METRICS_RS: &str = "crates/obs/src/metrics.rs";
 /// Bench binaries that only *read* artifacts and deliberately do not open
 /// a `BinSession` (a session would append to the manifests they analyze).
-pub const BINSESSION_ALLOWLIST: [&str; 4] =
-    ["obs_report", "perf_gate", "obs_verify", "bench_trend"];
+pub const BINSESSION_ALLOWLIST: [&str; 5] = [
+    "obs_report",
+    "perf_gate",
+    "obs_verify",
+    "bench_trend",
+    "dash",
+];
 
 /// FNV-1a 64-bit over `data`, rendered as fixed-width hex.
 pub fn fnv1a_hex(data: &str) -> String {

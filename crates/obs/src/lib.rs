@@ -53,13 +53,18 @@ pub use manifest::{
     DEFAULT_MANIFEST_CAP, MANIFEST_VERSION,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use sink::{CollectSink, FmtSink, JsonlSink, SharedBuf, Sink, SinkId};
+pub use sink::{CollectSink, FmtSink, JsonlSink, NullSink, SharedBuf, Sink, SinkId};
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-/// Fast-path gate: number of installed sinks.
+/// Fast-path gate: number of installed sinks, forced to 0 while the
+/// registry is suspended (see [`suspend_sinks`]) so [`enabled`] stays a
+/// single relaxed load.
 static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
+/// Cold-path flag consulted only by install/uninstall/resume to decide
+/// what to publish into [`SINK_COUNT`].
+static SINKS_SUSPENDED: AtomicBool = AtomicBool::new(false);
 /// Events emitted through the facade since process start.
 static EVENTS_EMITTED: AtomicU64 = AtomicU64::new(0);
 /// Span and sink id allocators.
@@ -163,14 +168,53 @@ pub fn reset_clock() {
     set_clock(Arc::new(MonotonicClock));
 }
 
+/// Publish the effective sink count: the registry length, or 0 while
+/// suspended. Callers must hold the registry write lock (or have just
+/// released it with `len` still authoritative).
+fn publish_sink_count(len: usize) {
+    let effective = if SINKS_SUSPENDED.load(Ordering::Relaxed) {
+        0
+    } else {
+        len
+    };
+    SINK_COUNT.store(effective, Ordering::Relaxed);
+}
+
 /// Install a sink; it receives every subsequent event from every thread.
 /// Returns a handle for [`uninstall_sink`].
 pub fn install_sink(sink: Arc<dyn Sink>) -> SinkId {
     let id = SinkId(NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed));
     let mut sinks = sink_registry().write().unwrap_or_else(|p| p.into_inner());
     sinks.push((id, sink));
-    SINK_COUNT.store(sinks.len(), Ordering::Relaxed);
+    publish_sink_count(sinks.len());
     id
+}
+
+/// Temporarily disable delivery to every installed sink *without*
+/// uninstalling anything: [`enabled`] flips to `false` (still one relaxed
+/// load on the hot path), so instrumented call sites skip argument
+/// construction exactly as if no sink were installed.
+///
+/// This is the disable hook the `obs_overhead` perf-gate workload toggles
+/// to A/B the same run with and without instrumentation; it is not meant
+/// for steady-state use. Returns whether delivery was previously active.
+pub fn suspend_sinks() -> bool {
+    let sinks = sink_registry().write().unwrap_or_else(|p| p.into_inner());
+    let was = !SINKS_SUSPENDED.swap(true, Ordering::Relaxed);
+    publish_sink_count(sinks.len());
+    was
+}
+
+/// Undo [`suspend_sinks`]: installed sinks receive events again.
+pub fn resume_sinks() {
+    let sinks = sink_registry().write().unwrap_or_else(|p| p.into_inner());
+    SINKS_SUSPENDED.store(false, Ordering::Relaxed);
+    publish_sink_count(sinks.len());
+}
+
+/// Is delivery currently suspended (see [`suspend_sinks`])?
+pub fn sinks_suspended() -> bool {
+    SINKS_SUSPENDED.load(Ordering::Relaxed)
 }
 
 /// Remove a previously installed sink (flushing it). Returns whether the
@@ -188,7 +232,7 @@ pub fn uninstall_sink(id: SinkId) -> bool {
                 true
             }
         });
-        SINK_COUNT.store(sinks.len(), Ordering::Relaxed);
+        publish_sink_count(sinks.len());
         debug_assert!(before >= sinks.len());
         removed_sink
     };
@@ -467,6 +511,41 @@ mod tests {
             other => panic!("unexpected events {other:?}"),
         };
         assert_eq!(start_id, end_id);
+    }
+
+    #[test]
+    fn suspend_and_resume_gate_delivery_without_uninstalling() {
+        let _guard = test_lock();
+        uninstall_all_sinks();
+        resume_sinks();
+        let sink = CollectSink::new();
+        let id = install_sink(sink.clone());
+        assert!(enabled());
+
+        assert!(suspend_sinks(), "was active before suspension");
+        assert!(sinks_suspended());
+        assert!(!enabled(), "hot-path gate reads closed while suspended");
+        message("test", "dropped while suspended");
+        // Installing while suspended must not re-open the gate.
+        let id2 = install_sink(CollectSink::new());
+        assert!(!enabled());
+        assert!(!suspend_sinks(), "double suspend reports already-off");
+
+        resume_sinks();
+        assert!(!sinks_suspended());
+        assert!(enabled());
+        message("test", "delivered after resume");
+        uninstall_sink(id);
+        uninstall_sink(id2);
+        let texts: Vec<String> = sink
+            .take()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                EventKind::Message { text, .. } => Some(text),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, ["delivered after resume"]);
     }
 
     #[test]

@@ -120,6 +120,36 @@ impl Sink for JsonlSink {
     }
 }
 
+/// Counting sink: accepts every record, stores nothing.
+///
+/// The A/B arm of the `obs_overhead` perf-gate workload: installing a
+/// `NullSink` forces the facade down its *enabled* path (argument
+/// construction, clock reads, registry walk) while excluding sink I/O, so
+/// the measured on/off wall ratio isolates the cost of instrumentation
+/// itself rather than of a particular backend.
+#[derive(Default)]
+pub struct NullSink {
+    seen: std::sync::atomic::AtomicU64,
+}
+
+impl NullSink {
+    /// A fresh counter-only sink (wrap in `Arc` to install).
+    pub fn new() -> Arc<NullSink> {
+        Arc::new(NullSink::default())
+    }
+
+    /// Records delivered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Sink for NullSink {
+    fn on_event(&self, _record: &EventRecord) {
+        self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// Test sink: collects every record in memory.
 #[derive(Default)]
 pub struct CollectSink {
@@ -227,6 +257,14 @@ mod tests {
             let back: EventRecord = serde_json::from_str(line).unwrap();
             assert_eq!(back.v, SCHEMA_VERSION);
         }
+    }
+
+    #[test]
+    fn null_sink_counts_without_storing() {
+        let sink = NullSink::new();
+        sink.on_event(&record("a"));
+        sink.on_event(&record("b"));
+        assert_eq!(sink.seen(), 2);
     }
 
     #[test]

@@ -27,6 +27,61 @@ use hetmmm_partition::{pairwise_volumes, Partition, Proc, Ratio};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// Why a measured timeline could not be calibrated into model space.
+///
+/// Every variant is a *structural* property of the input stream, not an
+/// I/O failure: a `FakeClock` that never advanced, a tiny-N partition with
+/// no cross-processor traffic, or a stream with no `ExecSegment` events at
+/// all. Callers can match on the variant; `Display` renders the
+/// human-readable note the CLI prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// The stream carried no `ExecSegment` events (schema v4).
+    NoSegments,
+    /// No worker accumulated measurable compute time, so an effective
+    /// `base_speed` cannot be estimated (zero-advance clock).
+    NoComputeSignal,
+    /// The partition has zero analytic cross-processor volume, so β would
+    /// divide by zero.
+    NoAnalyticVolume,
+    /// No worker accumulated measurable send time, so β would be zero and
+    /// every comm prediction degenerate.
+    NoSendSignal,
+    /// The measured makespan is zero; relative errors would be NaN.
+    ZeroMakespan,
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::NoSegments => write!(
+                f,
+                "uncalibratable: no ExecSegment events in the stream (schema v4, \
+                 emitted when a sink is installed during an executor run)"
+            ),
+            AuditError::NoComputeSignal => write!(
+                f,
+                "uncalibratable: no measurable compute time in any worker \
+                 (did the clock advance during the run?)"
+            ),
+            AuditError::NoAnalyticVolume => write!(
+                f,
+                "uncalibratable: partition has no cross-processor traffic to calibrate β from"
+            ),
+            AuditError::NoSendSignal => write!(
+                f,
+                "uncalibratable: no measurable send time in any worker \
+                 (did the clock advance during the run?)"
+            ),
+            AuditError::ZeroMakespan => {
+                write!(f, "uncalibratable: measured makespan is zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
 /// One model's predicted-vs-measured comparison.
 #[derive(Debug, Clone)]
 pub struct AuditRow {
@@ -73,15 +128,14 @@ pub struct Audit {
 /// Run the audit: calibrate a platform from the measured timeline, then
 /// compare every model's prediction for `part` against the measurement.
 ///
-/// Fails (with a human-readable reason) when the timeline carries no
-/// usable signal — no segments, zero measured compute time, or zero
-/// measured send time — which is what a `FakeClock` stream that never
-/// advanced looks like.
-pub fn audit(timeline: &Timeline, part: &Partition, ratio: Ratio) -> Result<Audit, String> {
+/// Fails with a typed [`AuditError`] when the timeline carries no usable
+/// signal — no segments, zero measured compute time, zero analytic
+/// volume, or zero measured send time — which is what a `FakeClock`
+/// stream that never advanced (or a tiny-N trace) looks like. The typed
+/// guard is what keeps NaN relative errors out of every consumer.
+pub fn audit(timeline: &Timeline, part: &Partition, ratio: Ratio) -> Result<Audit, AuditError> {
     if timeline.is_empty() {
-        return Err("no ExecSegment events in the stream (schema v4, \
-                    emitted when a sink is installed during an executor run)"
-            .to_string());
+        return Err(AuditError::NoSegments);
     }
     let summaries = timeline.summarize();
     let n = part.n() as u64;
@@ -105,9 +159,7 @@ pub fn audit(timeline: &Timeline, part: &Partition, ratio: Ratio) -> Result<Audi
         }
     }
     if speed_estimates.is_empty() {
-        return Err("no measurable compute time in any worker \
-                    (did the clock advance during the run?)"
-            .to_string());
+        return Err(AuditError::NoComputeSignal);
     }
     speed_estimates.sort_by(f64::total_cmp);
     let base_speed = speed_estimates[speed_estimates.len() / 2];
@@ -123,12 +175,10 @@ pub fn audit(timeline: &Timeline, part: &Partition, ratio: Ratio) -> Result<Audi
         .sum();
     let total_send_secs: f64 = summaries.values().map(|s| s.send_nanos as f64 / 1e9).sum();
     if total_elems == 0 {
-        return Err("partition has no cross-processor traffic to calibrate β from".to_string());
+        return Err(AuditError::NoAnalyticVolume);
     }
-    if total_send_secs <= 0.0 {
-        return Err("no measurable send time in any worker \
-                    (did the clock advance during the run?)"
-            .to_string());
+    if total_send_secs <= 0.0 || !total_send_secs.is_finite() {
+        return Err(AuditError::NoSendSignal);
     }
     let beta = total_send_secs / total_elems as f64;
 
@@ -140,7 +190,7 @@ pub fn audit(timeline: &Timeline, part: &Partition, ratio: Ratio) -> Result<Audi
     };
     let measured_makespan_secs = timeline.makespan_nanos() as f64 / 1e9;
     if measured_makespan_secs <= 0.0 {
-        return Err("measured makespan is zero".to_string());
+        return Err(AuditError::ZeroMakespan);
     }
 
     let measured = summaries
@@ -283,10 +333,49 @@ mod tests {
     fn audit_fails_gracefully_without_signal() {
         let part = strips(12);
         let tl = Timeline::from_events(&[]);
-        assert!(audit(&tl, &part, Ratio::new(1, 1, 1)).is_err());
+        assert_eq!(
+            audit(&tl, &part, Ratio::new(1, 1, 1)).unwrap_err(),
+            AuditError::NoSegments
+        );
         // All-zero clock: segments exist but carry no duration.
         let tl = Timeline::from_events(&[seg("P", "compute", "", 0, 0)]);
         let err = audit(&tl, &part, Ratio::new(1, 1, 1)).unwrap_err();
-        assert!(err.contains("clock"), "{err}");
+        assert_eq!(err, AuditError::NoComputeSignal);
+        assert!(err.to_string().contains("uncalibratable"), "{err}");
+        assert!(err.to_string().contains("clock"), "{err}");
+    }
+
+    #[test]
+    fn audit_zero_send_time_is_typed_not_nan() {
+        // Compute advanced but every send is zero-width (FakeClock stepped
+        // only inside compute): β would be 0/positive-volume → degenerate;
+        // the typed NoSendSignal note replaces what used to risk NaN
+        // relative errors downstream.
+        let part = strips(12);
+        let tl = Timeline::from_events(&[
+            seg("P", "compute", "", 0, 1_000_000),
+            seg("P", "send", "R", 1_000_000, 1_000_000),
+            seg("R", "compute", "", 0, 1_000_000),
+            seg("S", "compute", "", 0, 2_000_000),
+        ]);
+        assert_eq!(
+            audit(&tl, &part, Ratio::new(1, 1, 1)).unwrap_err(),
+            AuditError::NoSendSignal
+        );
+    }
+
+    #[test]
+    fn audit_zero_analytic_volume_is_typed() {
+        // A single-owner partition has no cross-processor traffic at all:
+        // the analytic pairwise volume is 0 and β cannot be calibrated.
+        let part = Partition::from_fn(6, |_, _| Proc::P);
+        let tl = Timeline::from_events(&[
+            seg("P", "compute", "", 0, 1_000_000),
+            seg("P", "send", "R", 1_000_000, 1_500_000),
+        ]);
+        assert_eq!(
+            audit(&tl, &part, Ratio::new(1, 1, 1)).unwrap_err(),
+            AuditError::NoAnalyticVolume
+        );
     }
 }

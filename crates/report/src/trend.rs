@@ -84,6 +84,94 @@ pub fn parse_history(text: &str) -> (Vec<TrendEntry>, usize) {
     (entries, skipped)
 }
 
+/// Default per-workload cap on `results/bench_history.jsonl` entries
+/// (see [`history_cap`]).
+pub const DEFAULT_HISTORY_CAP: usize = 256;
+
+/// History per-workload entry cap from `HETMMM_BENCH_HISTORY_CAP`,
+/// mirroring `HETMMM_OBS_MANIFEST_CAP` semantics exactly: unset uses
+/// [`DEFAULT_HISTORY_CAP`]; `0` or an unparsable value means unlimited.
+/// `perf_gate` passes the result to [`append_history_capped`] so the
+/// append-only store cannot grow without bound across CI cache restores.
+pub fn history_cap() -> Option<usize> {
+    match std::env::var("HETMMM_BENCH_HISTORY_CAP") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) | Err(_) => None,
+            Ok(cap) => Some(cap),
+        },
+        Err(_) => Some(DEFAULT_HISTORY_CAP),
+    }
+}
+
+/// Append one trend entry, then rotate the file so every *workload* keeps
+/// at most its newest `cap` entries (`None` = unlimited, plain append).
+///
+/// Rotation scans newest→oldest and keeps a line while any workload named
+/// in its medians still has fewer than `cap` kept entries — so a line
+/// survives as long as *some* workload needs it, and a workload that was
+/// dropped from the suite ages out naturally. Unparsable or
+/// foreign-version lines are dropped whenever a trim actually rewrites
+/// the file (they carry no workload to retain them for); when every
+/// parsed line already fits the cap the file is left byte-untouched.
+pub fn append_history_capped(
+    path: impl AsRef<std::path::Path>,
+    entry: &TrendEntry,
+    cap: Option<usize>,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    let line = serde_json::to_string(entry)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{line}")?;
+    }
+    let Some(cap) = cap else { return Ok(()) };
+    let text = std::fs::read_to_string(path)?;
+    let parsed: Vec<(usize, TrendEntry)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .filter_map(|(i, l)| {
+            serde_json::from_str::<TrendEntry>(l.trim())
+                .ok()
+                .filter(|e| e.v == TREND_VERSION)
+                .map(|e| (i, e))
+        })
+        .collect();
+    let mut kept_per_workload: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut keep_indices: Vec<usize> = Vec::new();
+    let mut trimmed = false;
+    for (i, e) in parsed.iter().rev() {
+        let needed = e
+            .medians
+            .iter()
+            .any(|(w, _)| kept_per_workload.get(w.as_str()).copied().unwrap_or(0) < cap);
+        if needed {
+            for (w, _) in &e.medians {
+                *kept_per_workload.entry(w.as_str()).or_default() += 1;
+            }
+            keep_indices.push(*i);
+        } else {
+            trimmed = true;
+        }
+    }
+    if !trimmed {
+        return Ok(());
+    }
+    keep_indices.sort_unstable();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = String::new();
+    for i in keep_indices {
+        out.push_str(lines[i].trim());
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
 /// One workload's drift verdict.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadTrend {
@@ -345,6 +433,75 @@ mod tests {
         let r = analyze(&h, 10, 1.5);
         assert!(!r.has_drift());
         assert!((r.workloads[0].ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_append_keeps_last_k_entries_per_workload() {
+        let path = std::env::temp_dir().join(format!(
+            "hetmmm_history_cap_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Ten entries for workload "w" with cap 3: only the newest three
+        // survive.
+        for i in 0..10u64 {
+            let e = TrendEntry {
+                medians: vec![("w".into(), 100 + i)],
+                ..entry_at(0, &[])
+            };
+            append_history_capped(&path, &e, Some(3)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (entries, skipped) = parse_history(&text);
+        assert_eq!(skipped, 0);
+        assert_eq!(entries.len(), 3);
+        let medians: Vec<u64> = entries.iter().map(|e| e.medians[0].1).collect();
+        assert_eq!(medians, vec![107, 108, 109], "newest three, in order");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capped_append_retains_lines_any_workload_still_needs() {
+        let path = std::env::temp_dir().join(format!(
+            "hetmmm_history_cap_mixed_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // An old entry that is the ONLY one carrying workload "rare" must
+        // survive a cap that would otherwise age it out.
+        let rare = TrendEntry {
+            medians: vec![("w".into(), 1), ("rare".into(), 9)],
+            ..entry_at(0, &[])
+        };
+        append_history_capped(&path, &rare, Some(2)).unwrap();
+        for i in 0..5u64 {
+            let e = TrendEntry {
+                medians: vec![("w".into(), 100 + i)],
+                ..entry_at(0, &[])
+            };
+            append_history_capped(&path, &e, Some(2)).unwrap();
+        }
+        let (entries, _) = parse_history(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(entries.len(), 3, "2 newest for w + the rare carrier");
+        assert!(entries[0].medians.iter().any(|(w, _)| w == "rare"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn uncapped_append_never_rewrites_foreign_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "hetmmm_history_nocap_test_{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, "not json at all\n").unwrap();
+        append_history_capped(&path, &entry_at(5, &[]), None).unwrap();
+        // Under the cap, nothing rewrites either: the foreign line stays.
+        append_history_capped(&path, &entry_at(6, &[]), Some(10)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("not json at all\n"), "{text}");
+        let (entries, skipped) = parse_history(&text);
+        assert_eq!((entries.len(), skipped), (2, 1));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Automated regression triage: from "this workload drifted" to "this
+//! span path / counter is why".
+//!
+//! The trend analyzer ([`crate::trend`]) says *which* workload got slower;
+//! a human still had to download event streams and diff profiles by hand
+//! to learn *why*. This module automates that join: given a
+//! [`TrendReport`] plus (optionally) the baseline and latest span
+//! profiles of the drifted workload, it diffs self-time per span path,
+//! pulls the exact-counter deltas the trend entry already carries, ranks
+//! the suspects, and renders a [`TriageReport`] as text and JSON — so CI
+//! can print "push.clean self-nanos under dfa.run grew 2.1x, counters
+//! unchanged" straight into the PR summary.
+//!
+//! Ranking rules (documented in DESIGN.md §13):
+//!
+//! 1. span suspects are ranked by **absolute self-time delta** (latest −
+//!    baseline), descending — a small leaf that doubled matters less than
+//!    a big leaf that grew 20%;
+//! 2. ties break on path, ascending, so output is deterministic;
+//! 3. paths present on only one side still rank (they *appeared* or
+//!    *vanished* — both are suspects after a behavioral change);
+//! 4. counter deltas come from the trend entries' exact counters and are
+//!    reported verbatim: any change is behavioral, not noise.
+//!
+//! Without profiles the report degrades gracefully to counters-only mode
+//! and says so — it never fabricates a span verdict.
+
+use crate::profile::{SpanNode, SpanProfile};
+use crate::trend::TrendReport;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version of the JSON triage report.
+pub const TRIAGE_VERSION: u32 = 1;
+
+/// Span suspects kept per drifted workload (ranked, rest dropped).
+pub const MAX_SPAN_SUSPECTS: usize = 8;
+
+/// One span path whose self time moved between baseline and latest.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct SpanSuspect {
+    /// `;`-joined span path (folded-stack convention), e.g.
+    /// `dfa.run;push.apply;push.clean`.
+    pub path: String,
+    /// Self nanoseconds in the baseline profile (0 when absent).
+    pub baseline_self_nanos: u64,
+    /// Self nanoseconds in the latest profile (0 when absent).
+    pub latest_self_nanos: u64,
+    /// `latest − baseline`, the ranking key (absolute value).
+    pub delta_nanos: i64,
+    /// `latest / baseline` rounded to 2 decimals; 0.0 when the baseline
+    /// had no self time (the path *appeared* — see `delta_nanos`).
+    pub growth: f64,
+}
+
+impl SpanSuspect {
+    /// One human-readable clause: leaf name, parent context, and how the
+    /// self time moved.
+    pub fn describe(&self) -> String {
+        let (root, leaf) = match (self.path.split(';').next(), self.path.rsplit(';').next()) {
+            (Some(root), Some(leaf)) => (root, leaf),
+            _ => (self.path.as_str(), self.path.as_str()),
+        };
+        let context = if root == leaf {
+            String::new()
+        } else {
+            format!(" under {root}")
+        };
+        if self.baseline_self_nanos == 0 {
+            format!(
+                "{leaf} self-nanos{context} appeared (0 -> {} ns)",
+                self.latest_self_nanos
+            )
+        } else if self.latest_self_nanos == 0 {
+            format!(
+                "{leaf} self-nanos{context} vanished ({} -> 0 ns)",
+                self.baseline_self_nanos
+            )
+        } else if self.delta_nanos >= 0 {
+            format!("{leaf} self-nanos{context} grew {:.1}x", self.growth)
+        } else {
+            format!("{leaf} self-nanos{context} shrank to {:.1}x", self.growth)
+        }
+    }
+}
+
+/// One counter whose exact value changed between the previous and latest
+/// trend entries.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct CounterSuspect {
+    /// Counter name.
+    pub counter: String,
+    /// Previous value (absent when the counter is new).
+    pub previous: Option<u64>,
+    /// Latest value (absent when the counter vanished).
+    pub latest: Option<u64>,
+}
+
+/// The triage verdict for one drifted workload.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct WorkloadTriage {
+    /// Workload name.
+    pub workload: String,
+    /// Reference (median-of-predecessors) wall nanoseconds.
+    pub reference_nanos: u64,
+    /// Latest wall nanoseconds.
+    pub latest_nanos: u64,
+    /// `latest / reference`, rounded to 2 decimals.
+    pub ratio: f64,
+    /// Ranked span suspects (empty in counters-only mode).
+    pub spans: Vec<SpanSuspect>,
+    /// Exact counter changes (empty means behavior looks unchanged).
+    pub counters: Vec<CounterSuspect>,
+    /// One-line explanation, e.g. `push.clean self-nanos under dfa.run
+    /// grew 2.1x, counters unchanged`.
+    pub verdict: String,
+}
+
+/// The full triage output: text for humans, JSON for CI.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct TriageReport {
+    /// Always [`TRIAGE_VERSION`].
+    pub v: u32,
+    /// Did any workload drift at all?
+    pub drift: bool,
+    /// Were span profiles available to diff?
+    pub profiled: bool,
+    /// Workloads that did *not* drift (count only; names stay in the
+    /// trend report).
+    pub clean_workloads: u64,
+    /// Per-drifted-workload verdicts, in trend-report (name) order.
+    pub workloads: Vec<WorkloadTriage>,
+    /// The single headline CI prints: the worst workload's verdict, or an
+    /// all-clear.
+    pub headline: String,
+}
+
+impl TriageReport {
+    /// Serialize to one JSON line (schema-versioned).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| format!("{{\"v\":{TRIAGE_VERSION}}}"))
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== triage ==");
+        let _ = writeln!(out, "{}", self.headline);
+        for w in &self.workloads {
+            let _ = writeln!(
+                out,
+                "  {}: {} -> {} ns ({:.2}x)",
+                w.workload, w.reference_nanos, w.latest_nanos, w.ratio
+            );
+            for s in &w.spans {
+                let _ = writeln!(
+                    out,
+                    "    span {}: {} -> {} self ns (delta {:+})",
+                    s.path, s.baseline_self_nanos, s.latest_self_nanos, s.delta_nanos
+                );
+            }
+            for c in &w.counters {
+                let _ = writeln!(
+                    out,
+                    "    counter {} changed {:?} -> {:?}",
+                    c.counter, c.previous, c.latest
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Flatten a span profile to `path -> self_nanos` with `;`-joined paths
+/// (the folded-stack convention shared with [`SpanProfile::folded`]).
+pub fn flatten_self_nanos(profile: &SpanProfile) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    fn walk(out: &mut BTreeMap<String, u64>, nodes: &BTreeMap<String, SpanNode>, prefix: &str) {
+        for (name, node) in nodes {
+            let path = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix};{name}")
+            };
+            out.insert(path.clone(), node.self_nanos());
+            walk(out, &node.children, &path);
+        }
+    }
+    walk(&mut out, &profile.roots, "");
+    out
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Rank span suspects between two flattened profiles: absolute delta
+/// descending, then path ascending; zero-delta paths are dropped.
+fn rank_spans(
+    baseline: &BTreeMap<String, u64>,
+    latest: &BTreeMap<String, u64>,
+) -> Vec<SpanSuspect> {
+    let mut suspects = Vec::new();
+    let paths: std::collections::BTreeSet<&String> = baseline.keys().chain(latest.keys()).collect();
+    for path in paths {
+        let b = baseline.get(path).copied().unwrap_or(0);
+        let l = latest.get(path).copied().unwrap_or(0);
+        if b == l {
+            continue;
+        }
+        let delta = l as i64 - b as i64;
+        let growth = if b > 0 {
+            round2(l as f64 / b as f64)
+        } else {
+            0.0
+        };
+        suspects.push(SpanSuspect {
+            path: path.clone(),
+            baseline_self_nanos: b,
+            latest_self_nanos: l,
+            delta_nanos: delta,
+            growth,
+        });
+    }
+    suspects.sort_by(|a, b| {
+        b.delta_nanos
+            .abs()
+            .cmp(&a.delta_nanos.abs())
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    suspects.truncate(MAX_SPAN_SUSPECTS);
+    suspects
+}
+
+/// Join a trend report against optional baseline/latest span profiles and
+/// produce the ranked triage verdict.
+///
+/// The profiles describe the drifted workload's event streams (one
+/// seeded run each at the baseline and latest revisions). When several
+/// workloads drifted, the same profile pair is applied to each — callers
+/// with per-workload streams can call `triage` once per workload with a
+/// filtered [`TrendReport`].
+pub fn triage(
+    trend: &TrendReport,
+    baseline: Option<&SpanProfile>,
+    latest: Option<&SpanProfile>,
+) -> TriageReport {
+    let profiled = baseline.is_some() && latest.is_some();
+    let spans = if let (Some(b), Some(l)) = (baseline, latest) {
+        rank_spans(&flatten_self_nanos(b), &flatten_self_nanos(l))
+    } else {
+        Vec::new()
+    };
+
+    let mut report = TriageReport {
+        v: TRIAGE_VERSION,
+        drift: trend.has_drift(),
+        profiled,
+        clean_workloads: trend.workloads.iter().filter(|w| !w.drifted).count() as u64,
+        ..TriageReport::default()
+    };
+
+    for w in trend.workloads.iter().filter(|w| w.drifted) {
+        let counters: Vec<CounterSuspect> = w
+            .counter_deltas
+            .iter()
+            .map(|(counter, previous, latest)| CounterSuspect {
+                counter: counter.clone(),
+                previous: *previous,
+                latest: *latest,
+            })
+            .collect();
+        let counters_clause = match counters.len() {
+            0 => "counters unchanged".to_string(),
+            1 => format!("counter {} changed", counters[0].counter),
+            n => format!("{n} counters changed"),
+        };
+        let verdict = match spans.first() {
+            Some(top) => format!("{}, {}", top.describe(), counters_clause),
+            None if profiled => format!("no span self-time moved, {counters_clause}"),
+            None => format!("no span profiles supplied, {counters_clause}"),
+        };
+        report.workloads.push(WorkloadTriage {
+            workload: w.name.clone(),
+            reference_nanos: w.reference_nanos,
+            latest_nanos: w.latest_nanos,
+            ratio: round2(w.ratio),
+            spans: spans.clone(),
+            counters,
+            verdict,
+        });
+    }
+
+    report.headline = if trend.insufficient_history {
+        "triage: insufficient history — nothing to compare yet".to_string()
+    } else {
+        match report.workloads.iter().max_by(|a, b| {
+            a.ratio
+                .partial_cmp(&b.ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) {
+            Some(worst) => format!(
+                "triage: {} is {:.2}x slower — {}",
+                worst.workload, worst.ratio, worst.verdict
+            ),
+            None => format!(
+                "triage: no drift across {} workload{}",
+                report.clean_workloads,
+                if report.clean_workloads == 1 { "" } else { "s" }
+            ),
+        }
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trend::{analyze, TrendEntry, TREND_VERSION};
+    use hetmmm_obs::{EventKind, EventRecord, SCHEMA_VERSION};
+
+    fn entry(median: u64, counters: &[(&str, u64)]) -> TrendEntry {
+        TrendEntry {
+            v: TREND_VERSION,
+            git_rev: "r".into(),
+            unix_secs: 0,
+            k: 3,
+            medians: vec![("w".into(), median)],
+            counters: counters
+                .iter()
+                .map(|(c, v)| ("w".to_string(), c.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    fn start(span: u64, name: &str) -> EventRecord {
+        EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 0,
+            event: EventKind::SpanStart {
+                span,
+                name: name.into(),
+                arg: 0,
+                tid: 1,
+            },
+        }
+    }
+
+    fn end(span: u64, name: &str, nanos: u64) -> EventRecord {
+        EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: 0,
+            event: EventKind::SpanEnd {
+                span,
+                name: name.into(),
+                nanos,
+                tid: 1,
+            },
+        }
+    }
+
+    /// dfa.run { push.apply { push.clean } } with a chosen self time for
+    /// push.clean.
+    fn profile_with_clean(clean_nanos: u64) -> SpanProfile {
+        SpanProfile::from_events(&[
+            start(1, "dfa.run"),
+            start(2, "push.apply"),
+            start(3, "push.clean"),
+            end(3, "push.clean", clean_nanos),
+            end(2, "push.apply", clean_nanos + 10),
+            end(1, "dfa.run", clean_nanos + 30),
+        ])
+    }
+
+    #[test]
+    fn injected_slowdown_names_the_right_span_path() {
+        // Baseline: push.clean self = 100. Latest: 210 (2.1x).
+        let baseline = profile_with_clean(100);
+        let latest = profile_with_clean(210);
+        let trend = analyze(
+            &[entry(100, &[("pushes", 7)]), entry(200, &[("pushes", 7)])],
+            10,
+            1.5,
+        );
+        assert!(trend.has_drift());
+        let report = triage(&trend, Some(&baseline), Some(&latest));
+        assert!(report.drift);
+        assert!(report.profiled);
+        let w = &report.workloads[0];
+        assert_eq!(w.workload, "w");
+        let top = &w.spans[0];
+        assert_eq!(top.path, "dfa.run;push.apply;push.clean");
+        assert_eq!(top.baseline_self_nanos, 100);
+        assert_eq!(top.latest_self_nanos, 210);
+        assert!((top.growth - 2.1).abs() < 1e-9, "{}", top.growth);
+        assert!(
+            w.verdict
+                .contains("push.clean self-nanos under dfa.run grew 2.1x"),
+            "{}",
+            w.verdict
+        );
+        assert!(w.verdict.contains("counters unchanged"), "{}", w.verdict);
+        assert!(
+            report.headline.contains("2.00x slower"),
+            "{}",
+            report.headline
+        );
+    }
+
+    #[test]
+    fn counter_changes_surface_in_the_verdict() {
+        let trend = analyze(
+            &[entry(100, &[("pushes", 7)]), entry(200, &[("pushes", 9)])],
+            10,
+            1.5,
+        );
+        let report = triage(&trend, None, None);
+        let w = &report.workloads[0];
+        assert_eq!(w.counters.len(), 1);
+        assert_eq!(w.counters[0].counter, "pushes");
+        assert_eq!(
+            (w.counters[0].previous, w.counters[0].latest),
+            (Some(7), Some(9))
+        );
+        assert!(
+            w.verdict.contains("no span profiles supplied"),
+            "{}",
+            w.verdict
+        );
+        assert!(
+            w.verdict.contains("counter pushes changed"),
+            "{}",
+            w.verdict
+        );
+    }
+
+    #[test]
+    fn no_drift_is_an_all_clear() {
+        let trend = analyze(&[entry(100, &[]), entry(101, &[])], 10, 1.5);
+        let report = triage(&trend, None, None);
+        assert!(!report.drift);
+        assert!(report.workloads.is_empty());
+        assert_eq!(report.clean_workloads, 1);
+        assert!(report.headline.contains("no drift"), "{}", report.headline);
+    }
+
+    #[test]
+    fn appeared_and_vanished_paths_still_rank() {
+        let baseline = SpanProfile::from_events(&[start(1, "old"), end(1, "old", 50)]);
+        let latest = SpanProfile::from_events(&[start(1, "new"), end(1, "new", 500)]);
+        let suspects = rank_spans(&flatten_self_nanos(&baseline), &flatten_self_nanos(&latest));
+        assert_eq!(suspects.len(), 2);
+        assert_eq!(suspects[0].path, "new");
+        assert_eq!(suspects[0].growth, 0.0, "appeared path has no growth ratio");
+        assert!(
+            suspects[0].describe().contains("appeared"),
+            "{}",
+            suspects[0].describe()
+        );
+        assert_eq!(suspects[1].path, "old");
+        assert!(
+            suspects[1].describe().contains("vanished"),
+            "{}",
+            suspects[1].describe()
+        );
+    }
+
+    #[test]
+    fn json_round_trips_and_text_is_deterministic() {
+        let trend = analyze(&[entry(100, &[]), entry(200, &[])], 10, 1.5);
+        let baseline = profile_with_clean(100);
+        let latest = profile_with_clean(300);
+        let a = triage(&trend, Some(&baseline), Some(&latest));
+        let b = triage(&trend, Some(&baseline), Some(&latest));
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.render_text(), b.render_text());
+        let v: serde_json::Value = serde_json::from_str(&a.to_json()).expect("valid json");
+        assert!(v.get("headline").is_some());
+        assert!(a.render_text().contains("== triage =="));
+    }
+}

@@ -1,7 +1,171 @@
-//! CLI test for `obs_verify`: a missing/empty manifest log is a fresh
-//! checkout, not a CI failure.
+//! CLI tests for `obs_verify`: manifest tolerance, the lenient-skip exit
+//! codes (1 = violation, 3 = nothing parsed), and the `--hb`
+//! happens-before protocol check.
 
+use hetmmm_obs::{EventKind, EventRecord, SCHEMA_VERSION};
+use std::path::PathBuf;
 use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hetmmm_obs_verify_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn jsonl(events: &[EventKind]) -> String {
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let rec = EventRecord {
+                v: SCHEMA_VERSION,
+                ts_nanos: i as u64,
+                event: e.clone(),
+            };
+            format!("{}\n", serde_json::to_string(&rec).unwrap())
+        })
+        .collect()
+}
+
+fn exec_run_span() -> EventKind {
+    EventKind::SpanStart {
+        span: 1,
+        name: "exec.run".into(),
+        arg: 8,
+        tid: 0,
+    }
+}
+
+#[test]
+fn nothing_parsed_exits_three_not_one() {
+    let dir = scratch("allskip");
+    let file = dir.join("not_events.jsonl");
+    // Lines, but none of them event records — e.g. a chaos *schedule* log
+    // passed where the event stream was expected.
+    std::fs::write(&file, "{\"schedule\":1}\nnot json either\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_verify"))
+        .args(["--file", file.to_str().unwrap()])
+        .output()
+        .expect("spawn obs_verify");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "all-skipped file needs the distinct exit: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("none parsed"), "{stderr}");
+    // Same distinct exit through --hb.
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_verify"))
+        .args(["--hb", file.to_str().unwrap()])
+        .output()
+        .expect("spawn obs_verify");
+    assert_eq!(out.status.code(), Some(3));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_skip_fails_citing_the_line() {
+    let dir = scratch("partial");
+    let file = dir.join("events.jsonl");
+    let mut text = jsonl(&[EventKind::Message {
+        target: "t".into(),
+        text: "x".into(),
+    }]);
+    text.push_str("garbage line\n");
+    std::fs::write(&file, text).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_verify"))
+        .args(["--file", file.to_str().unwrap()])
+        .output()
+        .expect("spawn obs_verify");
+    assert_eq!(out.status.code(), Some(1), "a skipped line fails the gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 2"),
+        "first skip line must be cited: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hb_clean_exchange_passes() {
+    let dir = scratch("hbok");
+    let file = dir.join("events.jsonl");
+    std::fs::write(
+        &file,
+        jsonl(&[
+            exec_run_span(),
+            EventKind::ExecSend {
+                from: "R".into(),
+                to: "S".into(),
+                step: 0,
+                elems: 7,
+            },
+            EventKind::ExecRecv {
+                from: "R".into(),
+                to: "S".into(),
+                step: 0,
+                elems: 7,
+                wait_nanos: 3,
+            },
+            EventKind::ExecCheckpoint {
+                worker: "S".into(),
+                through: 1,
+                cells: 4,
+            },
+        ]),
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_verify"))
+        .args(["--hb", file.to_str().unwrap()])
+        .output()
+        .expect("spawn obs_verify");
+    assert!(
+        out.status.success(),
+        "clean stream must pass --hb: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("HB OK"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hb_blame_before_retry_fails_with_h003_and_exact_line() {
+    let dir = scratch("hbh003");
+    let file = dir.join("events.jsonl");
+    // A supervisor that convicts on a bare timeout without burning a
+    // backoff re-attempt: H003, anchored at the blame's own line (3).
+    std::fs::write(
+        &file,
+        jsonl(&[
+            exec_run_span(),
+            EventKind::ExecPeerLost {
+                worker: "R".into(),
+                peer: "S".into(),
+                step: 2,
+                detail: "receive timed out".into(),
+            },
+            EventKind::ExecBlame {
+                dead: "S".into(),
+                weights: vec![0, 3, 0],
+            },
+        ]),
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_verify"))
+        .args(["--hb", file.to_str().unwrap()])
+        .output()
+        .expect("spawn obs_verify");
+    assert_eq!(out.status.code(), Some(1), "H003 stream must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("H003"), "{stdout}");
+    assert!(
+        stdout.contains(":3:"),
+        "the offending blame line must be cited: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
 
 #[test]
 fn missing_manifest_file_exits_zero_with_message() {

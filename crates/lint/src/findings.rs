@@ -104,13 +104,7 @@ pub fn apply_suppressions(
     suppressions: &[Suppression],
     path: &str,
 ) -> usize {
-    let before = findings.len();
-    findings.retain(|f| {
-        !suppressions.iter().any(|s| {
-            s.has_reason && s.rules.contains(&f.rule) && (s.line == f.line || s.line + 1 == f.line)
-        })
-    });
-    let suppressed = before - findings.len();
+    let suppressed = suppress_matching(findings, suppressions);
     for s in suppressions {
         if !s.has_reason {
             findings.push(Finding::new(
@@ -125,6 +119,21 @@ pub fn apply_suppressions(
         }
     }
     suppressed
+}
+
+/// Remove findings covered by `suppressions` and return how many were
+/// removed — [`apply_suppressions`] without the L000 side effect, for
+/// applying a file's suppressions a second time to late cross-file
+/// findings anchored at that file (the L000s were already emitted in the
+/// main per-file pass).
+pub fn suppress_matching(findings: &mut Vec<Finding>, suppressions: &[Suppression]) -> usize {
+    let before = findings.len();
+    findings.retain(|f| {
+        !suppressions.iter().any(|s| {
+            s.has_reason && s.rules.contains(&f.rule) && (s.line == f.line || s.line + 1 == f.line)
+        })
+    });
+    before - findings.len()
 }
 
 /// Render findings as `path:line: rule message`, one per line, sorted.

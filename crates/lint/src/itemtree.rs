@@ -1,0 +1,845 @@
+//! AST-lite item tree: brace-matched structure over the token stream.
+//!
+//! The per-file rules (L001–L005) match flat token patterns; the semantic
+//! rules added in this layer (L020–L023) need *structure*: which enum
+//! variants exist, which `match` arms name them, whether a call site sits
+//! inside a retry loop, whether `HetmmmError::X { … }` is a construction
+//! or a pattern. This module builds just enough of that structure from
+//! the existing lexer — items (modules, fns, impls, enums, use paths),
+//! match expressions with their arms, pattern exclusion zones, and loop
+//! blocks — with no external parser.
+//!
+//! The parse is forgiving by design: anything it cannot shape is skipped,
+//! never an error. `rustc` is the authority on malformed source; the item
+//! tree only has to be right about code that compiles.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a tree node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` or `mod name;`
+    Mod,
+    /// `fn name(…) { … }` (including `const fn` / `async fn` / trait fns)
+    Fn,
+    /// `impl … { … }`
+    Impl,
+    /// `struct Name …`
+    Struct,
+    /// `enum Name { … }`
+    Enum,
+    /// `trait Name { … }`
+    Trait,
+    /// `use path::to::thing;`
+    Use,
+    /// `const NAME: T = …;`
+    Const,
+    /// `static NAME: T = …;`
+    Static,
+    /// `type Name = …;`
+    TypeAlias,
+}
+
+/// One item with its location and (token-index) body extent.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name; rendered path for `use`, impl target path for `impl`.
+    pub name: String,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// Token-index range `(open, close)` of the `{ … }` body, when any.
+    pub body: Option<(usize, usize)>,
+    /// Nested items (populated for `mod name { … }` bodies).
+    pub children: Vec<Item>,
+}
+
+/// The item tree of one file.
+#[derive(Clone, Debug, Default)]
+pub struct ItemTree {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl ItemTree {
+    /// Parse the top-level items of a token stream.
+    pub fn parse(toks: &[Tok]) -> ItemTree {
+        ItemTree {
+            items: parse_items(toks, 0, toks.len()),
+        }
+    }
+
+    /// Depth-first iterator over every item, nested ones included.
+    pub fn walk(&self) -> Vec<&Item> {
+        let mut out = Vec::new();
+        fn rec<'a>(items: &'a [Item], out: &mut Vec<&'a Item>) {
+            for item in items {
+                out.push(item);
+                rec(&item.children, out);
+            }
+        }
+        rec(&self.items, &mut out);
+        out
+    }
+
+    /// Every `use` path in the tree, with its line.
+    pub fn use_paths(&self) -> Vec<(String, u32)> {
+        self.walk()
+            .into_iter()
+            .filter(|i| i.kind == ItemKind::Use)
+            .map(|i| (i.name.clone(), i.line))
+            .collect()
+    }
+}
+
+/// Item keywords the parser recognizes (after visibility/modifiers).
+fn item_kind(text: &str) -> Option<ItemKind> {
+    Some(match text {
+        "mod" => ItemKind::Mod,
+        "fn" => ItemKind::Fn,
+        "impl" => ItemKind::Impl,
+        "struct" => ItemKind::Struct,
+        "enum" => ItemKind::Enum,
+        "trait" => ItemKind::Trait,
+        "use" => ItemKind::Use,
+        "static" => ItemKind::Static,
+        "type" => ItemKind::TypeAlias,
+        _ => return None,
+    })
+}
+
+fn parse_items(toks: &[Tok], from: usize, to: usize) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = from;
+    while i < to {
+        let t = &toks[i];
+        // Attributes (outer and inner): skip the bracket group.
+        if t.is_punct('#') {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                i = skip_group(toks, j, '[', ']').min(to) + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Visibility and modifiers before the item keyword.
+        if t.is_ident("pub") {
+            i += 1;
+            if toks.get(i).is_some_and(|t| t.is_punct('(')) {
+                i = skip_group(toks, i, '(', ')').min(to) + 1;
+            }
+            continue;
+        }
+        if t.is_ident("unsafe") || t.is_ident("async") || t.is_ident("default") {
+            i += 1;
+            continue;
+        }
+        if t.is_ident("extern") {
+            // `extern "C" fn` modifier or `extern crate x;` item.
+            if toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Str) {
+                i += 2;
+            } else {
+                i = stmt_end(toks, i + 1, to) + 1;
+            }
+            continue;
+        }
+        if t.is_ident("const") {
+            // `const fn` is a fn; `const NAME: T = …;` is a const item.
+            if toks.get(i + 1).is_some_and(|t| t.is_ident("fn")) {
+                i += 1;
+                continue;
+            }
+            let name = toks
+                .get(i + 1)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            let end = stmt_end(toks, i + 1, to);
+            items.push(Item {
+                kind: ItemKind::Const,
+                name,
+                line: t.line,
+                body: None,
+                children: Vec::new(),
+            });
+            i = end + 1;
+            continue;
+        }
+        if let (TokKind::Ident, Some(kind)) = (t.kind, item_kind(&t.text)) {
+            let (item, next) = parse_item(toks, i, to, kind);
+            items.push(item);
+            i = next;
+            continue;
+        }
+        // Anything else at item position (macro invocation, stray token):
+        // advance one token; brace groups are skipped wholesale so their
+        // contents cannot masquerade as items.
+        if t.is_punct('{') {
+            i = skip_group(toks, i, '{', '}').min(to) + 1;
+        } else {
+            i += 1;
+        }
+    }
+    items
+}
+
+fn parse_item(toks: &[Tok], kw: usize, to: usize, kind: ItemKind) -> (Item, usize) {
+    let line = toks[kw].line;
+    let name = match kind {
+        ItemKind::Impl => render_path(toks, kw + 1, to),
+        ItemKind::Use => render_path(toks, kw + 1, to),
+        _ => toks
+            .get(kw + 1)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default(),
+    };
+    // Find the body `{` (at paren/bracket depth 0) or the terminating `;`.
+    let mut j = kw + 1;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut body = None;
+    while j < to {
+        let t = &toks[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('{') {
+                body = Some((j, skip_group(toks, j, '{', '}').min(to.saturating_sub(1))));
+                break;
+            }
+        }
+        j += 1;
+    }
+    let children = match (kind, body) {
+        (ItemKind::Mod, Some((open, close))) => parse_items(toks, open + 1, close),
+        _ => Vec::new(),
+    };
+    let next = match body {
+        Some((_, close)) => close + 1,
+        None => j + 1,
+    };
+    (
+        Item {
+            kind,
+            name,
+            line,
+            body,
+            children,
+        },
+        next,
+    )
+}
+
+/// Render the tokens of a path-ish header (`use` target, `impl` subject)
+/// up to `{`, `;`, or `for`/`where`, as a compact string.
+fn render_path(toks: &[Tok], from: usize, to: usize) -> String {
+    let mut out = String::new();
+    for t in toks.iter().take(to).skip(from) {
+        if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") || t.is_ident("for") {
+            break;
+        }
+        match t.kind {
+            TokKind::Ident | TokKind::Num => {
+                if out.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+                    out.push(' ');
+                }
+                out.push_str(&t.text);
+            }
+            TokKind::Punct => out.push_str(&t.text),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Index of the closing delimiter matching the opener at `open`.
+fn skip_group(toks: &[Tok], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// First `;` at delimiter depth 0 from `from` (or `to - 1`).
+fn stmt_end(toks: &[Tok], from: usize, to: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(to).skip(from) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(';') {
+            return j;
+        }
+    }
+    to.saturating_sub(1)
+}
+
+/// One arm of a `match` expression.
+#[derive(Clone, Debug)]
+pub struct Arm {
+    /// Token-index range of the pattern (guard included), inclusive start,
+    /// exclusive end (the `=>`).
+    pub pat: (usize, usize),
+    /// Token-index range of the arm body, inclusive start, inclusive end.
+    pub body: (usize, usize),
+    /// 1-based line of the pattern's first token.
+    pub line: u32,
+}
+
+/// One `match` expression with its arms.
+#[derive(Clone, Debug)]
+pub struct MatchExpr {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// The arms, in source order.
+    pub arms: Vec<Arm>,
+}
+
+/// Every `match` expression in the token stream (nested ones included —
+/// each is parsed from its own `match` keyword independently).
+pub fn match_exprs(toks: &[Tok]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("match") || toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            continue;
+        }
+        // A method/field named `match` is impossible (`r#match` keeps its
+        // prefix), but `.match` after a macro edge-case is cheap to skip.
+        if i > 0 && toks[i - 1].is_punct('.') {
+            continue;
+        }
+        // Body `{` at paren/bracket depth 0: struct literals are forbidden
+        // in scrutinee position, so the first top-level brace is the body.
+        let mut j = i + 1;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if paren == 0 && bracket == 0 {
+                if t.is_punct('{') {
+                    open = Some(j);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = skip_group(toks, open, '{', '}');
+        out.push(MatchExpr {
+            line: t.line,
+            arms: parse_arms(toks, open + 1, close),
+        });
+    }
+    out
+}
+
+fn parse_arms(toks: &[Tok], from: usize, to: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = from;
+    while i < to {
+        // Skip leading commas and attributes between arms.
+        if toks[i].is_punct(',') {
+            i += 1;
+            continue;
+        }
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i = skip_group(toks, i + 1, '[', ']') + 1;
+            continue;
+        }
+        let pat_start = i;
+        // Find the `=>` at depth 0 relative to the arm.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut j = i;
+        while j < to {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('=')
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                arrow = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let body_start = arrow + 2;
+        if body_start >= to {
+            break;
+        }
+        // Arm body: a block ends at its matching brace; an expression ends
+        // at the first `,` at depth 0 (or the match's closing brace).
+        let body_end = if toks[body_start].is_punct('{') {
+            skip_group(toks, body_start, '{', '}').min(to.saturating_sub(1))
+        } else {
+            let mut depth = 0i32;
+            let mut k = body_start;
+            let mut end = to.saturating_sub(1);
+            while k < to {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    end = k.saturating_sub(1);
+                    break;
+                }
+                k += 1;
+            }
+            end.min(to.saturating_sub(1))
+        };
+        arms.push(Arm {
+            pat: (pat_start, arrow),
+            body: (body_start, body_end),
+            line: toks[pat_start].line,
+        });
+        i = body_end + 1;
+    }
+    arms
+}
+
+/// Per-token flag: is this token in *pattern position* — inside a match
+/// arm's pattern (guard included), a `let`/`if let`/`while let` pattern,
+/// or a `for` loop pattern? Used to tell constructions (`Error::X { … }`
+/// as an expression) from destructurings (the same tokens as a pattern).
+pub fn pattern_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    for m in match_exprs(toks) {
+        for arm in &m.arms {
+            for flag in mask.iter_mut().take(arm.pat.1).skip(arm.pat.0) {
+                *flag = true;
+            }
+        }
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("let") {
+            // Pattern runs to the `=` (binding) or `;`/`{` at depth 0.
+            let mut depth = 0i32;
+            for (j, n) in toks.iter().enumerate().skip(i + 1) {
+                if n.is_punct('(') || n.is_punct('[') || n.is_punct('{') {
+                    // A struct-pattern brace (`let E::A { x } = …`) always
+                    // follows a path ident; any other depth-0 brace means
+                    // we overran into a block (malformed) — stop.
+                    if n.is_punct('{')
+                        && depth == 0
+                        && !toks
+                            .get(j.wrapping_sub(1))
+                            .is_some_and(|p| matches!(p.kind, TokKind::Ident) && !p.is_ident("let"))
+                    {
+                        break;
+                    }
+                    depth += 1;
+                } else if n.is_punct(')') || n.is_punct(']') || n.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if depth == 0 {
+                    if n.is_punct('=') && !toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                        for flag in mask.iter_mut().take(j).skip(i + 1) {
+                            *flag = true;
+                        }
+                        break;
+                    }
+                    if n.is_punct(';') {
+                        for flag in mask.iter_mut().take(j).skip(i + 1) {
+                            *flag = true;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if t.is_ident("for") {
+            // `for PAT in …` — but not `impl Trait for Type`. A loop has
+            // an `in` at depth 0 before any `{`.
+            let mut depth = 0i32;
+            for (j, n) in toks.iter().enumerate().skip(i + 1) {
+                if n.is_punct('(') || n.is_punct('[') {
+                    depth += 1;
+                } else if n.is_punct(')') || n.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 {
+                    if n.is_ident("in") {
+                        for flag in mask.iter_mut().take(j).skip(i + 1) {
+                            *flag = true;
+                        }
+                        break;
+                    }
+                    if n.is_punct('{') || n.is_punct(';') {
+                        break;
+                    }
+                }
+                if j > i + 64 {
+                    break; // not a loop header
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// What kind of loop a [`LoopBlock`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `loop { … }`
+    Loop,
+    /// `while cond { … }` / `while let … { … }`
+    While,
+    /// `for pat in iter { … }`
+    For,
+}
+
+/// One loop with its body extent and, for `for` loops with a simple
+/// variable pattern, the loop variable.
+#[derive(Clone, Debug)]
+pub struct LoopBlock {
+    /// Loop flavor.
+    pub kind: LoopKind,
+    /// The loop variable of `for var in …`, when the pattern is one ident.
+    pub var: Option<String>,
+    /// Token-index range `(open, close)` of the `{ … }` body.
+    pub body: (usize, usize),
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+}
+
+/// Every loop block in the token stream (nested included).
+pub fn loop_blocks(toks: &[Tok]) -> Vec<LoopBlock> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let kind = if t.is_ident("loop") {
+            LoopKind::Loop
+        } else if t.is_ident("while") {
+            LoopKind::While
+        } else if t.is_ident("for") {
+            LoopKind::For
+        } else {
+            continue;
+        };
+        let mut var = None;
+        let mut open = None;
+        match kind {
+            LoopKind::Loop => {
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('{')) {
+                    open = Some(i + 1);
+                }
+            }
+            LoopKind::While => {
+                // Condition has no top-level `{` (struct literals are
+                // forbidden there), so the first depth-0 brace is the body.
+                let mut depth = 0i32;
+                for (j, n) in toks.iter().enumerate().skip(i + 1) {
+                    if n.is_punct('(') || n.is_punct('[') {
+                        depth += 1;
+                    } else if n.is_punct(')') || n.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 {
+                        if n.is_punct('{') {
+                            open = Some(j);
+                            break;
+                        }
+                        if n.is_punct(';') {
+                            break;
+                        }
+                    }
+                }
+            }
+            LoopKind::For => {
+                // Require an `in` at depth 0 before the body brace —
+                // otherwise this is `impl Trait for Type`.
+                if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+                    && toks.get(i + 2).is_some_and(|n| n.is_ident("in"))
+                {
+                    var = Some(toks[i + 1].text.clone());
+                }
+                let mut depth = 0i32;
+                let mut saw_in = false;
+                for (j, n) in toks.iter().enumerate().skip(i + 1) {
+                    if n.is_punct('(') || n.is_punct('[') {
+                        depth += 1;
+                    } else if n.is_punct(')') || n.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 {
+                        if n.is_ident("in") {
+                            saw_in = true;
+                        } else if n.is_punct('{') {
+                            if saw_in {
+                                open = Some(j);
+                            }
+                            break;
+                        } else if n.is_punct(';') {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let Some(open) = open else { continue };
+        out.push(LoopBlock {
+            kind,
+            var,
+            body: (open, skip_group(toks, open, '{', '}')),
+            line: t.line,
+        });
+    }
+    out
+}
+
+/// The variants of `enum name { … }`: `(variant_name, line)` pairs.
+/// Returns `None` when no such enum exists in the stream.
+pub fn enum_variants(toks: &[Tok], name: &str) -> Option<Vec<(String, u32)>> {
+    let start = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident(name))?;
+    let open = (start..toks.len()).find(|&i| toks[i].is_punct('{'))?;
+    let close = skip_group(toks, open, '{', '}');
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        // Skip attributes and doc comments are already gone; skip attrs.
+        if t.is_punct('#') && toks.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            i = skip_group(toks, i + 1, '[', ']') + 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            out.push((t.text.clone(), t.line));
+            // Skip the variant payload and trailing comma.
+            i += 1;
+            if toks.get(i).is_some_and(|n| n.is_punct('{')) {
+                i = skip_group(toks, i, '{', '}') + 1;
+            } else if toks.get(i).is_some_and(|n| n.is_punct('(')) {
+                i = skip_group(toks, i, '(', ')') + 1;
+            }
+            // `= discriminant` for C-like enums.
+            while i < close && !toks[i].is_punct(',') {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn items_parse_with_names_and_nesting() {
+        let src = "
+#![forbid(unsafe_code)]
+use std::collections::BTreeMap;
+pub mod outer {
+    pub fn f(x: u8) -> u8 { x }
+    pub(crate) struct S { a: u8 }
+    impl S { fn m(&self) {} }
+}
+pub enum E { A, B(u8), C { x: u8 } }
+const LIMIT: usize = 3;
+pub const fn cf() {}
+trait T { fn req(&self); }
+type Alias = u8;
+";
+        let toks = lex(src).tokens;
+        let tree = ItemTree::parse(&toks);
+        let kinds: Vec<(ItemKind, &str)> = tree
+            .items
+            .iter()
+            .map(|i| (i.kind, i.name.as_str()))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                (ItemKind::Use, "std::collections::BTreeMap"),
+                (ItemKind::Mod, "outer"),
+                (ItemKind::Enum, "E"),
+                (ItemKind::Const, "LIMIT"),
+                (ItemKind::Fn, "cf"),
+                (ItemKind::Trait, "T"),
+                (ItemKind::TypeAlias, "Alias"),
+            ]
+        );
+        let outer = &tree.items[1];
+        let inner: Vec<(ItemKind, &str)> = outer
+            .children
+            .iter()
+            .map(|i| (i.kind, i.name.as_str()))
+            .collect();
+        assert_eq!(
+            inner,
+            [
+                (ItemKind::Fn, "f"),
+                (ItemKind::Struct, "S"),
+                (ItemKind::Impl, "S"),
+            ]
+        );
+        assert_eq!(tree.use_paths().len(), 1);
+    }
+
+    #[test]
+    fn raw_keyword_idents_do_not_become_items() {
+        let src = "fn f() { let r#fn = 1; let r#mod = 2; }";
+        let tree = ItemTree::parse(&lex(src).tokens);
+        assert_eq!(tree.items.len(), 1);
+        assert_eq!(tree.items[0].kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn match_arms_split_on_fat_arrow_not_comparison() {
+        let src = "
+fn f(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        n if n >= 2 => { n + 1 }
+        E::V { a, .. } => a,
+        _ => 0,
+    }
+}
+";
+        let toks = lex(src).tokens;
+        let ms = match_exprs(&toks);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].arms.len(), 4);
+        // The guard `n >= 2` stays inside the second arm's pattern range.
+        let arm1 = &ms[0].arms[1];
+        let pat_text: Vec<&str> = toks[arm1.pat.0..arm1.pat.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(pat_text.contains(&"if"), "{pat_text:?}");
+        assert!(pat_text.contains(&">"), "{pat_text:?}");
+    }
+
+    #[test]
+    fn nested_matches_are_each_found() {
+        let src = "fn f() { match a { X => match b { Y => 1, _ => 2 }, _ => 0 } }";
+        let ms = match_exprs(&lex(src).tokens);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].arms.len(), 2);
+        assert_eq!(ms[1].arms.len(), 2);
+    }
+
+    #[test]
+    fn pattern_mask_separates_patterns_from_constructions() {
+        let src = "
+fn f(e: E) -> E {
+    match e {
+        E::A { x } => E::B { x },
+    }
+}
+fn g() { let E::A { x } = make(); if let E::C(y) = h() { } for (a, b) in pairs {} }
+";
+        let toks = lex(src).tokens;
+        let mask = pattern_mask(&toks);
+        // Collect mask status of each `E` ident in order.
+        let es: Vec<bool> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("E"))
+            .map(|(i, _)| mask[i])
+            .collect();
+        // fn sig `e: E` and `-> E` unmasked, arm pattern E::A masked, arm
+        // body E::B unmasked, let-pattern E::A masked, if-let E::C masked.
+        assert_eq!(es, [false, false, true, false, true, true]);
+        // The for-loop pattern `(a, b)` is masked.
+        let a = toks.iter().position(|t| t.is_ident("a")).unwrap();
+        assert!(mask[a]);
+    }
+
+    #[test]
+    fn loop_blocks_find_kind_var_and_body() {
+        let src = "
+fn f(n: usize) {
+    for k in 0..n {
+        loop { if k > 1 { break; } }
+    }
+    while n > 0 { step(); }
+    for (i, v) in list.iter().enumerate() {}
+}
+impl Tr for S {}
+";
+        let toks = lex(src).tokens;
+        let loops = loop_blocks(&toks);
+        let kinds: Vec<(LoopKind, Option<&str>)> =
+            loops.iter().map(|l| (l.kind, l.var.as_deref())).collect();
+        assert_eq!(
+            kinds,
+            [
+                (LoopKind::For, Some("k")),
+                (LoopKind::Loop, None),
+                (LoopKind::While, None),
+                (LoopKind::For, None),
+            ]
+        );
+        // `impl Tr for S` must not register as a for loop.
+        assert_eq!(loops.iter().filter(|l| l.kind == LoopKind::For).count(), 2);
+        // The inner loop's body is contained in the for's body.
+        assert!(loops[1].body.0 > loops[0].body.0 && loops[1].body.1 < loops[0].body.1);
+    }
+
+    #[test]
+    fn enum_variants_list_names_and_lines() {
+        let src = "
+pub enum HetmmmError {
+    DimensionMismatch { what: &'static str, left: usize, right: usize },
+    RectOutOfBounds { rect: Rect, n: usize },
+    Plain,
+    Tuple(u8, u8),
+}
+";
+        let toks = lex(src).tokens;
+        let vars = enum_variants(&toks, "HetmmmError").expect("enum");
+        let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["DimensionMismatch", "RectOutOfBounds", "Plain", "Tuple"]
+        );
+        assert_eq!(vars[0].1, 3);
+        assert!(enum_variants(&toks, "Missing").is_none());
+    }
+}

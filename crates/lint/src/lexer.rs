@@ -267,8 +267,14 @@ fn lex_r_or_b(b: &[u8], i: usize, line: u32) -> Option<(Tok, usize, u32)> {
             Some((tok, next, nl))
         }
         Some(&ch) if hashes == 1 && c == b'r' && is_ident_start(ch) => {
-            // r#ident raw identifier.
-            let (tok, next) = lex_ident(b, j, line);
+            // r#ident raw identifier. Keep the `r#` spelling: a raw
+            // identifier is *never* a keyword, so `r#match`/`r#fn` must
+            // not satisfy `is_ident("match")` — the item-tree builder
+            // treats keyword idents structurally and would otherwise be
+            // spoofed into parsing `let r#match = …` as a match
+            // expression.
+            let (mut tok, next) = lex_ident(b, j, line);
+            tok.text.insert_str(0, "r#");
             Some((tok, next, 0))
         }
         _ => None,
@@ -602,10 +608,78 @@ mod tests {
     }
 
     #[test]
-    fn raw_identifiers_lex_as_idents() {
+    fn raw_identifiers_keep_their_raw_spelling() {
+        // `r#type` is an identifier, but it is NOT the keyword `type`:
+        // the `r#` prefix must survive so keyword-position analysis
+        // (the item tree) cannot be spoofed.
         let src = "let r#type = 1; r#fn";
-        assert!(idents(src).contains(&"type".to_string()));
-        assert!(idents(src).contains(&"fn".to_string()));
+        let ids = idents(src);
+        assert!(ids.contains(&"r#type".to_string()), "{ids:?}");
+        assert!(ids.contains(&"r#fn".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"type".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"fn".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn raw_keyword_identifiers_do_not_fake_keywords() {
+        // `r#match`/`r#mod` in binding position must not look like the
+        // `match`/`mod` keywords to downstream structure parsers.
+        let src = "let r#match = 1; let r#mod = 2; match x { _ => r#match }";
+        let lexed = lex(src);
+        let matches: Vec<&Tok> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident("match"))
+            .collect();
+        assert_eq!(matches.len(), 1, "only the real keyword remains");
+        assert_eq!(matches[0].line, 1);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("mod")));
+    }
+
+    #[test]
+    fn lifetimes_inside_generics_are_not_char_literals() {
+        // Every position a lifetime tick appears in generic syntax; none
+        // may lex as a Char, and the following `>` must stay a Punct.
+        let cases = [
+            ("fn f<'a>(x: &'a u8) -> &'a u8 { x }", vec!["a", "a", "a"]),
+            (
+                "struct S<'a, 'b: 'a>(&'a u8, &'b u8);",
+                vec!["a", "b", "a", "a", "b"],
+            ),
+            ("impl<'a> Tr for &'a mut T {}", vec!["a", "a"]),
+            (
+                "let x = f::<'a>(); type T = Box<dyn Fn() + 'static>;",
+                vec!["a", "static"],
+            ),
+            ("fn g(v: Vec<Option<&'_ str>>) {}", vec!["_"]),
+            (
+                "'outer: for k in 0..n { break 'outer; }",
+                vec!["outer", "outer"],
+            ),
+        ];
+        for (src, want) in cases {
+            let lexed = lex(src);
+            assert!(
+                !lexed.tokens.iter().any(|t| t.kind == TokKind::Char),
+                "{src}: lifetime lexed as char literal"
+            );
+            let got: Vec<&str> = lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .map(|t| t.text.as_str())
+                .collect();
+            assert_eq!(got, want, "{src}");
+        }
+        // Chars adjacent to generics stay chars.
+        let lexed = lex("fn h<'a>(c: char) -> bool { c == 'x' }");
+        let chars: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["x"]);
     }
 
     #[test]

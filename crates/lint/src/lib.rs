@@ -7,13 +7,19 @@
 //! instead of panics in library code (L001), all time reads through the
 //! pluggable obs clock (L002), silence in libraries (L003), hardened
 //! crate roots (L004), no hidden sleeps (L005), a version-bumped event
-//! vocabulary (L010), a single registry of metric names (L011), and
-//! manifest coverage for every bench binary (L012).
+//! vocabulary (L010), a single registry of metric names (L011), manifest
+//! coverage for every bench binary (L012), exhaustive event consumers
+//! (L020), live metrics (L021), reachable error variants (L022), and
+//! executor channel discipline (L023).
 //!
 //! The analysis is built on a small hand-rolled Rust lexer
 //! ([`lexer::lex`]) so string literals and comments can never produce
 //! false positives, plus a test-region mask ([`lexer::test_mask`]) so
-//! `#[test]` functions and `#[cfg(test)]` modules are exempt.
+//! `#[test]` functions and `#[cfg(test)]` modules are exempt. The L02x
+//! rules additionally use the [`itemtree`] AST-lite layer (brace-matched
+//! items, match arms, pattern masks, loop blocks) to tell patterns from
+//! constructions and to see loop structure. A separate happens-before
+//! checker over recorded executor event streams lives in [`hb`].
 //!
 //! Pre-existing findings are grandfathered by a committed
 //! [`baseline::Baseline`] (`lint_baseline.json`); the gate is a ratchet —
@@ -23,6 +29,8 @@
 
 pub mod baseline;
 pub mod findings;
+pub mod hb;
+pub mod itemtree;
 pub mod lexer;
 pub mod rules;
 pub mod semantic;
@@ -31,6 +39,7 @@ pub mod source;
 use crate::baseline::SchemaRecord;
 use crate::findings::Finding;
 use crate::semantic::{MetricRegistry, SchemaInfo};
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -65,26 +74,81 @@ pub fn run_lint(root: &Path, committed: Option<&SchemaRecord>) -> io::Result<Lin
         ..LintReport::default()
     };
 
-    // L011 anchor: the metric-name registry in crates/obs/src/metrics.rs.
+    // L011/L021 anchor: the metric-name registry in crates/obs/src/metrics.rs.
     let mut registry_findings = Vec::new();
     let registry = match fs::read_to_string(root.join(semantic::METRICS_RS)) {
         Ok(src) => {
             let reg = semantic::parse_metric_registry(&src, &mut registry_findings);
             if !reg.present {
                 report.notes.push(format!(
-                    "{} has no `mod names` registry; L011 skipped",
+                    "{} has no `mod names` registry; L011/L021 skipped",
                     semantic::METRICS_RS
                 ));
             }
             reg
         }
         Err(_) => {
-            report
-                .notes
-                .push(format!("{} not found; L011 skipped", semantic::METRICS_RS));
+            report.notes.push(format!(
+                "{} not found; L011/L021 skipped",
+                semantic::METRICS_RS
+            ));
             MetricRegistry::default()
         }
     };
+
+    // L010/L020 anchor: the event vocabulary in crates/obs/src/event.rs.
+    // Extracted before the file loop so L020 can check each consumer file
+    // against the live variant list as it is scanned.
+    let mut event_variants: Vec<(String, u32)> = Vec::new();
+    report.schema = match fs::read_to_string(root.join(semantic::EVENT_RS)) {
+        Ok(src) => {
+            let toks = lexer::lex(&src).tokens;
+            event_variants = itemtree::enum_variants(&toks, "EventKind").unwrap_or_default();
+            match semantic::extract_schema(&src) {
+                Some(info) => {
+                    semantic::l010_schema_drift(&info, committed, &mut report.findings);
+                    Some(info)
+                }
+                None => {
+                    report.notes.push(format!(
+                        "{} has no SCHEMA_VERSION/EventKind; L010/L020 skipped",
+                        semantic::EVENT_RS
+                    ));
+                    None
+                }
+            }
+        }
+        Err(_) => {
+            report.notes.push(format!(
+                "{} not found; L010/L020 skipped",
+                semantic::EVENT_RS
+            ));
+            None
+        }
+    };
+
+    // L022 anchor: the workspace error enum.
+    let error_variants: Vec<(String, u32)> = match fs::read_to_string(root.join(semantic::ERROR_RS))
+    {
+        Ok(src) => {
+            itemtree::enum_variants(&lexer::lex(&src).tokens, "HetmmmError").unwrap_or_default()
+        }
+        Err(_) => {
+            report
+                .notes
+                .push(format!("{} not found; L022 skipped", semantic::ERROR_RS));
+            Vec::new()
+        }
+    };
+
+    // Cross-file usage accumulated during the loop, consumed by the
+    // post-loop liveness rules.
+    let mut used_metric_consts = BTreeSet::new();
+    let mut used_metric_names = BTreeSet::new();
+    let mut constructed_errors = BTreeSet::new();
+    // Suppressions of the liveness anchor files, re-applied to the late
+    // findings those files anchor.
+    let mut anchor_sups: Vec<(String, Vec<findings::Suppression>)> = Vec::new();
 
     for file in &files {
         let src = fs::read_to_string(&file.path)?;
@@ -99,36 +163,50 @@ pub fn run_lint(root: &Path, committed: Option<&SchemaRecord>) -> io::Result<Lin
         rules::run_file_rules(&ctx, &mut file_findings);
         semantic::l011_metric_call_sites(&ctx, &registry, &mut file_findings);
         semantic::l012_bin_session(&ctx, &mut file_findings);
+        semantic::l020_event_coverage(&ctx, &event_variants, &mut file_findings);
+        semantic::l023_channel_discipline(&ctx, &mut file_findings);
+        semantic::collect_metric_usage(
+            &ctx,
+            &registry,
+            &mut used_metric_consts,
+            &mut used_metric_names,
+        );
+        semantic::collect_error_constructions(&ctx, &error_variants, &mut constructed_errors);
         if file.rel == semantic::METRICS_RS {
             file_findings.append(&mut registry_findings);
         }
         let sups = findings::parse_suppressions(&lexed.comments);
         report.suppressed += findings::apply_suppressions(&mut file_findings, &sups, &file.rel);
+        if file.rel == semantic::METRICS_RS || file.rel == semantic::ERROR_RS {
+            anchor_sups.push((file.rel.clone(), sups));
+        }
         report.findings.append(&mut file_findings);
     }
 
-    // L010 anchor: the event vocabulary in crates/obs/src/event.rs.
-    report.schema = match fs::read_to_string(root.join(semantic::EVENT_RS)) {
-        Ok(src) => match semantic::extract_schema(&src) {
-            Some(info) => {
-                semantic::l010_schema_drift(&info, committed, &mut report.findings);
-                Some(info)
+    // Liveness rules need the whole tree scanned before they can call
+    // anything dead.
+    let mut late = Vec::new();
+    semantic::l021_metric_liveness(
+        &registry,
+        &used_metric_consts,
+        &used_metric_names,
+        &mut late,
+    );
+    semantic::l022_error_reachability(&error_variants, &constructed_errors, &mut late);
+    for (rel, sups) in &anchor_sups {
+        let mut anchored: Vec<Finding> = Vec::new();
+        late.retain(|f| {
+            if &f.path == rel {
+                anchored.push(f.clone());
+                false
+            } else {
+                true
             }
-            None => {
-                report.notes.push(format!(
-                    "{} has no SCHEMA_VERSION/EventKind; L010 skipped",
-                    semantic::EVENT_RS
-                ));
-                None
-            }
-        },
-        Err(_) => {
-            report
-                .notes
-                .push(format!("{} not found; L010 skipped", semantic::EVENT_RS));
-            None
-        }
-    };
+        });
+        report.suppressed += findings::suppress_matching(&mut anchored, sups);
+        late.append(&mut anchored);
+    }
+    report.findings.append(&mut late);
 
     Ok(report)
 }
@@ -143,7 +221,7 @@ mod tests {
             .expect("missing tree is not an IO error");
         assert_eq!(report.files, 0);
         assert!(report.findings.is_empty());
-        // Both semantic anchors were noted as skipped.
-        assert_eq!(report.notes.len(), 2);
+        // All three semantic anchors were noted as skipped.
+        assert_eq!(report.notes.len(), 3);
     }
 }

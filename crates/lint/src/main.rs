@@ -4,14 +4,15 @@
 //! ```text
 //! cargo run -p hetmmm-lint                  # lint the workspace, exit 1 on fresh findings
 //! cargo run -p hetmmm-lint -- --write-baseline   # fold current findings into lint_baseline.json
+//! cargo run -p hetmmm-lint -- --hb events.jsonl  # happens-before check one event stream
 //! ```
 //!
-//! Exit codes: `0` clean (or baseline written), `1` fresh findings, `2`
-//! usage or I/O error.
+//! Exit codes: `0` clean (or baseline written), `1` fresh findings or
+//! happens-before violations, `2` usage or I/O error.
 
 use hetmmm_lint::baseline::{gate, Baseline};
 use hetmmm_lint::findings::{render_text, FindingRecord};
-use hetmmm_lint::run_lint;
+use hetmmm_lint::{hb, run_lint};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -21,6 +22,7 @@ hetmmm-lint: workspace invariant checker
 
 USAGE:
     hetmmm-lint [--root DIR] [--baseline FILE] [--jsonl FILE] [--write-baseline]
+    hetmmm-lint --hb FILE
 
 OPTIONS:
     --root DIR         workspace root to lint (default: the workspace this
@@ -29,6 +31,8 @@ OPTIONS:
     --jsonl FILE       findings JSONL output path
                        (default: <root>/results/lint_findings.jsonl)
     --write-baseline   rewrite the baseline to grandfather current findings
+    --hb FILE          happens-before check an executor event JSONL stream
+                       (rules H001-H004) instead of linting source
     --help             print this help
 ";
 
@@ -37,6 +41,7 @@ struct Args {
     baseline: PathBuf,
     jsonl: PathBuf,
     write_baseline: bool,
+    hb: Option<PathBuf>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -44,12 +49,13 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut jsonl: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut hb: Option<PathBuf> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--help" | "-h" => return Ok(None),
             "--write-baseline" => write_baseline = true,
-            "--root" | "--baseline" | "--jsonl" => {
+            "--root" | "--baseline" | "--jsonl" | "--hb" => {
                 let Some(v) = it.next() else {
                     return Err(format!("{arg} requires a value"));
                 };
@@ -57,6 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 match arg.as_str() {
                     "--root" => root = Some(p),
                     "--baseline" => baseline = Some(p),
+                    "--hb" => hb = Some(p),
                     _ => jsonl = Some(p),
                 }
             }
@@ -71,6 +78,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         baseline,
         jsonl,
         write_baseline,
+        hb,
     }))
 }
 
@@ -111,6 +119,9 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> Result<ExitCode, String> {
+    if let Some(hb_path) = &args.hb {
+        return run_hb(hb_path);
+    }
     let committed = load_baseline(&args.baseline)?;
     let report = run_lint(&args.root, committed.schema.as_ref())
         .map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
@@ -159,6 +170,23 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         result.stale.len(),
     );
     Ok(if result.fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `--hb FILE`: replay one recorded event stream through the
+/// happens-before checker and render its findings like lint findings.
+fn run_hb(path: &Path) -> Result<ExitCode, String> {
+    let label = path.display().to_string();
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {label}: {e}"))?;
+    let report = hb::check_stream(&label, &text);
+    if !report.findings.is_empty() {
+        print!("{}", render_text(&report.findings));
+    }
+    println!("hetmmm-lint: {}", report.summary());
+    Ok(if report.ok() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,17 +1,27 @@
-//! Cross-file semantic rules L010–L012.
+//! Cross-file semantic rules L010–L012 and L020–L023.
 //!
 //! | id   | invariant |
 //! |------|-----------|
 //! | L010 | `EventKind`'s variant/field fingerprint matches the committed one, or `SCHEMA_VERSION` was bumped |
 //! | L011 | metric names come from the `names` registry in `crates/obs/src/metrics.rs`, and registry names are unique |
 //! | L012 | every bench binary opens a `BinSession` unless on the read-only allowlist |
+//! | L020 | every event-consumer file matches or explicitly acknowledges every `EventKind` variant |
+//! | L021 | every registered metric name is emitted somewhere outside tests (the reverse of L011) |
+//! | L022 | every `HetmmmError` variant is constructed somewhere outside tests |
+//! | L023 | executor channel discipline: send step tags flow from the worker's own loop variable; `recv_timeout` sits under a retry loop consulting the `BackoffPolicy` |
+//!
+//! L020–L022 are *liveness* rules built on the [`crate::itemtree`]
+//! AST-lite layer: they need to tell a variant *pattern* (handling /
+//! destructuring) apart from a variant *expression* (construction), which
+//! flat token scanning cannot.
 
 use crate::baseline::SchemaRecord;
-use crate::findings::Finding;
-use crate::lexer::{lex, Tok, TokKind};
+use crate::findings::{Finding, RULE_SUPPRESSION_REASON};
+use crate::itemtree;
+use crate::lexer::{lex, Comment, Tok, TokKind};
 use crate::rules::FileCtx;
 use crate::source::FileClass;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Path of the event-vocabulary module, relative to the workspace root.
 pub const EVENT_RS: &str = "crates/obs/src/event.rs";
@@ -26,6 +36,20 @@ pub const BINSESSION_ALLOWLIST: [&str; 5] = [
     "bench_trend",
     "dash",
 ];
+/// Path of the workspace error enum (L022 anchor).
+pub const ERROR_RS: &str = "crates/error/src/lib.rs";
+/// Files that consume the serialized event stream and must stay exhaustive
+/// over `EventKind` (L020): each must match every variant or acknowledge
+/// the ones it deliberately streams through opaquely.
+pub const EVENT_CONSUMERS: [&str; 4] = [
+    "crates/bench/src/bin/obs_verify.rs",
+    "crates/report/src/store.rs",
+    "crates/report/src/timeline.rs",
+    "crates/report/src/dashboard.rs",
+];
+/// Executor files under channel discipline (L023).
+pub const EXEC_CHANNEL_FILES: [&str; 2] =
+    ["crates/mmm/src/parallel.rs", "crates/mmm/src/supervise.rs"];
 
 /// FNV-1a 64-bit over `data`, rendered as fixed-width hex.
 pub fn fnv1a_hex(data: &str) -> String {
@@ -234,6 +258,10 @@ pub fn l010_schema_drift(
 pub struct MetricRegistry {
     /// Declared names with the line of their declaration.
     pub names: BTreeMap<String, u32>,
+    /// Declaring const → the names it declares with their lines; the unit
+    /// of liveness for L021 (a referenced const makes all its names live,
+    /// since array registries are indexed dynamically).
+    pub consts: BTreeMap<String, Vec<(String, u32)>>,
     /// Was a `mod names` block found at all?
     pub present: bool,
 }
@@ -254,7 +282,8 @@ pub fn parse_metric_registry(metrics_src: &str, out: &mut Vec<Finding>) -> Metri
     };
     reg.present = true;
     let mut depth = 0i32;
-    for t in &toks[open..] {
+    let mut cur_const: Option<String> = None;
+    for (j, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct('{') {
             depth += 1;
         } else if t.is_punct('}') {
@@ -262,7 +291,18 @@ pub fn parse_metric_registry(metrics_src: &str, out: &mut Vec<Finding>) -> Metri
             if depth == 0 {
                 break;
             }
+        } else if t.is_ident("const") {
+            cur_const = toks
+                .get(j + 1)
+                .filter(|n| n.kind == TokKind::Ident)
+                .map(|n| n.text.clone());
         } else if t.kind == TokKind::Str {
+            if let Some(konst) = &cur_const {
+                reg.consts
+                    .entry(konst.clone())
+                    .or_default()
+                    .push((t.text.clone(), t.line));
+            }
             if let Some(&first_line) = reg.names.get(&t.text) {
                 out.push(Finding::new(
                     "L011",
@@ -349,6 +389,425 @@ pub fn l012_bin_session(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// One parsed `// hetmmm-lint: ack-events(VariantA, VariantB) reason`
+/// comment: the file deliberately does not handle these variants (they
+/// stream through opaquely or are out of its scope). `ack-events(*)`
+/// acknowledges the whole vocabulary — for consumers that never branch on
+/// the event payload at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventAck {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Variant names listed (empty for a wildcard).
+    pub variants: Vec<String>,
+    /// Was the ack `ack-events(*)`?
+    pub wildcard: bool,
+    /// Did the comment carry a non-empty reason after the paren?
+    pub has_reason: bool,
+}
+
+/// Parse every `ack-events(…)` acknowledgement out of a file's comments.
+pub fn parse_event_acks(comments: &[Comment]) -> Vec<EventAck> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("hetmmm-lint:") else {
+            continue;
+        };
+        let rest = c.text[at + "hetmmm-lint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("ack-events(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let inner = args[..close].trim();
+        let wildcard = inner == "*";
+        let variants: Vec<String> = if wildcard {
+            Vec::new()
+        } else {
+            inner
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        };
+        if !wildcard && variants.is_empty() {
+            continue;
+        }
+        let reason = args[close + 1..].trim();
+        out.push(EventAck {
+            line: c.line,
+            variants,
+            wildcard,
+            has_reason: !reason.is_empty(),
+        });
+    }
+    out
+}
+
+/// L020: an event-consumer file handles every `EventKind` variant — each
+/// variant is either referenced in a `::Variant` path outside tests or
+/// listed in an `ack-events(…)` acknowledgement. Stale acks (a variant
+/// that no longer exists, or one the file now handles) are flagged so the
+/// acknowledged set cannot rot.
+pub fn l020_event_coverage(ctx: &FileCtx<'_>, variants: &[(String, u32)], out: &mut Vec<Finding>) {
+    if variants.is_empty() || !EVENT_CONSUMERS.contains(&ctx.file.rel.as_str()) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let names: BTreeSet<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+    let mut handled: BTreeSet<String> = BTreeSet::new();
+    let mut anchor_line = 1u32;
+    let mut seen_anchor = false;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if !seen_anchor && t.is_ident("EventKind") {
+            anchor_line = t.line;
+            seen_anchor = true;
+        }
+        if i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && names.contains(t.text.as_str())
+        {
+            handled.insert(t.text.clone());
+        }
+    }
+    let mut acked: BTreeSet<String> = BTreeSet::new();
+    let mut wildcard = false;
+    for ack in parse_event_acks(&ctx.lexed.comments) {
+        if !ack.has_reason {
+            out.push(Finding::new(
+                RULE_SUPPRESSION_REASON,
+                &ctx.file.rel,
+                ack.line,
+                "ack-events(…) carries no reason; add one after the closing paren",
+            ));
+            continue;
+        }
+        if ack.wildcard {
+            wildcard = true;
+            continue;
+        }
+        for v in &ack.variants {
+            if !names.contains(v.as_str()) {
+                out.push(Finding::new(
+                    "L020",
+                    &ctx.file.rel,
+                    ack.line,
+                    format!(
+                        "ack-events names `{v}`, which is not an EventKind variant \
+                         (stale acknowledgement — remove it)"
+                    ),
+                ));
+            } else if handled.contains(v) {
+                out.push(Finding::new(
+                    "L020",
+                    &ctx.file.rel,
+                    ack.line,
+                    format!(
+                        "ack-events names `{v}`, but this file now handles it \
+                         (stale acknowledgement — remove it)"
+                    ),
+                ));
+            } else {
+                acked.insert(v.clone());
+            }
+        }
+    }
+    if wildcard {
+        return;
+    }
+    let missing: Vec<&str> = variants
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .filter(|n| !handled.contains(*n) && !acked.contains(*n))
+        .collect();
+    if !missing.is_empty() {
+        let list = missing.join(", ");
+        out.push(Finding::new(
+            "L020",
+            &ctx.file.rel,
+            anchor_line,
+            format!(
+                "EventKind variant(s) {list} are neither matched nor acknowledged \
+                 in this event consumer; handle them or add \
+                 `// hetmmm-lint: ack-events({list}) <reason>`"
+            ),
+        ));
+    }
+}
+
+/// Record which registry consts (and raw registered names at metric call
+/// sites) this file references outside tests — the usage half of L021.
+pub fn collect_metric_usage(
+    ctx: &FileCtx<'_>,
+    reg: &MetricRegistry,
+    used_consts: &mut BTreeSet<String>,
+    used_names: &mut BTreeSet<String>,
+) {
+    if !reg.present || ctx.file.rel == METRICS_RS {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if reg.consts.contains_key(&t.text) {
+            used_consts.insert(t.text.clone());
+        }
+        if matches!(t.text.as_str(), "counter" | "gauge" | "histogram")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+        {
+            if let (Some(paren), Some(lit)) = (toks.get(i + 1), toks.get(i + 2)) {
+                if paren.is_punct('(')
+                    && lit.kind == TokKind::Str
+                    && reg.names.contains_key(&lit.text)
+                {
+                    used_names.insert(lit.text.clone());
+                }
+            }
+        }
+    }
+}
+
+/// L021 (liveness half): every registered metric name is emitted somewhere
+/// outside tests. A const is live when its ident is referenced anywhere
+/// outside `metrics.rs`, or one of its names appears at a literal metric
+/// call site. L011 covers the reverse direction (emitted but unregistered).
+pub fn l021_metric_liveness(
+    reg: &MetricRegistry,
+    used_consts: &BTreeSet<String>,
+    used_names: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    if !reg.present {
+        return;
+    }
+    for (konst, entries) in &reg.consts {
+        if used_consts.contains(konst) || entries.iter().any(|(n, _)| used_names.contains(n)) {
+            continue;
+        }
+        let line = entries.first().map(|&(_, l)| l).unwrap_or(1);
+        let list = entries
+            .iter()
+            .map(|(n, _)| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push(Finding::new(
+            "L021",
+            METRICS_RS,
+            line,
+            format!(
+                "metric const `{konst}` ({list}) is registered but never emitted \
+                 outside tests — dead metric; emit it or delete the registration"
+            ),
+        ));
+    }
+}
+
+/// Record which `HetmmmError` variants this file *constructs* outside
+/// tests — the usage half of L022. Pattern positions (match arms in
+/// `Display`, `let`/`if let` destructuring) are excluded via
+/// [`itemtree::pattern_mask`]: handling an error is not producing one.
+pub fn collect_error_constructions(
+    ctx: &FileCtx<'_>,
+    variants: &[(String, u32)],
+    constructed: &mut BTreeSet<String>,
+) {
+    if variants.is_empty() {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    if !toks.iter().any(|t| t.is_ident("HetmmmError")) {
+        return;
+    }
+    let names: BTreeSet<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+    let pat = itemtree::pattern_mask(toks);
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] || pat[i] || !t.is_ident("HetmmmError") {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            if let Some(v) = toks.get(i + 3) {
+                if v.kind == TokKind::Ident && names.contains(v.text.as_str()) {
+                    constructed.insert(v.text.clone());
+                }
+            }
+        }
+    }
+}
+
+/// L022: every `HetmmmError` variant is reachable — constructed somewhere
+/// outside tests. An unconstructed variant is dead error surface: either
+/// the failure path it documents was silently dropped, or the variant
+/// should be deleted.
+pub fn l022_error_reachability(
+    variants: &[(String, u32)],
+    constructed: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    for (name, line) in variants {
+        if !constructed.contains(name) {
+            out.push(Finding::new(
+                "L022",
+                ERROR_RS,
+                *line,
+                format!(
+                    "error variant `{name}` is never constructed outside tests — \
+                     dead error surface or a missing propagation path"
+                ),
+            ));
+        }
+    }
+}
+
+/// L023: executor channel discipline. In [`EXEC_CHANNEL_FILES`]:
+///
+/// 1. every `send_with_deadline(tx, (STEP, …), …)` call passes a step tag
+///    that *is* the loop variable of an enclosing `for` loop — a literal
+///    or computed step could silently desynchronize the out-of-step
+///    detector on the receiving side;
+/// 2. every `.recv_timeout(…)` call sits under a retry loop that consults
+///    the `BackoffPolicy` (references `retry`), so a transient stall is
+///    re-armed with backoff instead of instantly convicting the peer.
+pub fn l023_channel_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !EXEC_CHANNEL_FILES.contains(&ctx.file.rel.as_str()) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let loops = itemtree::loop_blocks(toks);
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.is_ident("send_with_deadline")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            l023_check_send(toks, i, &loops, ctx, out);
+        }
+        if t.is_ident("recv_timeout")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            l023_check_recv(toks, i, &loops, ctx, out);
+        }
+    }
+}
+
+/// Find the step token of `send_with_deadline(tx, (STEP, …), …)` whose
+/// name ident is at `call`, and require it to be an enclosing for-loop's
+/// own variable.
+fn l023_check_send(
+    toks: &[Tok],
+    call: usize,
+    loops: &[itemtree::LoopBlock],
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Finding>,
+) {
+    let line = toks[call].line;
+    // Walk past the first argument to the first depth-1 comma.
+    let mut depth = 1i32;
+    let mut j = call + 2;
+    let step = loop {
+        let Some(t) = toks.get(j) else {
+            return;
+        };
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break None; // single-argument call — no visible tuple
+            }
+        } else if depth == 1 && t.is_punct(',') {
+            break if toks.get(j + 1).is_some_and(|n| n.is_punct('(')) {
+                toks.get(j + 2)
+            } else {
+                None
+            };
+        }
+        j += 1;
+    };
+    let Some(step) = step else {
+        out.push(Finding::new(
+            "L023",
+            &ctx.file.rel,
+            line,
+            "send_with_deadline message is not a literal `(step, …)` tuple; the step \
+             tag must be syntactically visible so its provenance can be checked",
+        ));
+        return;
+    };
+    let flows_from_loop = step.kind == TokKind::Ident
+        && loops.iter().any(|lb| {
+            lb.kind == itemtree::LoopKind::For
+                && lb.var.as_deref() == Some(step.text.as_str())
+                && lb.body.0 < call
+                && call < lb.body.1
+        });
+    if !flows_from_loop {
+        out.push(Finding::new(
+            "L023",
+            &ctx.file.rel,
+            step.line,
+            format!(
+                "send step tag `{}` does not flow from an enclosing for-loop variable; \
+                 tag messages with the worker's own pivot-step variable",
+                step.text
+            ),
+        ));
+    }
+}
+
+/// Require the `.recv_timeout(…)` call at `call` to sit under a loop whose
+/// body consults the `BackoffPolicy`.
+fn l023_check_recv(
+    toks: &[Tok],
+    call: usize,
+    loops: &[itemtree::LoopBlock],
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Finding>,
+) {
+    let line = toks[call].line;
+    let enclosing: Vec<&itemtree::LoopBlock> = loops
+        .iter()
+        .filter(|lb| lb.body.0 < call && call < lb.body.1)
+        .collect();
+    if enclosing.is_empty() {
+        out.push(Finding::new(
+            "L023",
+            &ctx.file.rel,
+            line,
+            "recv_timeout outside any retry loop; a single timed-out wait convicts the \
+             peer instantly — wrap it in a loop that re-arms via the BackoffPolicy",
+        ));
+        return;
+    }
+    let consults_retry = enclosing.iter().any(|lb| {
+        toks[lb.body.0..=lb.body.1]
+            .iter()
+            .any(|t| t.is_ident("retry"))
+    });
+    if !consults_retry {
+        out.push(Finding::new(
+            "L023",
+            &ctx.file.rel,
+            line,
+            "recv_timeout retry loop never consults the BackoffPolicy (no `retry` \
+             reference); timed-out waits must be re-armed with configured backoff",
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +887,258 @@ pub mod names {
         assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
         assert_eq!(fnv1a_hex("a"), fnv1a_hex("a"));
         assert_ne!(fnv1a_hex("a"), fnv1a_hex("b"));
+    }
+
+    use crate::lexer::test_mask;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn with_ctx<R>(rel: &str, src: &str, f: impl FnOnce(&FileCtx<'_>) -> R) -> R {
+        let file = SourceFile {
+            path: PathBuf::from(rel),
+            rel: rel.to_string(),
+            class: FileClass::Library,
+        };
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        f(&FileCtx {
+            file: &file,
+            lexed: &lexed,
+            mask: &mask,
+        })
+    }
+
+    fn variants() -> Vec<(String, u32)> {
+        vec![
+            ("ExecSend".to_string(), 10),
+            ("ExecRecv".to_string(), 20),
+            ("SpanStart".to_string(), 30),
+        ]
+    }
+
+    const CONSUMER: &str = "crates/report/src/timeline.rs";
+
+    #[test]
+    fn l020_passes_when_every_variant_is_matched_or_acked() {
+        let src = "
+// hetmmm-lint: ack-events(SpanStart) spans are scope markers, not timeline rows
+fn f(e: EventKind) {
+    match e {
+        EventKind::ExecSend { .. } => {}
+        EventKind::ExecRecv { .. } => {}
+        _ => {}
+    }
+}
+";
+        let mut out = Vec::new();
+        with_ctx(CONSUMER, src, |ctx| {
+            l020_event_coverage(ctx, &variants(), &mut out)
+        });
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l020_fires_on_unhandled_variant_naming_it() {
+        let src = "fn f(e: EventKind) { match e { EventKind::ExecSend { .. } => {}, _ => {} } }";
+        let mut out = Vec::new();
+        with_ctx(CONSUMER, src, |ctx| {
+            l020_event_coverage(ctx, &variants(), &mut out)
+        });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "L020");
+        assert!(out[0].message.contains("ExecRecv"));
+        assert!(out[0].message.contains("SpanStart"));
+        assert!(!out[0].message.contains("ExecSend,"));
+        // Non-consumer files are exempt.
+        let mut out = Vec::new();
+        with_ctx("crates/mmm/src/matrix.rs", src, |ctx| {
+            l020_event_coverage(ctx, &variants(), &mut out)
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn l020_wildcard_ack_and_test_matches_behave() {
+        // Wildcard acknowledges everything.
+        let src = "// hetmmm-lint: ack-events(*) opaque stream pass-through\nfn f() {}";
+        let mut out = Vec::new();
+        with_ctx(CONSUMER, src, |ctx| {
+            l020_event_coverage(ctx, &variants(), &mut out)
+        });
+        assert!(out.is_empty(), "{out:?}");
+        // Matches inside #[cfg(test)] do not count as handling.
+        let src = "
+// hetmmm-lint: ack-events(ExecSend, ExecRecv) streamed opaquely
+#[cfg(test)]
+mod tests { fn t(e: EventKind) { match e { EventKind::SpanStart { .. } => {}, _ => {} } } }
+";
+        let mut out = Vec::new();
+        with_ctx(CONSUMER, src, |ctx| {
+            l020_event_coverage(ctx, &variants(), &mut out)
+        });
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("SpanStart"));
+    }
+
+    #[test]
+    fn l020_flags_stale_and_reasonless_acks() {
+        let src = "
+// hetmmm-lint: ack-events(Vanished) gone variant
+// hetmmm-lint: ack-events(ExecSend) but it is handled below
+// hetmmm-lint: ack-events(ExecRecv, SpanStart)
+fn f(e: EventKind) { match e { EventKind::ExecSend { .. } => {}, _ => {} } }
+";
+        let mut out = Vec::new();
+        with_ctx(CONSUMER, src, |ctx| {
+            l020_event_coverage(ctx, &variants(), &mut out)
+        });
+        let rules: Vec<&str> = out.iter().map(|f| f.rule.as_str()).collect();
+        // Stale-unknown, stale-handled, reasonless L000, and the still-
+        // missing ExecRecv/SpanStart coverage finding.
+        assert_eq!(rules, ["L020", "L020", "L000", "L020"], "{out:?}");
+        assert!(out[0].message.contains("Vanished"));
+        assert!(out[1].message.contains("now handles it"));
+    }
+
+    #[test]
+    fn l021_flags_dead_metric_consts_only() {
+        let metrics_src = "
+pub mod names {
+    pub const LIVE_BY_CONST: &str = \"exec.live\";
+    pub const LIVE_BY_LITERAL: &str = \"exec.lit\";
+    pub const DEAD: [&str; 2] = [\"exec.dead.a\", \"exec.dead.b\"];
+}
+";
+        let mut out = Vec::new();
+        let reg = parse_metric_registry(metrics_src, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(reg.consts.len(), 3);
+        let usage_src = "
+fn f(m: &M) {
+    m.counter(names::LIVE_BY_CONST).inc();
+    m.gauge(\"exec.lit\").set(1);
+}
+";
+        let mut used_consts = BTreeSet::new();
+        let mut used_names = BTreeSet::new();
+        with_ctx("crates/mmm/src/parallel.rs", usage_src, |ctx| {
+            collect_metric_usage(ctx, &reg, &mut used_consts, &mut used_names)
+        });
+        let mut out = Vec::new();
+        l021_metric_liveness(&reg, &used_consts, &used_names, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "L021");
+        assert_eq!(out[0].path, METRICS_RS);
+        assert!(out[0].message.contains("DEAD"));
+        assert!(out[0].message.contains("exec.dead.a"));
+    }
+
+    #[test]
+    fn l022_distinguishes_construction_from_handling() {
+        let variants = vec![
+            ("Constructed".to_string(), 5),
+            ("OnlyMatched".to_string(), 9),
+        ];
+        let src = "
+fn fail() -> HetmmmError {
+    HetmmmError::Constructed { step: 3 }
+}
+fn show(e: &HetmmmError) -> &str {
+    match e {
+        HetmmmError::Constructed { .. } => \"c\",
+        HetmmmError::OnlyMatched { .. } => \"m\",
+    }
+}
+#[cfg(test)]
+mod tests { fn t() { let _ = HetmmmError::OnlyMatched { x: 1 }; } }
+";
+        let mut constructed = BTreeSet::new();
+        with_ctx("crates/mmm/src/parallel.rs", src, |ctx| {
+            collect_error_constructions(ctx, &variants, &mut constructed)
+        });
+        let mut out = Vec::new();
+        l022_error_reachability(&variants, &constructed, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "L022");
+        assert_eq!(out[0].path, ERROR_RS);
+        assert_eq!(out[0].line, 9);
+        assert!(out[0].message.contains("OnlyMatched"));
+    }
+
+    const EXEC_FILE: &str = "crates/mmm/src/parallel.rs";
+
+    #[test]
+    fn l023_passes_on_disciplined_channel_use() {
+        let src = "
+fn run(&mut self) {
+    for k in self.start..n {
+        match send_with_deadline(tx, (k, a_part, b_part), self.send_patience, clock) {
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        let msg = loop {
+            match rx.recv_timeout(window) {
+                Ok(m) => break m,
+                Err(_) => { window = self.retry.delay(rewaits); rewaits += 1; }
+            }
+        };
+    }
+}
+";
+        let mut out = Vec::new();
+        with_ctx(EXEC_FILE, src, |ctx| l023_channel_discipline(ctx, &mut out));
+        assert!(out.is_empty(), "{out:?}");
+        // Other files are exempt.
+        let bad = "fn f() { let m = rx.recv_timeout(w); }";
+        let mut out = Vec::new();
+        with_ctx("crates/mmm/src/matrix.rs", bad, |ctx| {
+            l023_channel_discipline(ctx, &mut out)
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn l023_fires_on_foreign_step_tag() {
+        // Step tag is a literal, not the loop variable.
+        let src = "
+fn run() {
+    for k in 0..n {
+        send_with_deadline(tx, (0, a, b), patience, clock);
+    }
+}
+";
+        let mut out = Vec::new();
+        with_ctx(EXEC_FILE, src, |ctx| l023_channel_discipline(ctx, &mut out));
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "L023");
+        assert!(out[0].message.contains("`0`"));
+        // Step tag is an ident, but not any enclosing for-loop's variable.
+        let src = "
+fn run(step: usize) {
+    for k in 0..n {
+        send_with_deadline(tx, (step, a, b), patience, clock);
+    }
+}
+";
+        let mut out = Vec::new();
+        with_ctx(EXEC_FILE, src, |ctx| l023_channel_discipline(ctx, &mut out));
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`step`"));
+    }
+
+    #[test]
+    fn l023_fires_on_unguarded_recv() {
+        // recv_timeout with no loop around it at all.
+        let src = "fn f() { let m = rx.recv_timeout(w); }";
+        let mut out = Vec::new();
+        with_ctx(EXEC_FILE, src, |ctx| l023_channel_discipline(ctx, &mut out));
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("outside any retry loop"));
+        // Loop exists but never consults the BackoffPolicy.
+        let src = "fn f() { loop { match rx.recv_timeout(w) { Ok(m) => break m, Err(_) => {} } } }";
+        let mut out = Vec::new();
+        with_ctx(EXEC_FILE, src, |ctx| l023_channel_discipline(ctx, &mut out));
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("BackoffPolicy"));
     }
 }

@@ -312,6 +312,229 @@ fn l012_bench_binary_without_binsession_fires_allowlist_exempt() {
     assert_eq!(out.status.code(), Some(0));
 }
 
+/// A consumer at an `EVENT_CONSUMERS` path that handles both fixture
+/// variants — the starting point for the L020 mutation test.
+const STORE_CONSUMER: &str = "\
+//! Fixture store.
+use crate::event::EventKind;
+/// Doc.
+pub fn f(e: &EventKind) -> u64 {
+    match e {
+        EventKind::A { x } => *x,
+        EventKind::B => 0,
+    }
+}
+";
+
+#[test]
+fn l020_fresh_event_variant_fires_until_handled_or_acked() {
+    let obs_lib = format!("{HDR}/// Doc.\npub mod event;\n");
+    let root = tree(
+        "l020_mut",
+        &[
+            ("crates/obs/src/lib.rs", obs_lib.as_str()),
+            ("crates/obs/src/event.rs", EVENT_V2),
+            ("crates/report/src/store.rs", STORE_CONSUMER),
+        ],
+    );
+    let out = lint(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "fully-handled vocabulary passes:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Mutation: grow the event vocabulary. The consumer no longer covers
+    // it, and the lint names the exact missing variant.
+    fs::write(
+        root.join("crates/obs/src/event.rs"),
+        EVENT_V2.replace("    B,", "    B,\n    C { y: u64 },"),
+    )
+    .expect("mutate");
+    let out = assert_fires(&root, "L020");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains('C'), "missing variant named:\n{stdout}");
+    assert!(
+        stdout.contains("store.rs"),
+        "consumer file cited:\n{stdout}"
+    );
+
+    // An acknowledgement with a reason is the sanctioned escape hatch.
+    fs::write(
+        root.join("crates/report/src/store.rs"),
+        format!(
+            "{STORE_CONSUMER}// hetmmm-lint: ack-events(C) fixture streams it through opaquely\n"
+        ),
+    )
+    .expect("ack");
+    let out = lint(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "acked variant passes:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn l021_dead_metric_const_fires_until_emitted() {
+    let metrics = "\
+//! Fixture metrics module.
+/// Registry.
+pub mod names {
+    /// Live.
+    pub const A: &str = \"exec.a\";
+    /// Dead.
+    pub const B: &str = \"exec.b\";
+}
+";
+    let obs_lib = format!("{HDR}/// Doc.\npub mod metrics;\n");
+    let user = format!("{HDR}/// Doc.\npub fn f(m: &M) {{ m.counter(\"exec.a\"); }}\n");
+    let root = tree(
+        "l021_mut",
+        &[
+            ("crates/obs/src/lib.rs", obs_lib.as_str()),
+            ("crates/obs/src/metrics.rs", metrics),
+            ("crates/x/src/lib.rs", user.as_str()),
+        ],
+    );
+    // Mutation half 1: a registered name nobody emits is dead weight.
+    let out = assert_fires(&root, "L021");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exec.b"), "dead name cited:\n{stdout}");
+    assert!(
+        stdout.contains("metrics.rs"),
+        "anchored at registry:\n{stdout}"
+    );
+
+    // Emitting it (by const reference) brings it back to life.
+    fs::write(
+        root.join("crates/x/src/lib.rs"),
+        format!(
+            "{HDR}/// Doc.\npub fn f(m: &M) {{ m.counter(\"exec.a\"); m.counter(names::B); }}\n"
+        ),
+    )
+    .expect("rewrite");
+    let out = lint(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "referenced const is live:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Mutation half 2: emitting an unregistered name still fires L011 —
+    // the two rules cover opposite directions of the same join.
+    fs::write(
+        root.join("crates/x/src/lib.rs"),
+        format!(
+            "{HDR}/// Doc.\npub fn f(m: &M) {{ m.counter(\"exec.a\"); m.counter(names::B); m.counter(\"exec.ghost\"); }}\n"
+        ),
+    )
+    .expect("rewrite");
+    assert_fires(&root, "L011");
+}
+
+#[test]
+fn hb_blame_before_retry_fires_h003_citing_the_blame_line() {
+    use hetmmm_obs::{EventKind, EventRecord, SCHEMA_VERSION};
+    let dir = std::env::temp_dir().join(format!("hetmmm_lint_hb_{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("events.jsonl");
+    let events = [
+        EventKind::SpanStart {
+            span: 1,
+            name: "exec.run".into(),
+            arg: 8,
+            tid: 0,
+        },
+        EventKind::ExecPeerLost {
+            worker: "R".into(),
+            peer: "S".into(),
+            step: 2,
+            detail: "receive timed out".into(),
+        },
+        EventKind::ExecBlame {
+            dead: "S".into(),
+            weights: vec![0, 3, 0],
+        },
+    ];
+    let text: String = events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let rec = EventRecord {
+                v: SCHEMA_VERSION,
+                ts_nanos: i as u64,
+                event: e.clone(),
+            };
+            format!("{}\n", serde_json::to_string(&rec).unwrap())
+        })
+        .collect();
+    fs::write(&file, &text).expect("write stream");
+
+    // A timeout alone is not conclusive: blaming on it, before any
+    // backoff re-attempt, is the protocol violation H003 exists to catch.
+    let out = Command::new(env!("CARGO_BIN_EXE_hetmmm-lint"))
+        .args(["--hb", file.to_str().unwrap()])
+        .output()
+        .expect("spawn hetmmm-lint --hb");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "premature blame must fail:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("H003"), "{stdout}");
+    assert!(
+        stdout.contains(":3:"),
+        "the blame's own line is the anchor:\n{stdout}"
+    );
+
+    // Burn a retry first (an ExecResume with nonzero backoff) and the
+    // same conviction becomes legitimate.
+    let legit: String = [
+        events[0].clone(),
+        events[1].clone(),
+        EventKind::ExecResume {
+            attempt: 2,
+            resume_step: 0,
+            resumed: 0,
+            replayed: 0,
+            survivors: 3,
+            backoff_nanos: 1_000,
+        },
+        events[1].clone(),
+        events[2].clone(),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, e)| {
+        let rec = EventRecord {
+            v: SCHEMA_VERSION,
+            ts_nanos: i as u64,
+            event: e.clone(),
+        };
+        format!("{}\n", serde_json::to_string(&rec).unwrap())
+    })
+    .collect();
+    fs::write(&file, legit).expect("rewrite stream");
+    let out = Command::new(env!("CARGO_BIN_EXE_hetmmm-lint"))
+        .args(["--hb", file.to_str().unwrap()])
+        .output()
+        .expect("spawn hetmmm-lint --hb");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "blame after a burned retry passes:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shipped_workspace_tree_is_clean() {
     // The repo this test runs in must itself pass the gate — the same

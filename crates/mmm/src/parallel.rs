@@ -334,9 +334,9 @@ type StepMessage = (usize, Vec<(u32, f64)>, Vec<(u32, f64)>);
 enum Verdict {
     /// Finished all `n` steps; carries the owned C cells and counters.
     Completed(Vec<(u32, u32, f64)>, ProcExec),
-    /// An injected [`FaultKind::CrashAt`] fired. Work since the last
-    /// banked checkpoint is lost with the worker.
-    Crashed,
+    /// An injected [`FaultKind::CrashAt`] fired at `step`. Work since the
+    /// last banked checkpoint is lost with the worker.
+    Crashed { step: usize },
     /// An injected [`FaultKind::StallAt`] fired: the worker checkpointed,
     /// parked past every peer's receive budget, and returned quietly.
     /// Deliberately carries no accusation — a wedged worker in a real
@@ -523,7 +523,7 @@ impl Worker {
                         // Exiting drops our channel endpoints; peers see a
                         // disconnect. Work since the last periodic bank
                         // dies with us — that is the modeled loss.
-                        return Verdict::Crashed;
+                        return Verdict::Crashed { step: k };
                     }
                     FaultKind::DropMessageAt { step } if step == k => drop_sends = true,
                     FaultKind::DelaySendAt { step, millis } if step == k => {
@@ -727,6 +727,10 @@ enum Attempt {
         /// Did anyone confess (crash/panic)? Inconclusive failures earn
         /// supervisor-level retries before a conviction.
         conclusive: bool,
+        /// Evidence weights per processor ([`Proc::idx`]-indexed), carried
+        /// up so the supervisor can publish them if (and only if) this
+        /// attempt's verdict becomes a conviction.
+        weights: [u32; 3],
         /// Workers that finished all `n` steps this attempt.
         done: Vec<WorkerDone>,
         /// Counters from workers that did not finish.
@@ -894,7 +898,24 @@ fn run_attempt(
     for (proc, verdict) in &failed {
         match verdict {
             Verdict::Completed(..) => {}
-            Verdict::Panicked | Verdict::Crashed => {
+            Verdict::Panicked => {
+                conclusive = true;
+                blame[proc.idx()] += 100;
+            }
+            Verdict::Crashed { step } => {
+                // A confession must also be visible on the wire: the
+                // happens-before checker (H003) only accepts a conviction
+                // it can see testimony for. Panics already reported at
+                // join time; modeled crashes confess here, citing the
+                // step the fault fired at.
+                if obs::enabled() {
+                    obs::emit(obs::EventKind::ExecPeerLost {
+                        worker: proc.to_string(),
+                        peer: proc.to_string(),
+                        step: *step as u64,
+                        detail: "worker crashed (injected fault)".to_string(),
+                    });
+                }
                 conclusive = true;
                 blame[proc.idx()] += 100;
             }
@@ -937,15 +958,15 @@ fn run_attempt(
     // candidate always exists; fall back defensively all the same.
     let dead_idx = dead_idx.unwrap_or(0);
     let dead = Proc::ALL[dead_idx];
-    if obs::enabled() {
-        obs::emit(obs::EventKind::ExecBlame {
-            dead: dead.to_string(),
-            weights: blame.iter().map(|&w| w as u64).collect(),
-        });
-    }
+    // No ExecBlame here: an inconclusive verdict may still be overturned
+    // by a supervisor retry. The supervisor emits the blame event at the
+    // conviction point, so the event stream satisfies the happens-before
+    // protocol (`obs_verify --hb`, rule H003): blame only after the retry
+    // budget is exhausted or on a confession.
     Attempt::Failed {
         dead,
         conclusive,
+        weights: blame,
         done,
         partial,
     }
@@ -1210,6 +1231,7 @@ pub fn multiply_partitioned_with(
             Attempt::Failed {
                 dead,
                 conclusive,
+                weights,
                 done,
                 partial,
             } => {
@@ -1240,6 +1262,12 @@ pub fn multiply_partitioned_with(
                 // budget) stands. Each new fault gets a fresh transient
                 // budget — cascades re-enter discrimination per fault.
                 transient_used = 0;
+                if obs::enabled() {
+                    obs::emit(obs::EventKind::ExecBlame {
+                        dead: dead.to_string(),
+                        weights: weights.iter().map(|&w| w as u64).collect(),
+                    });
+                }
                 sup.recovery.faults_detected += 1;
                 sup.per_proc[dead.idx()] = ProcExec::default();
                 active.retain(|&p| p != dead);

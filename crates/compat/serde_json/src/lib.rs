@@ -4,8 +4,8 @@
 
 #![forbid(unsafe_code)]
 
-use serde::{DeError, Deserialize, Serialize};
 pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
 
 /// Serialization/deserialization error.
 pub type Error = DeError;

@@ -1,11 +1,19 @@
 //! The k-processor partition grid.
 //!
 //! A direct generalization of `hetmmm_partition::Partition`: owners are
-//! `0..k`, with processor 0 the fastest. All derived state — per-processor
-//! per-line element counts, per-line distinct-owner counts (`c_i`, `c_j`),
-//! the Eq. 1 VoC in line units, element totals, and the Zobrist state hash
-//! — updates in `O(1)` per reassignment (`O(k)` memory per line).
+//! `0..k`, with processor 0 the fastest. The assignment is stored as `k`
+//! per-processor **bit-planes** (row-major plus a transposed copy, same
+//! word layout as the three-processor grid — see
+//! `hetmmm_partition::bits`), so line sweeps serve 64 cells per word and
+//! enclosing-rectangle shrinks are word-wise scans of the occupied-line
+//! masks. All derived state — per-processor per-line element counts,
+//! per-line distinct-owner counts (`c_i`, `c_j`), the Eq. 1 VoC in line
+//! units, element totals, and the Zobrist state hash — updates in `O(1)`
+//! per reassignment (`O(k)` memory per line); reading one cell's owner is
+//! an `O(k)` plane probe.
 
+use hetmmm_obs as obs;
+use hetmmm_partition::bits::{full_line, next_occupied, prev_occupied};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -86,7 +94,19 @@ fn mix64(mut z: u64) -> u64 {
 pub struct NPartition {
     n: usize,
     k: usize,
-    cells: Vec<u8>,
+    /// `ceil(n / 64)`: `u64` words per plane line.
+    words: usize,
+    /// Row-major bit-planes, processor-major: bit `j % 64` of word
+    /// `(p * n + i) * words + j / 64` is set iff cell `(i, j)` is `p`'s.
+    row_bits: Vec<u64>,
+    /// Column-major (transposed) planes: bit `i % 64` of word
+    /// `(p * n + j) * words + i / 64`.
+    col_bits: Vec<u64>,
+    /// Occupied-row mask per processor (`words` words each): bit `i` set
+    /// iff `row_count[p][i] > 0`.
+    row_occ: Vec<u64>,
+    /// Occupied-column mask per processor.
+    col_occ: Vec<u64>,
     /// `row_count[p][i]`, flattened as `p * n + i`.
     row_count: Vec<u32>,
     col_count: Vec<u32>,
@@ -106,12 +126,24 @@ impl NPartition {
     pub fn new(n: usize, k: usize) -> NPartition {
         assert!(n > 0, "matrix size must be positive");
         assert!((2..=64).contains(&k), "2..=64 processors supported");
+        let words = n.div_ceil(64);
         let mut row_count = vec![0u32; k * n];
         let mut col_count = vec![0u32; k * n];
         for i in 0..n {
             row_count[i] = n as u32;
             col_count[i] = n as u32;
         }
+        // Processor 0 owns every cell: its planes are all-full lines and
+        // its occupancy masks are one full line; everyone else is zero.
+        let fl = full_line(n);
+        let mut row_bits = vec![0u64; k * n * words];
+        for line in 0..n {
+            row_bits[line * words..(line + 1) * words].copy_from_slice(&fl);
+        }
+        let col_bits = row_bits.clone();
+        let mut row_occ = vec![0u64; k * words];
+        row_occ[..words].copy_from_slice(&fl);
+        let col_occ = row_occ.clone();
         let mut elems = vec![0usize; k];
         elems[0] = n * n;
         let mut zobrist = 0u64;
@@ -128,7 +160,11 @@ impl NPartition {
         NPartition {
             n,
             k,
-            cells: vec![0u8; n * n],
+            words,
+            row_bits,
+            col_bits,
+            row_occ,
+            col_occ,
             row_count,
             col_count,
             row_procs: vec![1; n],
@@ -172,87 +208,136 @@ impl NPartition {
         self.k
     }
 
-    /// Owner of a cell.
+    /// Owner of a cell: an `O(k)` probe of the row planes. Every cell is
+    /// owned by exactly one processor, so a miss on the first `k - 1`
+    /// planes means the last one.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> u8 {
-        self.cells[i * self.n + j]
+        let (word, bit) = (j / 64, j % 64);
+        for p in 0..self.k - 1 {
+            if (self.row_bits[(p * self.n + i) * self.words + word] >> bit) & 1 == 1 {
+                return p as u8;
+            }
+        }
+        debug_assert_eq!(
+            (self.row_bits[((self.k - 1) * self.n + i) * self.words + word] >> bit) & 1,
+            1,
+            "cell ({i}, {j}) owned by no plane"
+        );
+        (self.k - 1) as u8
     }
 
-    /// Reassign a cell; all derived state updates in `O(1)`.
+    /// `u64` words per plane line (`ceil(n / 64)`).
+    #[inline]
+    pub fn words_per_line(&self) -> usize {
+        self.words
+    }
+
+    /// Word `w` of `proc`'s row-`i` plane line: bit `b` set iff cell
+    /// `(i, w * 64 + b)` belongs to `proc`.
+    #[inline]
+    pub fn row_plane_word(&self, proc: u8, i: usize, w: usize) -> u64 {
+        self.row_bits[(proc as usize * self.n + i) * self.words + w]
+    }
+
+    /// Word `w` of `proc`'s column-`j` (transposed) plane line: bit `b`
+    /// set iff cell `(w * 64 + b, j)` belongs to `proc`.
+    #[inline]
+    pub fn col_plane_word(&self, proc: u8, j: usize, w: usize) -> u64 {
+        self.col_bits[(proc as usize * self.n + j) * self.words + w]
+    }
+
+    /// Reassign a cell; all derived state updates in `O(1)` (the rect
+    /// shrink is amortized by the 64-cell word width).
     pub fn set(&mut self, i: usize, j: usize, proc: u8) -> u8 {
         debug_assert!((proc as usize) < self.k);
         let idx = i * self.n + j;
-        let old = self.cells[idx];
+        let old = self.get(i, j);
         if old == proc {
             return old;
         }
-        self.cells[idx] = proc;
+        let (n, words) = (self.n, self.words);
+        self.row_bits[(old as usize * n + i) * words + j / 64] &= !(1u64 << (j % 64));
+        self.row_bits[(proc as usize * n + i) * words + j / 64] |= 1u64 << (j % 64);
+        self.col_bits[(old as usize * n + j) * words + i / 64] &= !(1u64 << (i % 64));
+        self.col_bits[(proc as usize * n + j) * words + i / 64] |= 1u64 << (i % 64);
         self.elems[old as usize] -= 1;
         self.elems[proc as usize] += 1;
         self.zobrist ^= mix64((idx * self.k) as u64 + u64::from(old))
             ^ mix64((idx * self.k) as u64 + u64::from(proc));
 
-        let n = self.n;
         let rc_old = &mut self.row_count[old as usize * n + i];
         *rc_old -= 1;
-        if *rc_old == 0 {
+        let row_emptied = *rc_old == 0;
+        if row_emptied {
             self.row_procs[i] -= 1;
             self.voc_units -= 1;
+            self.row_occ[old as usize * words + i / 64] &= !(1u64 << (i % 64));
         }
         let rc_new = &mut self.row_count[proc as usize * n + i];
         if *rc_new == 0 {
             self.row_procs[i] += 1;
             self.voc_units += 1;
+            self.row_occ[proc as usize * words + i / 64] |= 1u64 << (i % 64);
         }
         *rc_new += 1;
 
         let cc_old = &mut self.col_count[old as usize * n + j];
         *cc_old -= 1;
-        if *cc_old == 0 {
+        let col_emptied = *cc_old == 0;
+        if col_emptied {
             self.col_procs[j] -= 1;
             self.voc_units -= 1;
+            self.col_occ[old as usize * words + j / 64] &= !(1u64 << (j % 64));
         }
         let cc_new = &mut self.col_count[proc as usize * n + j];
         if *cc_new == 0 {
             self.col_procs[j] += 1;
             self.voc_units += 1;
+            self.col_occ[proc as usize * words + j / 64] |= 1u64 << (j % 64);
         }
         *cc_new += 1;
 
         // Enclosing-rectangle bookkeeping (see the three-processor grid):
         // the gaining owner expands in O(1); the losing owner shrinks by
-        // scanning its per-line counts inward only when a boundary line
-        // just emptied.
+        // word-wise sweeps of its occupied-line masks, only when a
+        // boundary line just emptied.
         self.bounds[proc as usize].expand(i, j);
         if self.elems[old as usize] == 0 {
             self.bounds[old as usize] = Bounds::EMPTY;
         } else {
-            let rows = &self.row_count[old as usize * n..(old as usize + 1) * n];
-            let cols = &self.col_count[old as usize * n..(old as usize + 1) * n];
             let b = &mut self.bounds[old as usize];
-            if rows[i] == 0 {
+            let mut scans = 0u64;
+            if row_emptied {
+                let occ = &self.row_occ[old as usize * words..(old as usize + 1) * words];
                 if i == b.top {
-                    while rows[b.top] == 0 {
-                        b.top += 1;
-                    }
+                    let (top, s) = next_occupied(occ, b.top);
+                    b.top = top;
+                    scans += s;
                 }
                 if i == b.bottom {
-                    while rows[b.bottom] == 0 {
-                        b.bottom -= 1;
-                    }
+                    let (bottom, s) = prev_occupied(occ, b.bottom);
+                    b.bottom = bottom;
+                    scans += s;
                 }
             }
-            if cols[j] == 0 {
+            if col_emptied {
+                let occ = &self.col_occ[old as usize * words..(old as usize + 1) * words];
                 if j == b.left {
-                    while cols[b.left] == 0 {
-                        b.left += 1;
-                    }
+                    let (left, s) = next_occupied(occ, b.left);
+                    b.left = left;
+                    scans += s;
                 }
                 if j == b.right {
-                    while cols[b.right] == 0 {
-                        b.right -= 1;
-                    }
+                    let (right, s) = prev_occupied(occ, b.right);
+                    b.right = right;
+                    scans += s;
                 }
+            }
+            if scans != 0 && obs::metrics_enabled() {
+                obs::metrics()
+                    .counter(obs::metrics::names::GRID_SHRINK_WORD_SCANS)
+                    .add(scans);
             }
         }
         old
@@ -328,26 +413,71 @@ impl NPartition {
         })
     }
 
-    /// Recompute everything from the raw cells and panic on drift.
+    /// Recompute everything from the raw bit-planes and panic on drift.
     pub fn assert_invariants(&self) {
-        let (n, k) = (self.n, self.k);
+        let (n, k, words) = (self.n, self.k, self.words);
+        // Plane structure: every cell owned exactly once, the transposed
+        // planes agree with the row planes, and tail bits stay zero.
+        let tail = n % 64;
+        let junk = if tail == 0 { 0 } else { !((1u64 << tail) - 1) };
+        for p in 0..k {
+            for line in 0..n {
+                assert_eq!(
+                    self.row_bits[(p * n + line + 1) * words - 1] & junk,
+                    0,
+                    "row plane tail junk (proc {p}, row {line})"
+                );
+                assert_eq!(
+                    self.col_bits[(p * n + line + 1) * words - 1] & junk,
+                    0,
+                    "col plane tail junk (proc {p}, col {line})"
+                );
+            }
+        }
         let mut row_count = vec![0u32; k * n];
         let mut col_count = vec![0u32; k * n];
         let mut elems = vec![0usize; k];
         let mut zob = 0u64;
+        let mut bounds = vec![Bounds::EMPTY; k];
         for i in 0..n {
             for j in 0..n {
-                let p = self.cells[i * n + j] as usize;
+                let owners: Vec<usize> = (0..k)
+                    .filter(|&p| (self.row_plane_word(p as u8, i, j / 64) >> (j % 64)) & 1 == 1)
+                    .collect();
+                assert_eq!(owners.len(), 1, "cell ({i}, {j}) owner count");
+                let p = owners[0];
+                assert_eq!(
+                    (self.col_plane_word(p as u8, j, i / 64) >> (i % 64)) & 1,
+                    1,
+                    "col plane disagrees at ({i}, {j})"
+                );
                 row_count[p * n + i] += 1;
                 col_count[p * n + j] += 1;
                 elems[p] += 1;
                 zob ^= mix64(((i * n + j) * k) as u64 + p as u64);
+                bounds[p].expand(i, j);
             }
         }
         assert_eq!(row_count, self.row_count, "row_count drift");
         assert_eq!(col_count, self.col_count, "col_count drift");
         assert_eq!(elems, self.elems, "elems drift");
         assert_eq!(zob, self.zobrist, "zobrist drift");
+        // Occupancy masks match the counts bit for bit.
+        for p in 0..k {
+            for line in 0..n {
+                let (w, b) = (line / 64, line % 64);
+                assert_eq!(
+                    (self.row_occ[p * words + w] >> b) & 1,
+                    u64::from(row_count[p * n + line] > 0),
+                    "row_occ drift (proc {p}, row {line})"
+                );
+                assert_eq!(
+                    (self.col_occ[p * words + w] >> b) & 1,
+                    u64::from(col_count[p * n + line] > 0),
+                    "col_occ drift (proc {p}, col {line})"
+                );
+            }
+        }
         let mut units = 0u64;
         for i in 0..n {
             let c = (0..k).filter(|&p| row_count[p * n + i] > 0).count() as u8;
@@ -360,12 +490,6 @@ impl NPartition {
             units += u64::from(c) - 1;
         }
         assert_eq!(units, self.voc_units, "voc_units drift");
-        let mut bounds = vec![Bounds::EMPTY; k];
-        for i in 0..n {
-            for j in 0..n {
-                bounds[self.cells[i * n + j] as usize].expand(i, j);
-            }
-        }
         assert_eq!(bounds, self.bounds, "enclosing-rect bounds drift");
     }
 }

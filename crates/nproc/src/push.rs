@@ -17,6 +17,7 @@
 //! behind [`push_feasible_n`] that answers feasibility without cloning.
 
 use crate::grid::NPartition;
+use hetmmm_push::geom::Axis;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 
@@ -75,9 +76,11 @@ impl PushMode {
 /// Canonical-coordinate grid accessors the generalized push kernel needs.
 /// Implemented by the mutable [`NView`] and by the probe's read-only
 /// overlay, so applying and probing share one legality implementation.
+/// Method names mirror the three-processor `PushGrid` trait.
 ///
-/// `enclosing_rect_canonical` is only consulted by [`n_prepare`], before
-/// any swap; overlay implementations may answer it from their base grid.
+/// `enclosing_rect` and `line_word` are only consulted by [`n_prepare`],
+/// before any swap; overlay implementations may answer them from their
+/// base grid.
 trait NPushGrid {
     /// Owner of canonical cell `(u, v)`.
     fn get(&self, u: usize, v: usize) -> u8;
@@ -90,12 +93,16 @@ trait NPushGrid {
     /// Elements of `proc` in canonical column `v`.
     fn col_count(&self, proc: u8, v: usize) -> u32;
     /// Elements of `proc` in canonical row `u`.
-    fn row_count_canon(&self, proc: u8, u: usize) -> u32;
+    fn row_count(&self, proc: u8, u: usize) -> u32;
     /// Enclosing rectangle `(top, bottom, left, right)` in canonical
     /// coordinates.
-    fn enclosing_rect_canonical(&self, proc: u8) -> Option<(usize, usize, usize, usize)>;
+    fn enclosing_rect(&self, proc: u8) -> Option<(usize, usize, usize, usize)>;
     /// VoC line units of the underlying grid.
     fn voc_units(&self) -> u64;
+    /// Word `w` of `proc`'s canonical-row-`u` bit-plane line (bit `b` =
+    /// canonical cell `(u, w * 64 + b)`), for the word sweeps in
+    /// [`n_prepare`].
+    fn line_word(&self, proc: u8, u: usize, w: usize) -> u64;
 }
 
 /// Canonical-coordinate accessors for a direction.
@@ -106,19 +113,11 @@ struct NView<'a> {
 }
 
 impl<'a> NView<'a> {
+    hetmmm_push::canonical_geometry!(dir: crate::push::NDirection, proc: u8, base: part);
+
     fn new(part: &'a mut NPartition, dir: NDirection) -> NView<'a> {
         let n = part.n();
         NView { part, dir, n }
-    }
-
-    #[inline]
-    fn map(&self, u: usize, v: usize) -> (usize, usize) {
-        match self.dir {
-            NDirection::Down => (u, v),
-            NDirection::Up => (self.n - 1 - u, v),
-            NDirection::Right => (v, u),
-            NDirection::Left => (v, self.n - 1 - u),
-        }
     }
 }
 
@@ -138,54 +137,49 @@ impl NPushGrid for NView<'_> {
 
     #[inline]
     fn row_has(&self, proc: u8, u: usize) -> bool {
-        match self.dir {
-            NDirection::Down => self.part.row_has(proc, u),
-            NDirection::Up => self.part.row_has(proc, self.n - 1 - u),
-            NDirection::Right => self.part.col_has(proc, u),
-            NDirection::Left => self.part.col_has(proc, self.n - 1 - u),
+        match self.canon_row_line(u) {
+            (i, Axis::Row) => self.part.row_has(proc, i),
+            (j, Axis::Col) => self.part.col_has(proc, j),
         }
     }
 
     #[inline]
     fn col_has(&self, proc: u8, v: usize) -> bool {
-        match self.dir {
-            NDirection::Down | NDirection::Up => self.part.col_has(proc, v),
-            NDirection::Right | NDirection::Left => self.part.row_has(proc, v),
+        match self.canon_col_line(v) {
+            (j, Axis::Col) => self.part.col_has(proc, j),
+            (i, Axis::Row) => self.part.row_has(proc, i),
         }
     }
 
     #[inline]
     fn col_count(&self, proc: u8, v: usize) -> u32 {
-        match self.dir {
-            NDirection::Down | NDirection::Up => self.part.col_count(proc, v),
-            NDirection::Right | NDirection::Left => self.part.row_count(proc, v),
+        match self.canon_col_line(v) {
+            (j, Axis::Col) => self.part.col_count(proc, j),
+            (i, Axis::Row) => self.part.row_count(proc, i),
         }
     }
 
     #[inline]
-    fn row_count_canon(&self, proc: u8, u: usize) -> u32 {
-        match self.dir {
-            NDirection::Down => self.part.row_count(proc, u),
-            NDirection::Up => self.part.row_count(proc, self.n - 1 - u),
-            NDirection::Right => self.part.col_count(proc, u),
-            NDirection::Left => self.part.col_count(proc, self.n - 1 - u),
+    fn row_count(&self, proc: u8, u: usize) -> u32 {
+        match self.canon_row_line(u) {
+            (i, Axis::Row) => self.part.row_count(proc, i),
+            (j, Axis::Col) => self.part.col_count(proc, j),
         }
     }
 
-    fn enclosing_rect_canonical(&self, proc: u8) -> Option<(usize, usize, usize, usize)> {
+    fn enclosing_rect(&self, proc: u8) -> Option<(usize, usize, usize, usize)> {
         let r = self.part.enclosing_rect(proc)?;
-        let n = self.n;
-        Some(match self.dir {
-            NDirection::Down => (r.top, r.bottom, r.left, r.right),
-            NDirection::Up => (n - 1 - r.bottom, n - 1 - r.top, r.left, r.right),
-            NDirection::Right => (r.left, r.right, r.top, r.bottom),
-            NDirection::Left => (n - 1 - r.right, n - 1 - r.left, r.top, r.bottom),
-        })
+        Some(self.canon_rect(r.top, r.bottom, r.left, r.right))
     }
 
     #[inline]
     fn voc_units(&self) -> u64 {
         self.part.voc_units()
+    }
+
+    #[inline]
+    fn line_word(&self, proc: u8, u: usize, w: usize) -> u64 {
+        self.plane_line_word(proc, u, w)
     }
 }
 
@@ -226,53 +220,105 @@ struct NPrepared {
 /// Phase 1 — locate the cleaned line and bucket interior targets per
 /// displaced owner by active dirty cost and owner-line cleaning bonus.
 fn n_prepare<G: NPushGrid>(view: &G, proc: u8, k: usize) -> Option<NPrepared> {
-    let (top, bottom, left, right) = view.enclosing_rect_canonical(proc)?;
+    let (top, bottom, left, right) = view.enclosing_rect(proc)?;
     if bottom == top {
         return None; // single-line rectangle: nowhere to go
     }
     let kline = top;
 
-    let cleaned: Vec<usize> = (left..=right)
-        .filter(|&v| view.get(kline, v) == proc)
-        .collect();
+    // Word range and per-word masks covering canonical columns
+    // [left, right] of the bit-planes.
+    let w_lo = left / 64;
+    let w_hi = right / 64;
+    let lo_mask = !0u64 << (left % 64);
+    let hi_mask = {
+        let r = right % 64;
+        if r == 63 {
+            !0u64
+        } else {
+            (1u64 << (r + 1)) - 1
+        }
+    };
+    let rect_mask = |w: usize| -> u64 {
+        let mut m = !0u64;
+        if w == w_lo {
+            m &= lo_mask;
+        }
+        if w == w_hi {
+            m &= hi_mask;
+        }
+        m
+    };
+
+    // Active elements in the cleaned line, word-wise (ascending v).
+    let mut cleaned: Vec<usize> = Vec::new();
+    for w in w_lo..=w_hi {
+        let mut bits = view.line_word(proc, kline, w) & rect_mask(w);
+        while bits != 0 {
+            cleaned.push(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
     let m = cleaned.len();
     debug_assert!(m > 0);
 
-    // Owner slots: every processor except the active one.
+    // Owner slots: every processor except the active one, ascending.
     let owners: Vec<u8> = (0..k as u8).filter(|&p| p != proc).collect();
-    // `owners` is ascending `0..k` with `proc` removed, so an owner's slot
-    // is its id shifted down by one past the gap — no search needed.
-    let slot_of = |p: u8| {
-        debug_assert!(p != proc);
-        if p < proc {
-            p as usize
-        } else {
-            p as usize - 1
-        }
-    };
 
+    // Per-column facts are invariant during prepare, so compute them once
+    // per rectangle width as bitmasks over the rect words: `col_ok[w]`
+    // bit b — the active side already owns column `w*64+b` outside the
+    // cleaned line; `col_cleans[slot][w]` bit b — removing the owner's
+    // element would empty that owner's column.
+    let wn = w_hi - w_lo + 1;
+    let mut col_ok = vec![0u64; wn];
+    let mut col_cleans = vec![vec![0u64; wn]; owners.len()];
+    for w in w_lo..=w_hi {
+        let row_k = view.line_word(proc, kline, w);
+        let mut bits = rect_mask(w);
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let h = w * 64 + b;
+            let mut cnt = view.col_count(proc, h);
+            if (row_k >> b) & 1 == 1 {
+                cnt -= 1;
+            }
+            if cnt > 0 {
+                col_ok[w - w_lo] |= 1u64 << b;
+            }
+            for (slot, &owner) in owners.iter().enumerate() {
+                if view.col_count(owner, h) == 1 {
+                    col_cleans[slot][w - w_lo] |= 1u64 << b;
+                }
+            }
+        }
+    }
+
+    // Sweep each owner's bit-plane words over the rectangle interior.
+    // Per owner the candidates still arrive in (g, h) lexicographic order
+    // — the order the per-cell scan produced — so every bucket's contents
+    // and cap truncation are unchanged.
     let cap = m + 64;
     let mut buckets: Vec<[Vec<(usize, usize)>; 6]> =
         (0..owners.len()).map(|_| Default::default()).collect();
     for g in (kline + 1)..=bottom {
-        for h in left..=right {
-            let owner = view.get(g, h);
-            if owner == proc {
-                continue;
-            }
-            let col_has_excl_k = {
-                let mut cnt = view.col_count(proc, h);
-                if view.get(kline, h) == proc {
-                    cnt -= 1;
+        let row_dirty = usize::from(!view.row_has(proc, g));
+        for (slot, &owner) in owners.iter().enumerate() {
+            let row_cleans = view.row_count(owner, g) == 1;
+            for w in w_lo..=w_hi {
+                let mut bits = view.line_word(owner, g, w) & rect_mask(w);
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let cost = row_dirty + usize::from((col_ok[w - w_lo] >> b) & 1 == 0);
+                    let cleans = row_cleans || (col_cleans[slot][w - w_lo] >> b) & 1 == 1;
+                    let bucket = cost * 2 + usize::from(!cleans);
+                    let vec = &mut buckets[slot][bucket];
+                    if vec.len() < cap {
+                        vec.push((g, w * 64 + b));
+                    }
                 }
-                cnt > 0
-            };
-            let cost = usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
-            let cleans = view.row_count_canon(owner, g) == 1 || view.col_count(owner, h) == 1;
-            let bucket = cost * 2 + usize::from(!cleans);
-            let vec = &mut buckets[slot_of(owner)][bucket];
-            if vec.len() < cap {
-                vec.push((g, h));
             }
         }
     }
@@ -461,50 +507,29 @@ pub fn try_push_mode(
 }
 
 /// Reusable overlay storage for the clone-free feasibility probe; the
-/// k-processor analogue of the three-processor `ProbeScratch`.
+/// k-processor analogue of the three-processor `ProbeScratch`. All maps
+/// are sparse — O(cleaned-line) entries keyed by the lines a probe
+/// actually touches — so the scratch is independent of `(n, k)` and needs
+/// no sizing step.
 #[derive(Debug, Default)]
 struct NProbeScratch {
-    /// `(n, k)` the flattened delta tables are sized for.
-    dims: (usize, usize),
     /// Overlay cell assignments as `(flat index, owner)`.
     cells: Vec<(u32, u8)>,
-    /// Per-(proc, row) count deltas, flattened as `proc * n + row`.
-    row_delta: Vec<i32>,
-    /// Per-(proc, col) count deltas, flattened as `proc * n + col`.
-    col_delta: Vec<i32>,
-    /// Flat `row_delta` indices that may be nonzero.
-    touched_rows: Vec<u32>,
-    /// Flat `col_delta` indices that may be nonzero.
-    touched_cols: Vec<u32>,
+    /// Per-(proc, row) count deltas, keyed by the flat `proc * n + row`
+    /// index. Linear-scanned like `cells`.
+    row_delta: Vec<(u32, i32)>,
+    /// Per-(proc, col) count deltas, keyed by `proc * n + col`.
+    col_delta: Vec<(u32, i32)>,
     /// Overlay ΔVoC in line units relative to the base.
     voc_delta: i64,
 }
 
 impl NProbeScratch {
-    fn ensure(&mut self, n: usize, k: usize) {
-        if self.dims != (n, k) {
-            self.dims = (n, k);
-            self.row_delta.clear();
-            self.row_delta.resize(n * k, 0);
-            self.col_delta.clear();
-            self.col_delta.resize(n * k, 0);
-            self.touched_rows.clear();
-            self.touched_cols.clear();
-            self.cells.clear();
-            self.voc_delta = 0;
-        } else {
-            self.reset();
-        }
-    }
-
+    /// Empty the overlay without freeing its storage.
     fn reset(&mut self) {
-        for idx in self.touched_rows.drain(..) {
-            self.row_delta[idx as usize] = 0;
-        }
-        for idx in self.touched_cols.drain(..) {
-            self.col_delta[idx as usize] = 0;
-        }
         self.cells.clear();
+        self.row_delta.clear();
+        self.col_delta.clear();
         self.voc_delta = 0;
     }
 }
@@ -519,15 +544,7 @@ struct NProbeView<'a> {
 }
 
 impl NProbeView<'_> {
-    #[inline]
-    fn map(&self, u: usize, v: usize) -> (usize, usize) {
-        match self.dir {
-            NDirection::Down => (u, v),
-            NDirection::Up => (self.n - 1 - u, v),
-            NDirection::Right => (v, u),
-            NDirection::Left => (v, self.n - 1 - u),
-        }
-    }
+    hetmmm_push::canonical_geometry!(dir: crate::push::NDirection, proc: u8, base: base);
 
     #[inline]
     fn get_real(&self, i: usize, j: usize) -> u8 {
@@ -542,30 +559,42 @@ impl NProbeView<'_> {
 
     #[inline]
     fn row_count_real(&self, proc: u8, i: usize) -> i64 {
-        i64::from(self.base.row_count(proc, i))
-            + i64::from(self.scratch.row_delta[proc as usize * self.n + i])
+        let idx = (proc as usize * self.n + i) as u32;
+        let delta = self
+            .scratch
+            .row_delta
+            .iter()
+            .find(|(r, _)| *r == idx)
+            .map_or(0, |&(_, d)| d);
+        i64::from(self.base.row_count(proc, i)) + i64::from(delta)
     }
 
     #[inline]
     fn col_count_real(&self, proc: u8, j: usize) -> i64 {
-        i64::from(self.base.col_count(proc, j))
-            + i64::from(self.scratch.col_delta[proc as usize * self.n + j])
+        let idx = (proc as usize * self.n + j) as u32;
+        let delta = self
+            .scratch
+            .col_delta
+            .iter()
+            .find(|(c, _)| *c == idx)
+            .map_or(0, |&(_, d)| d);
+        i64::from(self.base.col_count(proc, j)) + i64::from(delta)
     }
 
     fn bump_row(&mut self, proc: u8, i: usize, by: i32) {
-        let idx = proc as usize * self.n + i;
-        if self.scratch.row_delta[idx] == 0 {
-            self.scratch.touched_rows.push(idx as u32);
+        let idx = (proc as usize * self.n + i) as u32;
+        match self.scratch.row_delta.iter_mut().find(|(r, _)| *r == idx) {
+            Some((_, d)) => *d += by,
+            None => self.scratch.row_delta.push((idx, by)),
         }
-        self.scratch.row_delta[idx] += by;
     }
 
     fn bump_col(&mut self, proc: u8, j: usize, by: i32) {
-        let idx = proc as usize * self.n + j;
-        if self.scratch.col_delta[idx] == 0 {
-            self.scratch.touched_cols.push(idx as u32);
+        let idx = (proc as usize * self.n + j) as u32;
+        match self.scratch.col_delta.iter_mut().find(|(c, _)| *c == idx) {
+            Some((_, d)) => *d += by,
+            None => self.scratch.col_delta.push((idx, by)),
         }
-        self.scratch.col_delta[idx] += by;
     }
 
     /// Overlay mirror of `NPartition::set`: same count-before-transition
@@ -620,31 +649,29 @@ impl NPushGrid for NProbeView<'_> {
 
     #[inline]
     fn row_has(&self, proc: u8, u: usize) -> bool {
-        self.row_count_canon(proc, u) > 0
+        NPushGrid::row_count(self, proc, u) > 0
     }
 
     #[inline]
     fn col_has(&self, proc: u8, v: usize) -> bool {
-        self.col_count(proc, v) > 0
+        NPushGrid::col_count(self, proc, v) > 0
     }
 
     #[inline]
     fn col_count(&self, proc: u8, v: usize) -> u32 {
-        let count = match self.dir {
-            NDirection::Down | NDirection::Up => self.col_count_real(proc, v),
-            NDirection::Right | NDirection::Left => self.row_count_real(proc, v),
+        let count = match self.canon_col_line(v) {
+            (j, Axis::Col) => self.col_count_real(proc, j),
+            (i, Axis::Row) => self.row_count_real(proc, i),
         };
         debug_assert!(count >= 0, "overlay drove a line count negative");
         count as u32
     }
 
     #[inline]
-    fn row_count_canon(&self, proc: u8, u: usize) -> u32 {
-        let count = match self.dir {
-            NDirection::Down => self.row_count_real(proc, u),
-            NDirection::Up => self.row_count_real(proc, self.n - 1 - u),
-            NDirection::Right => self.col_count_real(proc, u),
-            NDirection::Left => self.col_count_real(proc, self.n - 1 - u),
+    fn row_count(&self, proc: u8, u: usize) -> u32 {
+        let count = match self.canon_row_line(u) {
+            (i, Axis::Row) => self.row_count_real(proc, i),
+            (j, Axis::Col) => self.col_count_real(proc, j),
         };
         debug_assert!(count >= 0, "overlay drove a line count negative");
         count as u32
@@ -653,15 +680,9 @@ impl NPushGrid for NProbeView<'_> {
     /// Answered from the base grid: the kernel only consults the rectangle
     /// in [`n_prepare`], before any overlay swap (rolled-back attempts
     /// leave only zero-net-effect identity entries).
-    fn enclosing_rect_canonical(&self, proc: u8) -> Option<(usize, usize, usize, usize)> {
+    fn enclosing_rect(&self, proc: u8) -> Option<(usize, usize, usize, usize)> {
         let r = self.base.enclosing_rect(proc)?;
-        let n = self.n;
-        Some(match self.dir {
-            NDirection::Down => (r.top, r.bottom, r.left, r.right),
-            NDirection::Up => (n - 1 - r.bottom, n - 1 - r.top, r.left, r.right),
-            NDirection::Right => (r.left, r.right, r.top, r.bottom),
-            NDirection::Left => (n - 1 - r.right, n - 1 - r.left, r.top, r.bottom),
-        })
+        Some(self.canon_rect(r.top, r.bottom, r.left, r.right))
     }
 
     #[inline]
@@ -669,6 +690,13 @@ impl NPushGrid for NProbeView<'_> {
         let units = self.base.voc_units() as i64 + self.scratch.voc_delta;
         debug_assert!(units >= 0, "overlay drove voc_units negative");
         units as u64
+    }
+
+    /// Bit-plane line words from the *base* grid — valid under the same
+    /// pre-swap contract as [`NPushGrid::enclosing_rect`].
+    #[inline]
+    fn line_word(&self, proc: u8, u: usize, w: usize) -> u64 {
+        self.plane_line_word(proc, u, w)
     }
 }
 
@@ -679,7 +707,7 @@ fn push_feasible_n_with(
     dir: NDirection,
 ) -> bool {
     let k = part.k();
-    scratch.ensure(part.n(), k);
+    scratch.reset();
     let voc_before = part.voc_units() as i64;
     let mut view = NProbeView {
         base: part,

@@ -98,6 +98,12 @@ pub mod names {
     ];
     /// Steps the n-processor column DFA took to reach its final shape.
     pub const NPROC_STEPS: &str = "nproc.steps";
+    /// `u64` plane words popcounted by the bit-plane occupancy reads
+    /// (`rows_occupied` / `cols_occupied`).
+    pub const GRID_POPCOUNT_WORDS: &str = "grid.popcount.words";
+    /// Occupied-line mask words examined by the enclosing-rect boundary
+    /// shrink sweeps in `Partition::set` / `NPartition::set`.
+    pub const GRID_SHRINK_WORD_SCANS: &str = "grid.shrink.word_scans";
     /// Push-feasibility probes actually evaluated (cache misses included,
     /// cache hits not).
     pub const PUSH_PROBES: &str = "push.probe.evals";

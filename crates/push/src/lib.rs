@@ -17,6 +17,8 @@
 //! - [`op`]: directions, push types, and the atomic [`op::try_push`] /
 //!   [`op::try_push_any_type`] operations with exact ΔVoC accounting and
 //!   rollback,
+//! - [`geom`]: the canonical-coordinate table and the
+//!   [`canonical_geometry!`] macro that generates it once per view type,
 //! - [`view`]: the direction-canonicalizing coordinate view that lets one
 //!   implementation serve ↓, ↑, ← and →,
 //! - [`probe`]: clone-free feasibility probes ([`probe::push_feasible`])
@@ -32,6 +34,7 @@
 
 pub mod beautify;
 pub mod dfa;
+pub mod geom;
 pub mod op;
 pub mod probe;
 pub mod view;

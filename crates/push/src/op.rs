@@ -46,125 +46,141 @@ use hetmmm_partition::{Partition, Proc, Rect};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The four push directions (the paper's alphabet symbols ↓ ↑ ← →).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-pub enum Direction {
+/// Declare the four push directions in one table: variant, dense index
+/// (the position in `ALL`, used for per-(proc, dir) slot arithmetic), and
+/// the paper's arrow glyph. Generates the enum, `ALL`, `index`, `arrow`
+/// and `Display` from a single row per direction.
+macro_rules! directions {
+    ($(
+        $(#[$doc:meta])*
+        $variant:ident => index $idx:literal, arrow $arrow:literal;
+    )+) => {
+        /// The four push directions (the paper's alphabet symbols ↓ ↑ ← →).
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+        pub enum Direction {
+            $( $(#[$doc])* $variant, )+
+        }
+
+        impl Direction {
+            /// All four directions.
+            pub const ALL: [Direction; directions!(@count $($variant)+)] =
+                [ $(Direction::$variant),+ ];
+
+            /// Position of this direction in [`Direction::ALL`] (down 0,
+            /// up 1, left 2, right 3). Used for dense per-(proc, dir)
+            /// tables.
+            pub(crate) fn index(self) -> usize {
+                match self { $(Direction::$variant => $idx),+ }
+            }
+
+            /// Arrow glyph used in logs, matching the paper's notation.
+            pub fn arrow(self) -> char {
+                match self { $(Direction::$variant => $arrow),+ }
+            }
+        }
+
+        impl fmt::Display for Direction {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.arrow())
+            }
+        }
+    };
+    (@count $($variant:ident)+) => { [$(directions!(@one $variant)),+].len() };
+    (@one $variant:ident) => { () };
+}
+
+directions! {
     /// Clean the top row of the enclosing rectangle, elements move down.
-    Down,
+    Down => index 0, arrow '↓';
     /// Clean the bottom row, elements move up.
-    Up,
+    Up => index 1, arrow '↑';
     /// Clean the rightmost column, elements move left.
-    Left,
+    Left => index 2, arrow '←';
     /// Clean the leftmost column, elements move right.
-    Right,
+    Right => index 3, arrow '→';
 }
 
-impl Direction {
-    /// All four directions.
-    pub const ALL: [Direction; 4] = [
-        Direction::Down,
-        Direction::Up,
-        Direction::Left,
-        Direction::Right,
-    ];
-
-    /// Position of this direction in [`Direction::ALL`] (down 0, up 1,
-    /// left 2, right 3). Used for dense per-(proc, dir) tables.
-    pub(crate) fn index(self) -> usize {
-        match self {
-            Direction::Down => 0,
-            Direction::Up => 1,
-            Direction::Left => 2,
-            Direction::Right => 3,
+/// Declare the paper's six push types as one table: variant, paper number,
+/// active-side class, displaced-side strictness, and the ΔVoC contract
+/// (Section IV-A, the two orthogonal strictness knobs from the module
+/// docs). Generates the enum (discriminants in table order, so `ty as
+/// usize` indexes per-type metric tables), `ALL`, every property accessor
+/// the prepare/attempt kernel dispatches on, and `Display` — the whole
+/// 6-type × 4-direction behavior table has exactly one definition.
+macro_rules! push_types {
+    ($(
+        $(#[$doc:meta])*
+        $variant:ident => number $num:literal,
+            active $active:ident,
+            displaced $displaced:ident,
+            voc $voc:ident;
+    )+) => {
+        /// The six push types of Section IV-A.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+        pub enum PushType {
+            $( $(#[$doc])* $variant, )+
         }
-    }
 
-    /// Arrow glyph used in logs, matching the paper's notation.
-    pub fn arrow(self) -> char {
-        match self {
-            Direction::Down => '↓',
-            Direction::Up => '↑',
-            Direction::Left => '←',
-            Direction::Right => '→',
+        impl PushType {
+            /// All six types, in the order `try_push_any_type` attempts them
+            /// (most restrictive / most profitable first).
+            pub const ALL: [PushType; push_types!(@count $($variant)+)] =
+                [ $(PushType::$variant),+ ];
+
+            /// The paper's type number (1–6).
+            #[inline]
+            pub fn number(self) -> u8 {
+                match self { $(PushType::$variant => $num),+ }
+            }
+
+            /// Must the displaced (receiving) processor already occupy the
+            /// cleaned row and the destination column?
+            #[inline]
+            fn displaced_strict(self) -> bool {
+                match self { $(PushType::$variant => push_types!(@displaced $displaced)),+ }
+            }
+
+            /// Active-side admissibility class.
+            #[inline]
+            fn active_side(self) -> ActiveSide {
+                match self { $(PushType::$variant => ActiveSide::$active),+ }
+            }
+
+            /// The ΔVoC contract (in line units): `true` means strict
+            /// decrease required.
+            #[inline]
+            fn requires_strict_decrease(self) -> bool {
+                match self { $(PushType::$variant => push_types!(@voc $voc)),+ }
+            }
         }
-    }
+
+        impl fmt::Display for PushType {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "Type{}", self.number())
+            }
+        }
+    };
+    (@count $($variant:ident)+) => { [$(push_types!(@one $variant)),+].len() };
+    (@one $variant:ident) => { () };
+    (@displaced strict) => { true };
+    (@displaced relaxed) => { false };
+    (@voc decrease) => { true };
+    (@voc nonincrease) => { false };
 }
 
-impl fmt::Display for Direction {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.arrow())
-    }
-}
-
-/// The six push types of Section IV-A.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-pub enum PushType {
+push_types! {
     /// Strict active side, strict displaced side; decreases VoC.
-    One,
+    One => number 1, active Strict, displaced strict, voc decrease;
     /// Budgeted active side, strict displaced side; decreases VoC.
-    Two,
+    Two => number 2, active Budgeted, displaced strict, voc decrease;
     /// Strict active side, relaxed displaced side; decreases VoC.
-    Three,
+    Three => number 3, active Strict, displaced relaxed, voc decrease;
     /// Budgeted active side, relaxed displaced side; decreases VoC.
-    Four,
+    Four => number 4, active Budgeted, displaced relaxed, voc decrease;
     /// One-dirty active side, strict displaced side; VoC unchanged (or less).
-    Five,
+    Five => number 5, active OneDirty, displaced strict, voc nonincrease;
     /// One-dirty active side, relaxed displaced side; VoC unchanged or less.
-    Six,
-}
-
-impl PushType {
-    /// All six types, in the order `try_push_any_type` attempts them
-    /// (most restrictive / most profitable first).
-    pub const ALL: [PushType; 6] = [
-        PushType::One,
-        PushType::Two,
-        PushType::Three,
-        PushType::Four,
-        PushType::Five,
-        PushType::Six,
-    ];
-
-    /// Must the displaced (receiving) processor already occupy the cleaned
-    /// row and the destination column?
-    #[inline]
-    fn displaced_strict(self) -> bool {
-        matches!(self, PushType::One | PushType::Two | PushType::Five)
-    }
-
-    /// Active-side admissibility class.
-    #[inline]
-    fn active_side(self) -> ActiveSide {
-        match self {
-            PushType::One | PushType::Three => ActiveSide::Strict,
-            PushType::Two | PushType::Four => ActiveSide::Budgeted,
-            PushType::Five | PushType::Six => ActiveSide::OneDirty,
-        }
-    }
-
-    /// The ΔVoC contract (in line units): `true` means strict decrease
-    /// required.
-    #[inline]
-    fn requires_strict_decrease(self) -> bool {
-        matches!(
-            self,
-            PushType::One | PushType::Two | PushType::Three | PushType::Four
-        )
-    }
-}
-
-impl fmt::Display for PushType {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let n = match self {
-            PushType::One => 1,
-            PushType::Two => 2,
-            PushType::Three => 3,
-            PushType::Four => 4,
-            PushType::Five => 5,
-            PushType::Six => 6,
-        };
-        write!(f, "Type{n}")
-    }
+    Six => number 6, active OneDirty, displaced relaxed, voc nonincrease;
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -224,6 +240,11 @@ pub(crate) trait PushGrid {
     fn enclosing_rect(&self, proc: Proc) -> Option<Rect>;
     /// VoC line units of the underlying grid.
     fn voc_units(&self) -> u64;
+    /// Word `w` of `proc`'s canonical-row-`u` bit-plane line: bit `b` is
+    /// set iff canonical cell `(u, w * 64 + b)` belongs to `proc`. Like
+    /// `enclosing_rect`, only consulted by [`prepare`] before any swap, so
+    /// overlay implementations may answer from their base grid.
+    fn line_word(&self, proc: Proc, u: usize, w: usize) -> u64;
 }
 
 /// The type-independent part of a push attempt: the cleaned line and the
@@ -252,70 +273,120 @@ pub(crate) fn prepare<G: PushGrid>(view: &G, proc: Proc) -> Option<Prepared> {
     }
     let k = rect.top;
 
-    // Elements of the active processor in the cleaned line.
-    let cleaned: Vec<usize> = (rect.left..=rect.right)
-        .filter(|&v| view.get(k, v) == proc)
-        .collect();
+    // Word range and per-word masks covering canonical columns
+    // [rect.left, rect.right] of the bit-planes.
+    let w_lo = rect.left / 64;
+    let w_hi = rect.right / 64;
+    let lo_mask = !0u64 << (rect.left % 64);
+    let hi_mask = {
+        let r = rect.right % 64;
+        if r == 63 {
+            !0u64
+        } else {
+            (1u64 << (r + 1)) - 1
+        }
+    };
+    let rect_mask = |w: usize| -> u64 {
+        let mut m = !0u64;
+        if w == w_lo {
+            m &= lo_mask;
+        }
+        if w == w_hi {
+            m &= hi_mask;
+        }
+        m
+    };
+
+    // Elements of the active processor in the cleaned line, extracted
+    // word-wise from its bit-plane (ascending v, as before).
+    let mut cleaned: Vec<usize> = Vec::new();
+    for w in w_lo..=w_hi {
+        let mut bits = view.line_word(proc, k, w) & rect_mask(w);
+        while bits != 0 {
+            cleaned.push(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
     debug_assert!(
         !cleaned.is_empty(),
         "edge line of enclosing rect must contain proc"
     );
     let m = cleaned.len();
-    // Owner slot 0 is `others()[0]`, slot 1 is `others()[1]`; only the
-    // second is needed here (slot = "is it the second other?").
-    let [_, o2] = proc.others();
+    let [o1, o2] = proc.others();
+
+    // Per-column facts are invariant during prepare (the grid is in its
+    // pre-push state throughout), so compute them once per rectangle width
+    // as bitmasks over the rect words instead of once per interior cell:
+    // `col_ok[w]` bit b — the active side's "column w*64+b already has X
+    // outside the cleaned line" predicate; `col_cleans[slot][w]` bit b —
+    // removing the owner's element empties the owner's column.
+    let wn = w_hi - w_lo + 1;
+    let mut col_ok = vec![0u64; wn];
+    let mut col_cleans = [vec![0u64; wn], vec![0u64; wn]];
+    for w in w_lo..=w_hi {
+        let row_k = view.line_word(proc, k, w);
+        let mut bits = rect_mask(w);
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let h = w * 64 + b;
+            let mut cnt = view.col_count(proc, h);
+            if (row_k >> b) & 1 == 1 {
+                cnt -= 1;
+            }
+            if cnt > 0 {
+                col_ok[w - w_lo] |= 1u64 << b;
+            }
+            if view.col_count(o1, h) == 1 {
+                col_cleans[0][w - w_lo] |= 1u64 << b;
+            }
+            if view.col_count(o2, h) == 1 {
+                col_cleans[1][w - w_lo] |= 1u64 << b;
+            }
+        }
+    }
 
     // Collect candidate interior targets per displaced owner.
     //
     // The paper's `find` scans the enclosing-rectangle interior row-major
-    // from (k+1, left). We do the same but keep the candidates grouped by
-    // owner, because the displaced element is given "*some* unassigned
-    // element (r_top, j)" — the pairing between vacated positions and
-    // displaced owners is ours to choose. Within each owner group,
-    // candidates whose removal cleans one of the owner's lines sort first
-    // (they reduce VoC).
-    let mut owner_targets: [Vec<(usize, usize)>; 2] = [Vec::new(), Vec::new()];
-    {
-        // Bucket candidates per owner by (active-side dirty cost, cleaning
-        // bonus): landing the cleaned element where the active processor
-        // already has presence costs nothing; targets whose removal cleans
-        // one of the *owner's* lines reduce VoC further. Bucket order is
-        // the paper's Type-1-first preference made operational. Each
-        // bucket is capped — the matcher never needs more than `m` targets
-        // per owner plus slack for budget skips — keeping the scan O(area)
-        // and the memory O(m).
-        let cap = m + 64;
-        let mut buckets: [[Vec<(usize, usize)>; 6]; 2] = Default::default();
-        for g in (k + 1)..=rect.bottom {
-            for h in rect.left..=rect.right {
-                let owner = view.get(g, h);
-                if owner == proc {
-                    continue;
-                }
-                let slot = usize::from(owner == o2);
-                // Active-side dirty cost against the pre-push state; X only
-                // gains interior presence during the push, so a cost-0
-                // target stays cost-0.
-                let col_has_excl_k = {
-                    let mut cnt = view.col_count(proc, h);
-                    if view.get(k, h) == proc {
-                        cnt -= 1;
+    // from (k+1, left). We sweep each owner's bit-plane words over the same
+    // interior instead — per owner the candidates still arrive in (g, h)
+    // lexicographic order, so every bucket receives the exact sequence the
+    // per-cell scan produced and cap truncation is unchanged.
+    //
+    // Bucket candidates per owner by (active-side dirty cost, cleaning
+    // bonus): landing the cleaned element where the active processor
+    // already has presence costs nothing; targets whose removal cleans
+    // one of the *owner's* lines reduce VoC further. Bucket order is
+    // the paper's Type-1-first preference made operational. Each
+    // bucket is capped — the matcher never needs more than `m` targets
+    // per owner plus slack for budget skips — keeping the memory O(m).
+    let cap = m + 64;
+    let mut buckets: [[Vec<(usize, usize)>; 6]; 2] = Default::default();
+    for g in (k + 1)..=rect.bottom {
+        let row_dirty = usize::from(!view.row_has(proc, g));
+        for (slot, owner) in [o1, o2].into_iter().enumerate() {
+            let row_cleans = view.row_count(owner, g) == 1;
+            for w in w_lo..=w_hi {
+                let mut bits = view.line_word(owner, g, w) & rect_mask(w);
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let cost = row_dirty + usize::from((col_ok[w - w_lo] >> b) & 1 == 0);
+                    let cleans = row_cleans || (col_cleans[slot][w - w_lo] >> b) & 1 == 1;
+                    let bucket = cost * 2 + usize::from(!cleans);
+                    let vec = &mut buckets[slot][bucket];
+                    if vec.len() < cap {
+                        vec.push((g, w * 64 + b));
                     }
-                    cnt > 0
-                };
-                let cost = usize::from(!view.row_has(proc, g)) + usize::from(!col_has_excl_k);
-                let cleans = view.row_count(owner, g) == 1 || view.col_count(owner, h) == 1;
-                let bucket = cost * 2 + usize::from(!cleans);
-                let vec = &mut buckets[slot][bucket];
-                if vec.len() < cap {
-                    vec.push((g, h));
                 }
             }
         }
-        for slot in 0..2 {
-            for bucket in &buckets[slot] {
-                owner_targets[slot].extend(bucket.iter().copied());
-            }
+    }
+    let mut owner_targets: [Vec<(usize, usize)>; 2] = [Vec::new(), Vec::new()];
+    for slot in 0..2 {
+        for bucket in &buckets[slot] {
+            owner_targets[slot].extend(bucket.iter().copied());
         }
     }
     Some(Prepared {

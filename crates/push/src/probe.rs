@@ -24,6 +24,7 @@
 //! cloned the full O(N²) grid *per question*; see `DESIGN.md` §11 for the
 //! measured effect.
 
+use crate::geom::Axis;
 use crate::op::{attempt, prepare, Direction, PushGrid, PushType};
 use hetmmm_obs as obs;
 use hetmmm_partition::{Partition, Proc, Rect};
@@ -31,56 +32,33 @@ use std::cell::RefCell;
 
 /// Reusable overlay storage for one probe at a time. Cheap to keep around,
 /// cleared (not freed) between probes.
+///
+/// All three maps are sparse, keyed by the lines/cells a probe actually
+/// touches — O(cleaned-line) entries — instead of mirroring `n`-sized
+/// per-cell or per-line state. With the base grid now answering line
+/// queries from bit-planes there is nothing dimension-shaped left to
+/// pre-size, so the scratch needs no `ensure(n)` step and is identical for
+/// every grid size.
 #[derive(Debug, Default)]
 pub(crate) struct ProbeScratch {
-    /// Grid dimension the per-line vectors are sized for.
-    n: usize,
     /// Overlay cell assignments as `(flat index, owner q)`. Linear-scanned:
     /// a probe touches at most one cleaned line's worth of cells.
     cells: Vec<(u32, u8)>,
-    /// Per-processor, per-row element-count deltas relative to the base.
-    row_delta: [Vec<i32>; 3],
-    /// Per-processor, per-column element-count deltas relative to the base.
-    col_delta: [Vec<i32>; 3],
-    /// `(proc idx, row)` entries whose `row_delta` may be nonzero.
-    touched_rows: Vec<(u8, u32)>,
-    /// `(proc idx, col)` entries whose `col_delta` may be nonzero.
-    touched_cols: Vec<(u8, u32)>,
+    /// Per-row element-count deltas relative to the base, one `[i32; 3]`
+    /// per touched row. Linear-scanned like `cells`.
+    row_delta: Vec<(u32, [i32; 3])>,
+    /// Per-column element-count deltas relative to the base.
+    col_delta: Vec<(u32, [i32; 3])>,
     /// Overlay ΔVoC in line units relative to the base.
     voc_delta: i64,
 }
 
 impl ProbeScratch {
-    /// Size for dimension `n` and clear any overlay left by a prior probe.
-    fn ensure(&mut self, n: usize) {
-        if self.n != n {
-            self.n = n;
-            for d in &mut self.row_delta {
-                d.clear();
-                d.resize(n, 0);
-            }
-            for d in &mut self.col_delta {
-                d.clear();
-                d.resize(n, 0);
-            }
-            self.touched_rows.clear();
-            self.touched_cols.clear();
-            self.cells.clear();
-            self.voc_delta = 0;
-        } else {
-            self.reset();
-        }
-    }
-
-    /// Zero the overlay without shrinking its storage.
+    /// Empty the overlay without freeing its storage.
     fn reset(&mut self) {
-        for (q, i) in self.touched_rows.drain(..) {
-            self.row_delta[q as usize][i as usize] = 0;
-        }
-        for (q, j) in self.touched_cols.drain(..) {
-            self.col_delta[q as usize][j as usize] = 0;
-        }
         self.cells.clear();
+        self.row_delta.clear();
+        self.col_delta.clear();
         self.voc_delta = 0;
     }
 }
@@ -96,16 +74,7 @@ pub(crate) struct ProbeView<'a> {
 }
 
 impl ProbeView<'_> {
-    /// Map canonical `(u, v)` to real `(i, j)` — same table as `View::map`.
-    #[inline]
-    fn map(&self, u: usize, v: usize) -> (usize, usize) {
-        match self.dir {
-            Direction::Down => (u, v),
-            Direction::Up => (self.n - 1 - u, v),
-            Direction::Right => (v, u),
-            Direction::Left => (v, self.n - 1 - u),
-        }
-    }
+    crate::canonical_geometry!(dir: crate::op::Direction, proc: Proc, base: base);
 
     /// Owner of real cell `(i, j)`, overlay first.
     #[inline]
@@ -122,29 +91,57 @@ impl ProbeView<'_> {
     /// Overlay-adjusted element count of `proc` in real row `i`.
     #[inline]
     fn row_count_real(&self, proc: Proc, i: usize) -> i64 {
-        i64::from(self.base.row_count(proc, i)) + i64::from(self.scratch.row_delta[proc.idx()][i])
+        let delta = self
+            .scratch
+            .row_delta
+            .iter()
+            .find(|(r, _)| *r == i as u32)
+            .map_or(0, |(_, d)| d[proc.idx()]);
+        i64::from(self.base.row_count(proc, i)) + i64::from(delta)
     }
 
     /// Overlay-adjusted element count of `proc` in real column `j`.
     #[inline]
     fn col_count_real(&self, proc: Proc, j: usize) -> i64 {
-        i64::from(self.base.col_count(proc, j)) + i64::from(self.scratch.col_delta[proc.idx()][j])
+        let delta = self
+            .scratch
+            .col_delta
+            .iter()
+            .find(|(c, _)| *c == j as u32)
+            .map_or(0, |(_, d)| d[proc.idx()]);
+        i64::from(self.base.col_count(proc, j)) + i64::from(delta)
     }
 
     fn bump_row(&mut self, proc: Proc, i: usize, by: i32) {
-        let d = &mut self.scratch.row_delta[proc.idx()][i];
-        if *d == 0 {
-            self.scratch.touched_rows.push((proc.idx() as u8, i as u32));
+        match self
+            .scratch
+            .row_delta
+            .iter_mut()
+            .find(|(r, _)| *r == i as u32)
+        {
+            Some((_, d)) => d[proc.idx()] += by,
+            None => {
+                let mut d = [0i32; 3];
+                d[proc.idx()] = by;
+                self.scratch.row_delta.push((i as u32, d));
+            }
         }
-        *d += by;
     }
 
     fn bump_col(&mut self, proc: Proc, j: usize, by: i32) {
-        let d = &mut self.scratch.col_delta[proc.idx()][j];
-        if *d == 0 {
-            self.scratch.touched_cols.push((proc.idx() as u8, j as u32));
+        match self
+            .scratch
+            .col_delta
+            .iter_mut()
+            .find(|(c, _)| *c == j as u32)
+        {
+            Some((_, d)) => d[proc.idx()] += by,
+            None => {
+                let mut d = [0i32; 3];
+                d[proc.idx()] = by;
+                self.scratch.col_delta.push((j as u32, d));
+            }
         }
-        *d += by;
     }
 
     /// Overlay mirror of `Partition::set`: reassign real cell `(i, j)` and
@@ -212,11 +209,9 @@ impl PushGrid for ProbeView<'_> {
 
     #[inline]
     fn row_count(&self, proc: Proc, u: usize) -> u32 {
-        let count = match self.dir {
-            Direction::Down => self.row_count_real(proc, u),
-            Direction::Up => self.row_count_real(proc, self.n - 1 - u),
-            Direction::Right => self.col_count_real(proc, u),
-            Direction::Left => self.col_count_real(proc, self.n - 1 - u),
+        let count = match self.canon_row_line(u) {
+            (i, Axis::Row) => self.row_count_real(proc, i),
+            (j, Axis::Col) => self.col_count_real(proc, j),
         };
         debug_assert!(count >= 0, "overlay drove a line count negative");
         count as u32
@@ -224,9 +219,9 @@ impl PushGrid for ProbeView<'_> {
 
     #[inline]
     fn col_count(&self, proc: Proc, v: usize) -> u32 {
-        let count = match self.dir {
-            Direction::Down | Direction::Up => self.col_count_real(proc, v),
-            Direction::Right | Direction::Left => self.row_count_real(proc, v),
+        let count = match self.canon_col_line(v) {
+            (j, Axis::Col) => self.col_count_real(proc, j),
+            (i, Axis::Row) => self.row_count_real(proc, i),
         };
         debug_assert!(count >= 0, "overlay drove a line count negative");
         count as u32
@@ -238,13 +233,8 @@ impl PushGrid for ProbeView<'_> {
     /// entries from a rolled-back attempt have zero net occupancy effect).
     fn enclosing_rect(&self, proc: Proc) -> Option<Rect> {
         let r = self.base.enclosing_rect(proc)?;
-        let n = self.n;
-        Some(match self.dir {
-            Direction::Down => r,
-            Direction::Up => Rect::new(n - 1 - r.bottom, n - 1 - r.top, r.left, r.right),
-            Direction::Right => Rect::new(r.left, r.right, r.top, r.bottom),
-            Direction::Left => Rect::new(n - 1 - r.right, n - 1 - r.left, r.top, r.bottom),
-        })
+        let (top, bottom, left, right) = self.canon_rect(r.top, r.bottom, r.left, r.right);
+        Some(Rect::new(top, bottom, left, right))
     }
 
     #[inline]
@@ -252,6 +242,13 @@ impl PushGrid for ProbeView<'_> {
         let units = self.base.voc_units() as i64 + self.scratch.voc_delta;
         debug_assert!(units >= 0, "overlay drove voc_units negative");
         units as u64
+    }
+
+    /// Bit-plane line words, answered from the *base* grid — valid under
+    /// the same pre-swap contract as [`PushGrid::enclosing_rect`].
+    #[inline]
+    fn line_word(&self, proc: Proc, u: usize, w: usize) -> u64 {
+        self.plane_line_word(proc, u, w)
     }
 }
 
@@ -269,7 +266,7 @@ pub(crate) fn push_feasible_with(
             .counter(obs::metrics::names::PUSH_PROBES)
             .inc();
     }
-    scratch.ensure(part.n());
+    scratch.reset();
     let voc_before = part.voc_units() as i64;
     let mut view = ProbeView {
         base: part,

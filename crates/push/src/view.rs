@@ -6,17 +6,16 @@
 //! every push is a Push↓ cleaning the canonical top row `u = rect.top` — onto
 //! the real grid:
 //!
-//! | direction | cleaned edge      | canonical `(u, v)` → real `(i, j)` |
-//! |-----------|-------------------|-------------------------------------|
-//! | Down      | top row           | `(u, v)`                            |
-//! | Up        | bottom row        | `(n-1-u, v)`                        |
-//! | Right     | leftmost column   | `(v, u)`                            |
-//! | Left      | rightmost column  | `(v, n-1-u)`                        |
-//!
-//! Canonical "rows" are the lines perpendicular to the push direction, and
-//! canonical "columns" the lines parallel to it, so the occupancy predicates
-//! of the six push types translate directly.
+//! The coordinate table lives in [`crate::geom`]; the
+//! [`crate::canonical_geometry!`] macro expands it here so this view and
+//! the read-only probe overlay cannot drift apart. Canonical "rows" are the
+//! lines perpendicular to the push direction, and canonical "columns" the
+//! lines parallel to it, so the occupancy predicates of the six push types
+//! translate directly — and because within-line bit order is
+//! direction-independent, the partition's bit-plane words are served to the
+//! push kernel verbatim via [`crate::op::PushGrid::line_word`].
 
+use crate::geom::Axis;
 use crate::op::Direction;
 use hetmmm_partition::{Partition, Proc, Rect};
 
@@ -28,6 +27,8 @@ pub struct View<'a> {
 }
 
 impl<'a> View<'a> {
+    crate::canonical_geometry!(dir: crate::op::Direction, proc: Proc, base: part);
+
     /// Wrap `part` so that pushing in `dir` looks like a canonical Push↓.
     pub fn new(part: &'a mut Partition, dir: Direction) -> View<'a> {
         let n = part.n();
@@ -38,17 +39,6 @@ impl<'a> View<'a> {
     #[inline]
     pub fn n(&self) -> usize {
         self.n
-    }
-
-    /// Map canonical `(u, v)` to real `(i, j)`.
-    #[inline]
-    pub fn map(&self, u: usize, v: usize) -> (usize, usize) {
-        match self.dir {
-            Direction::Down => (u, v),
-            Direction::Up => (self.n - 1 - u, v),
-            Direction::Right => (v, u),
-            Direction::Left => (v, self.n - 1 - u),
-        }
     }
 
     /// Owner of canonical cell `(u, v)`.
@@ -69,53 +59,44 @@ impl<'a> View<'a> {
     /// Does canonical row `u` contain elements of `proc`?
     #[inline]
     pub fn row_has(&self, proc: Proc, u: usize) -> bool {
-        match self.dir {
-            Direction::Down => self.part.row_has(proc, u),
-            Direction::Up => self.part.row_has(proc, self.n - 1 - u),
-            Direction::Right => self.part.col_has(proc, u),
-            Direction::Left => self.part.col_has(proc, self.n - 1 - u),
+        match self.canon_row_line(u) {
+            (i, Axis::Row) => self.part.row_has(proc, i),
+            (j, Axis::Col) => self.part.col_has(proc, j),
         }
     }
 
     /// Does canonical column `v` contain elements of `proc`?
     #[inline]
     pub fn col_has(&self, proc: Proc, v: usize) -> bool {
-        match self.dir {
-            Direction::Down | Direction::Up => self.part.col_has(proc, v),
-            Direction::Right | Direction::Left => self.part.row_has(proc, v),
+        match self.canon_col_line(v) {
+            (j, Axis::Col) => self.part.col_has(proc, j),
+            (i, Axis::Row) => self.part.row_has(proc, i),
         }
     }
 
     /// Elements of `proc` in canonical row `u`.
     #[inline]
     pub fn row_count(&self, proc: Proc, u: usize) -> u32 {
-        match self.dir {
-            Direction::Down => self.part.row_count(proc, u),
-            Direction::Up => self.part.row_count(proc, self.n - 1 - u),
-            Direction::Right => self.part.col_count(proc, u),
-            Direction::Left => self.part.col_count(proc, self.n - 1 - u),
+        match self.canon_row_line(u) {
+            (i, Axis::Row) => self.part.row_count(proc, i),
+            (j, Axis::Col) => self.part.col_count(proc, j),
         }
     }
 
     /// Elements of `proc` in canonical column `v`.
     #[inline]
     pub fn col_count(&self, proc: Proc, v: usize) -> u32 {
-        match self.dir {
-            Direction::Down | Direction::Up => self.part.col_count(proc, v),
-            Direction::Right | Direction::Left => self.part.row_count(proc, v),
+        match self.canon_col_line(v) {
+            (j, Axis::Col) => self.part.col_count(proc, j),
+            (i, Axis::Row) => self.part.row_count(proc, i),
         }
     }
 
     /// Enclosing rectangle of `proc` in canonical coordinates.
     pub fn enclosing_rect(&self, proc: Proc) -> Option<Rect> {
         let r = self.part.enclosing_rect(proc)?;
-        let n = self.n;
-        Some(match self.dir {
-            Direction::Down => r,
-            Direction::Up => Rect::new(n - 1 - r.bottom, n - 1 - r.top, r.left, r.right),
-            Direction::Right => Rect::new(r.left, r.right, r.top, r.bottom),
-            Direction::Left => Rect::new(n - 1 - r.right, n - 1 - r.left, r.top, r.bottom),
-        })
+        let (top, bottom, left, right) = self.canon_rect(r.top, r.bottom, r.left, r.right);
+        Some(Rect::new(top, bottom, left, right))
     }
 
     /// VoC line units of the underlying partition (direction-independent).
@@ -164,6 +145,10 @@ impl crate::op::PushGrid for View<'_> {
     #[inline]
     fn voc_units(&self) -> u64 {
         View::voc_units(self)
+    }
+    #[inline]
+    fn line_word(&self, proc: Proc, u: usize, w: usize) -> u64 {
+        self.plane_line_word(proc, u, w)
     }
 }
 
